@@ -1,0 +1,62 @@
+// E6 — attacker power (§4): "the number of tests necessary for AVD to find
+// a vulnerability is an indication of how difficult it would be for a real
+// attacker to find similar vulnerabilities, given the same amount of power."
+//
+// Three power levels (see avd/attacker_power.h), several seeds each. Two
+// reported quantities:
+//   * tests-until-impact>=threshold (first crash-level find);
+//   * strong fraction — the share of the whole test budget spent on strong
+//     attacks (impact >= 0.9), i.e. how efficiently the attacker converts
+//     its budget into damage once it has feedback to exploit.
+// Expected ordering on both: protocol-aware >= gray-feedback > blind fuzz.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "avd/attacker_power.h"
+
+using namespace avd;
+
+int main() {
+  // Crash-level damage only: stealth degradation (impact ~0.85-0.9) does
+  // not count as "the vulnerability" here.
+  constexpr double kThreshold = 0.95;
+  constexpr std::size_t kMaxTests = 120;
+  const std::vector<std::uint64_t> seeds{11, 22, 33, 44, 55};
+
+  std::printf(
+      "=== Attacker power: tests to find an impact>=%.2f attack ===\n",
+      kThreshold);
+  std::printf("(budget %zu tests per run, %zu seeds)\n\n", kMaxTests,
+              seeds.size());
+  std::printf("%-16s %8s %10s %10s %10s %14s\n", "power level", "found",
+              "median", "min", "max", "strong frac");
+
+  for (const core::AttackerPower power :
+       {core::AttackerPower::kBlindFuzz, core::AttackerPower::kGrayFeedback,
+        core::AttackerPower::kProtocolAware}) {
+    std::vector<std::size_t> testsToFind;
+    double strongFraction = 0.0;
+    int found = 0;
+    for (const std::uint64_t seed : seeds) {
+      const core::PowerMeasurement measurement =
+          core::measureAttackerPower(power, kThreshold, kMaxTests, seed);
+      if (measurement.found) ++found;
+      testsToFind.push_back(measurement.testsToFind);
+      strongFraction += measurement.strongFraction;
+    }
+    std::sort(testsToFind.begin(), testsToFind.end());
+    std::printf("%-16s %5d/%zu %10zu %10zu %10zu %14.2f\n",
+                core::powerName(power).c_str(), found, seeds.size(),
+                testsToFind[testsToFind.size() / 2], testsToFind.front(),
+                testsToFind.back(), strongFraction / seeds.size());
+  }
+
+  std::printf(
+      "\ninterpretation: with more access (documentation -> Gray-aware\n"
+      "mutation with feedback; source -> protocol-aware behaviour\n"
+      "synthesis), an attacker spends a much larger share of its budget on\n"
+      "strong attacks and finds crash-level vulnerabilities in fewer tests\n"
+      "— the paper's rule of thumb for prioritizing bug fixes.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// E3 — the Big MAC attack (§6): "AVD shows that by corrupting the MAC in
+// all messages sent by a malicious client, PBFT will perform a view change
+// and crash." — one malicious client across deployment sizes.
+//
+// Four configurations per client count:
+//   baseline — corruption disabled (mask 0);
+//   bigMAC   — authenticator valid only for the primary in every round: no
+//              backup can ever authenticate the request, the stall forces a
+//              view change and the historical implementation's crash bug
+//              (Config::viewChangeCrashBug) takes out the quorum;
+//   fixedVC  — same mask against the repaired view-change path: the view
+//              change nulls the poisoned sequence and service continues;
+//   rotating — round-rotating corruption: digest matching prevents the view
+//              change (the paper's "no view change if every retransmission
+//              was correct" observation) but in-order execution still
+//              stalls behind each poisoned sequence — a stealthy order-of-
+//              magnitude slowdown with no protocol alarms.
+#include <cstdio>
+
+#include "faultinject/behaviors.h"
+#include "pbft/deployment.h"
+
+using namespace avd;
+
+int main() {
+  std::printf("=== Big MAC attack: throughput vs deployment size ===\n");
+  std::printf("single malicious client; timeouts scaled 10x down (0.5 s)\n\n");
+  std::printf("%8s  %15s %15s %15s %15s  %8s\n", "clients", "baseline(r/s)",
+              "bigMAC(r/s)", "fixedVC(r/s)", "rotating(r/s)", "crashed");
+
+  for (const std::uint32_t clients : {10u, 50u, 100u, 150u, 200u, 250u}) {
+    const std::uint64_t attackMask = fi::bigMacMaskValidOnlyFor(0, 4);
+
+    pbft::DeploymentConfig base = fi::makeBigMacScenario(clients, 0, 17);
+    pbft::DeploymentConfig attack =
+        fi::makeBigMacScenario(clients, attackMask, 17);
+    pbft::DeploymentConfig fixedVc =
+        fi::makeBigMacScenario(clients, attackMask, 17);
+    fixedVc.pbft.viewChangeCrashBug = false;
+    pbft::DeploymentConfig rotating =
+        fi::makeBigMacScenario(clients, fi::rotatingBigMacMask(), 17);
+
+    const pbft::RunResult baseResult = pbft::runScenario(base);
+    pbft::Deployment attackDeployment(attack);
+    const pbft::RunResult attackResult = attackDeployment.run();
+    const pbft::RunResult fixedResult = pbft::runScenario(fixedVc);
+    const pbft::RunResult rotResult = pbft::runScenario(rotating);
+
+    std::uint64_t crashed = 0;
+    for (std::uint32_t r = 0; r < attackDeployment.replicaCount(); ++r) {
+      crashed += attackDeployment.replica(r).stats().crashedOnViewChange;
+    }
+
+    std::printf("%8u  %15.1f %15.1f %15.1f %15.1f  %8llu\n", clients,
+                baseResult.throughputRps, attackResult.throughputRps,
+                fixedResult.throughputRps, rotResult.throughputRps,
+                static_cast<unsigned long long>(crashed));
+  }
+
+  std::printf(
+      "\nexpected shape: bigMAC column collapses to ~0 at every scale (the\n"
+      "crash kills the quorum: 'crashed' counts fail-stopped replicas);\n"
+      "fixedVC pays roughly one view-change period and keeps serving;\n"
+      "rotating degrades throughput by ~10x with no view change at all\n"
+      "(stealth attack riding on in-order execution stalls).\n");
+  return 0;
+}

@@ -1,0 +1,153 @@
+// E7 — engineering micro-benchmarks (google-benchmark): substrate costs
+// that bound how many AVD tests per second the platform can run. Not a
+// paper figure; included to validate the simulator substitution (DESIGN.md)
+// is fast enough for the exhaustive sweeps.
+#include <benchmark/benchmark.h>
+
+#include "avd/controller.h"
+#include "avd/pbft_executor.h"
+#include "crypto/authenticator.h"
+#include "crypto/keychain.h"
+#include "pbft/deployment.h"
+#include "sim/simulator.h"
+
+using namespace avd;
+
+namespace {
+
+void BM_MacGenerate(benchmark::State& state) {
+  crypto::Keychain keychain(42);
+  crypto::MacService macs(0, &keychain);
+  std::uint64_t digest = 0x123456789abcdefULL;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(macs.generate(1, digest));
+    ++digest;
+  }
+}
+BENCHMARK(BM_MacGenerate);
+
+void BM_Authenticator(benchmark::State& state) {
+  crypto::Keychain keychain(42);
+  crypto::MacService macs(0, &keychain);
+  const auto replicas = static_cast<std::uint32_t>(state.range(0));
+  std::uint64_t digest = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(macs.authenticate(digest++, replicas));
+  }
+}
+BENCHMARK(BM_Authenticator)->Arg(4)->Arg(7)->Arg(13);
+
+void BM_SimulatorEventDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulator simulator(1);
+    constexpr int kEvents = 10000;
+    for (int i = 0; i < kEvents; ++i) {
+      simulator.schedule(i, [] {});
+    }
+    state.ResumeTiming();
+    simulator.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SimulatorEventDispatch);
+
+/// Requests committed per wall-second through a full f=1..3 deployment.
+void BM_PbftCommitThroughput(benchmark::State& state) {
+  const auto f = static_cast<std::uint32_t>(state.range(0));
+  std::uint64_t requests = 0;
+  for (auto _ : state) {
+    pbft::DeploymentConfig config;
+    config.pbft.f = f;
+    config.correctClients = 10;
+    config.warmup = 0;
+    config.measure = sim::msec(500);
+    config.seed = 7;
+    const pbft::RunResult result = pbft::runScenario(config);
+    requests += result.correctCompleted;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(requests));
+  state.SetLabel("committed requests/s (wall)");
+}
+BENCHMARK(BM_PbftCommitThroughput)->Arg(1)->Arg(2)->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+
+/// Cost of one AVD test (deployment build + run + impact computation).
+void BM_AvdTestExecution(benchmark::State& state) {
+  core::PbftExecutorOptions options;
+  options.warmup = sim::msec(100);
+  options.measure = sim::msec(500);
+  options.defaultCorrectClients = 10;
+  core::Hyperspace space;
+  space.add(core::Dimension::grayBitmask("mac_mask", 12));
+  core::PbftAttackExecutor executor(std::move(space), options);
+  std::uint64_t mask = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(executor.execute(core::Point{mask++ & 0xFFF}));
+  }
+  state.SetLabel("one full AVD test");
+}
+BENCHMARK(BM_AvdTestExecution)->Unit(benchmark::kMillisecond);
+
+/// Read-heavy KV workload with and without the read-only optimization
+/// (tentative execution: one round trip instead of three-phase ordering).
+void BM_PbftReadHeavyWorkload(benchmark::State& state) {
+  const bool readOnly = state.range(0) != 0;
+  std::uint64_t completed = 0;
+  for (auto _ : state) {
+    pbft::DeploymentConfig config;
+    config.pbft.f = 1;
+    config.service = pbft::ServiceKind::kKv;
+    config.correctClients = 8;
+    config.warmup = 0;
+    config.measure = sim::msec(500);
+    config.seed = 11;
+    config.correctClientBehavior.opGenerator = [](util::RequestId i) {
+      if (i % 8 == 1) return pbft::KvService::encodePut("k", "v");
+      return pbft::KvService::encodeGet("k");
+    };
+    if (readOnly) {
+      config.correctClientBehavior.readOnlyPredicate =
+          [](util::RequestId i) { return i % 8 != 1; };
+    }
+    completed += pbft::runScenario(config).correctCompleted;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(completed));
+  state.SetLabel(readOnly ? "tentative read-only reads"
+                          : "fully ordered reads");
+}
+BENCHMARK(BM_PbftReadHeavyWorkload)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+/// Scenario-generation overhead of Algorithm 1 (without execution).
+void BM_ControllerGeneration(benchmark::State& state) {
+  class NullExecutor final : public core::ScenarioExecutor {
+   public:
+    NullExecutor() {
+      space_.add(core::Dimension::grayBitmask("mac_mask", 12));
+      space_.add(core::Dimension::range("correct_clients", 10, 250, 10));
+    }
+    core::Outcome execute(const core::Point& point) override {
+      core::Outcome outcome;
+      outcome.impact = static_cast<double>(point[0] % 97) / 97.0;
+      return outcome;
+    }
+    const core::Hyperspace& space() const noexcept override { return space_; }
+
+   private:
+    core::Hyperspace space_;
+  };
+
+  NullExecutor executor;
+  core::Controller controller(executor,
+                              core::defaultPlugins(executor.space()));
+  for (auto _ : state) {
+    controller.runTests(1);
+  }
+  state.SetLabel("generate+bookkeep one scenario");
+}
+BENCHMARK(BM_ControllerGeneration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+// E5 — the headline claim (§1): "even a single malicious client can bring a
+// BFT system of over 250 nodes down to zero throughput."
+//
+// Sweep of the total deployment size (4 replicas + N clients, N up to 250)
+// under the two strongest synthesized attacks:
+//   * colluding slow primary (malicious primary + 1 malicious client):
+//     exactly 0 useful requests for correct clients at every scale;
+//   * full Big MAC (1 malicious client, nothing else): stall -> view
+//     change -> implementation crash -> quorum loss, throughput ~0.
+#include <cstdio>
+
+#include "faultinject/behaviors.h"
+#include "pbft/deployment.h"
+
+using namespace avd;
+
+int main() {
+  std::printf("=== Scale sweep: damage from one or two malicious nodes ===\n");
+  std::printf("%8s  %16s %18s %18s\n", "clients", "baseline(r/s)",
+              "colluding(r/s)", "bigMAC(r/s)");
+
+  for (const std::uint32_t clients : {10u, 50u, 100u, 150u, 200u, 250u}) {
+    // Colluding slow primary: keep the 5 s production timer but shorten the
+    // window (the result is identically zero regardless of window length).
+    pbft::DeploymentConfig colluding =
+        fi::makeSlowPrimaryScenario(clients, true, false, 29);
+    colluding.warmup = sim::sec(2);
+    colluding.measure = sim::sec(15);
+
+    pbft::DeploymentConfig baseline = fi::makeBigMacScenario(clients, 0, 29);
+    pbft::DeploymentConfig bigMac = fi::makeBigMacScenario(
+        clients, fi::bigMacMaskValidOnlyFor(0, 4), 29);
+    for (pbft::DeploymentConfig* config : {&baseline, &bigMac}) {
+      config->warmup = 0;
+      config->measure = sim::sec(3);
+    }
+
+    const pbft::RunResult baseResult = pbft::runScenario(baseline);
+    const pbft::RunResult colludeResult = pbft::runScenario(colluding);
+    const pbft::RunResult bigMacResult = pbft::runScenario(bigMac);
+
+    std::printf("%8u  %16.1f %18.2f %18.1f\n", clients,
+                baseResult.throughputRps, colludeResult.throughputRps,
+                bigMacResult.throughputRps);
+  }
+
+  std::printf(
+      "\nexpected shape: the colluding column is 0.00 at every scale — one\n"
+      "malicious client (plus the primary it colludes with) silences a\n"
+      "254-node deployment; the bigMAC column shows a single client alone\n"
+      "collapsing throughput by crashing the quorum via the view-change\n"
+      "path (paper §1: 'a single faulty (or malicious) client can\n"
+      "completely disrupt a PBFT deployment of 250 nodes').\n");
+  return 0;
+}

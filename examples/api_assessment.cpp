@@ -1,0 +1,59 @@
+// Assessing a storage API with AVD before deployment (§2).
+//
+// You built a quorum-replicated KV store. It is fast, it survives two
+// crashed replicas, your integration tests are green. AVD's question: what
+// can one malicious *participant* do through the API you are about to ship?
+//
+// Build & run:  ./build/examples/api_assessment
+#include <cstdio>
+
+#include "avd/controller.h"
+#include "avd/quorum_executor.h"
+#include "quorum/deployment.h"
+
+using namespace avd;
+
+int main() {
+  // First, the view your own tests give you: healthy numbers.
+  quorum::QuorumConfig config;
+  config.replicas = 5;
+  config.readQuorum = 3;
+  config.writeQuorum = 3;
+  config.honestClients = 8;
+  config.seed = 99;
+  const quorum::QuorumResult healthy = quorum::runQuorumScenario(config);
+  std::printf("healthy store: %.0f ops/s, %.1f ms avg latency, "
+              "%.0f%% stale reads\n",
+              healthy.opsPerSec, healthy.avgLatencySec * 1e3,
+              healthy.staleFraction * 100);
+
+  // Now AVD's view. This assessment asks specifically what one malicious
+  // CLIENT can do through the public API, so the space only has the
+  // client-side knobs: timestamp inflation and target spread.
+  core::Hyperspace space;
+  space.add(core::Dimension::range("ts_inflation_log2", 0, 40, 1));
+  space.add(core::Dimension::range("victim_keys", 1, 8, 1));
+  core::QuorumApiExecutor executor(std::move(space), {});
+  core::Controller avd(executor, core::defaultPlugins(executor.space()),
+                       core::ControllerOptions{}, 99);
+  avd.runTests(30);
+
+  std::printf("\nAVD, 30 tests later: max impact %.2f\n", avd.maxImpact());
+  if (const auto best = avd.best()) {
+    std::printf("worst finding: inflation 2^%lld us over %lld keys\n",
+                static_cast<long long>(executor.space().valueOf(
+                    best->point, "ts_inflation_log2", -1)),
+                static_cast<long long>(executor.space().valueOf(
+                    best->point, "victim_keys", -1)));
+    std::printf("while the attack runs, throughput still reads %.0f ops/s — "
+                "your dashboards stay green.\n",
+                best->outcome.throughputRps);
+  }
+
+  std::printf(
+      "\nlesson: the API accepts client-supplied timestamps for last-write-\n"
+      "wins reconciliation, so any client can shadow any key forever. Fix\n"
+      "candidates: server-assigned timestamps, per-key ACLs, or bounding\n"
+      "accepted clock skew.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// The Big MAC attack, step by step (paper §6; originally Clement et al.,
+// Aardvark NSDI'09).
+//
+// A PBFT client authenticates each request with a MAC *authenticator* — a
+// vector with one MAC per replica. A faulty client can make that vector
+// inconsistent: valid for the primary, garbage for every backup. The
+// primary orders the request; no backup can ever authenticate it; the
+// sequence number stalls; the stall starves every other client; the request
+// timers force a view change — and the historical implementation crashes in
+// the view-change path, taking the whole deployment down.
+//
+// Build & run:  ./build/examples/big_mac_demo
+#include <cstdio>
+
+#include "faultinject/behaviors.h"
+#include "pbft/deployment.h"
+
+using namespace avd;
+
+namespace {
+
+void report(const char* label, pbft::Deployment& deployment) {
+  const pbft::RunResult result = deployment.collect();
+  std::uint64_t crashed = 0;
+  std::uint64_t pended = 0;
+  for (std::uint32_t r = 0; r < deployment.replicaCount(); ++r) {
+    crashed += deployment.replica(r).stats().crashedOnViewChange;
+    pended += deployment.replica(r).stats().prePreparesPended;
+  }
+  std::printf("%-28s throughput %8.1f req/s | view changes %3llu | "
+              "parked pre-prepares %4llu | crashed replicas %llu\n",
+              label, result.throughputRps,
+              static_cast<unsigned long long>(result.viewChangesInitiated),
+              static_cast<unsigned long long>(pended),
+              static_cast<unsigned long long>(crashed));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("PBFT f=1 (4 replicas), 20 correct clients, 1 faulty client\n\n");
+
+  {
+    pbft::Deployment healthy(fi::makeBigMacScenario(20, 0, 42));
+    healthy.run();
+    report("no corruption:", healthy);
+  }
+  {
+    // Corrupt every authenticator entry except the primary's, in every
+    // transmission round — "corrupting the MAC in all messages".
+    const std::uint64_t mask = fi::bigMacMaskValidOnlyFor(/*valid=*/0, 4);
+    std::printf("\nattack mask = 0x%llx (valid only for replica 0)\n",
+                static_cast<unsigned long long>(mask));
+    pbft::Deployment attacked(fi::makeBigMacScenario(20, mask, 42));
+    attacked.run();
+    report("Big MAC, buggy view change:", attacked);
+  }
+  {
+    pbft::DeploymentConfig fixedConfig =
+        fi::makeBigMacScenario(20, fi::bigMacMaskValidOnlyFor(0, 4), 42);
+    fixedConfig.pbft.viewChangeCrashBug = false;  // the repaired code path
+    pbft::Deployment fixed(fixedConfig);
+    fixed.run();
+    report("Big MAC, fixed view change:", fixed);
+  }
+  {
+    // The stealth variant: rotate which replica can authenticate each
+    // transmission round. Digest matching prevents the view change, but
+    // in-order execution still stalls behind every poisoned sequence.
+    pbft::Deployment stealth(
+        fi::makeBigMacScenario(20, fi::rotatingBigMacMask(), 42));
+    stealth.run();
+    report("rotating mask (stealth):", stealth);
+  }
+
+  std::printf(
+      "\nreading the rows: the buggy deployment loses its quorum outright;\n"
+      "the fixed one pays one view change and keeps serving; the stealth\n"
+      "mask silently costs ~10x throughput with zero protocol alarms.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Quickstart: point AVD at a PBFT deployment and let it hunt.
+//
+// This is the 60-second tour of the public API:
+//   1. describe the test-parameter hyperspace (one dimension per tool knob);
+//   2. bind it to the system under test with an executor;
+//   3. run the feedback-guided Test Controller (Algorithm 1);
+//   4. inspect what it found.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "avd/controller.h"
+#include "avd/pbft_executor.h"
+
+using namespace avd;
+
+int main() {
+  // 1. The hyperspace: the MAC-corruption tool's 12-bit Gray-coded bitmask
+  //    and the number of correct clients sharing the deployment.
+  core::Hyperspace space;
+  space.add(core::Dimension::grayBitmask("mac_mask", 12));
+  space.add(core::Dimension::range("correct_clients", 10, 50, 10));
+
+  // 2. The executor instantiates one fresh simulated PBFT deployment per
+  //    test scenario and measures the impact on the correct clients.
+  core::PbftExecutorOptions options;
+  options.measure = sim::msec(1500);
+  core::PbftAttackExecutor executor(std::move(space), options);
+
+  // 3. Algorithm 1: random battleships opening, then impact-guided mutation
+  //    through tool plugins.
+  core::Controller controller(executor,
+                              core::defaultPlugins(executor.space()),
+                              core::ControllerOptions{}, /*seed=*/2011);
+  std::printf("exploring %llu scenarios with a 40-test budget...\n",
+              static_cast<unsigned long long>(
+                  executor.space().totalScenarios()));
+  controller.runTests(40);
+
+  // 4. Results.
+  std::printf("executed %zu tests, max impact %.3f\n",
+              controller.executedTests(), controller.maxImpact());
+  if (const auto best = controller.best()) {
+    std::printf(
+        "strongest attack: mask=0x%llx, %lld correct clients -> "
+        "throughput %.1f req/s (impact %.3f), %llu view changes\n",
+        static_cast<unsigned long long>(
+            executor.space().valueOf(best->point, "mac_mask", 0)),
+        static_cast<long long>(
+            executor.space().valueOf(best->point, "correct_clients", 0)),
+        best->outcome.throughputRps, best->outcome.impact,
+        static_cast<unsigned long long>(best->outcome.viewChanges));
+  }
+  if (const auto firstStrong = controller.testsToReach(0.9)) {
+    std::printf("first strong attack found after %zu tests\n", *firstStrong);
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Attacker-power estimation (§4).
+//
+// "The number of tests necessary for AVD to find a vulnerability is an
+// indication of how difficult it would be for a real attacker to find
+// similar vulnerabilities, given the same amount of power."
+//
+// Power levels model increasing access to the target system:
+//   kBlindFuzz     — no source/docs: uniform random corruption masks only;
+//   kGrayFeedback  — documentation: grammar-aware (Gray-coded) mutation with
+//                    impact feedback over the full MAC hyperspace;
+//   kProtocolAware — source access: the synthesis tool adds malicious
+//                    replica behaviours (spurious view changes, slow
+//                    primary, collusion) to the search space.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace avd::core {
+
+enum class AttackerPower { kBlindFuzz, kGrayFeedback, kProtocolAware };
+
+std::string powerName(AttackerPower power);
+
+struct PowerMeasurement {
+  AttackerPower power{};
+  bool found = false;
+  /// Tests executed until impact first reached the threshold (== maxTests
+  /// when never reached).
+  std::size_t testsToFind = 0;
+  double bestImpact = 0.0;
+  /// Fraction of the executed tests that were strong attacks (impact >=
+  /// 0.9) — how well the attacker converts its budget into damage, the
+  /// metric that separates feedback-guided from blind strategies.
+  double strongFraction = 0.0;
+};
+
+/// Runs the exploration strategy for the given power level until `threshold`
+/// impact is reached or `maxTests` tests executed.
+PowerMeasurement measureAttackerPower(AttackerPower power, double threshold,
+                                      std::size_t maxTests,
+                                      std::uint64_t seed);
+
+}  // namespace avd::core

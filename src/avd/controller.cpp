@@ -1,0 +1,176 @@
+#include "avd/controller.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace avd::core {
+
+Controller::Controller(ScenarioExecutor& executor,
+                       std::vector<PluginPtr> plugins,
+                       ControllerOptions options, std::uint64_t seed)
+    : executor_(executor),
+      plugins_(std::move(plugins)),
+      options_(options),
+      rng_(seed),
+      pluginStats_(plugins_.size()) {
+  assert(!plugins_.empty());
+}
+
+void Controller::runTests(std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    if (queue_.empty()) generateScenario();
+    assert(!queue_.empty());
+    Pending pending = std::move(queue_.front());
+    queue_.pop_front();
+    executeOne(std::move(pending.point), pending.generatedBy,
+               pending.parentImpact, pending.pluginIndex);
+  }
+}
+
+std::string Controller::generateScenario() {
+  // Battleships opening: seed the landscape with random shots, and fall
+  // back to random whenever Π is still empty.
+  if (history_.size() + queue_.size() < options_.initialRandomTests ||
+      top_.empty()) {
+    queue_.push_back(Pending{randomNovelPoint(), "random", 0.0, -1});
+    return "random";
+  }
+
+  for (std::size_t attempt = 0; attempt < options_.maxGenerationAttempts;
+       ++attempt) {
+    const TopScenario& parent = sampleParent();              // line 1
+    const std::size_t pluginIndex = samplePlugin();          // line 2
+    // Line 3, with a small floor: even the current best parent must yield a
+    // *different* child ("slight mutations"), so the distance never reaches
+    // exactly zero. When line 5's novelty check keeps rejecting children
+    // (the parent's close neighbourhood is exhausted), the distance
+    // escalates so the mutation reaches past explored territory instead of
+    // degenerating into random sampling.
+    const double escalation = static_cast<double>(attempt) /
+                              static_cast<double>(options_.maxGenerationAttempts);
+    const double mutateDistance =
+        maxImpact_ > 0.0
+            ? std::clamp(
+                  std::max(1.0 - parent.impact / maxImpact_, escalation),
+                  0.02, 1.0)
+            : 1.0;
+    Point child = parent.point;
+    plugins_[pluginIndex]->mutate(executor_.space(), child, mutateDistance,
+                                  rng_);                     // line 4
+    const std::uint64_t hash = executor_.space().pointHash(child);
+    if (seen_.insert(hash).second) {                         // line 5
+      queue_.push_back(Pending{std::move(child),
+                               std::string(plugins_[pluginIndex]->name()),
+                               parent.impact,
+                               static_cast<std::ptrdiff_t>(pluginIndex)});
+      return std::string(plugins_[pluginIndex]->name());
+    }
+  }
+
+  // Every mutation re-visited explored territory; fire a fresh random shot.
+  queue_.push_back(Pending{randomNovelPoint(), "random", 0.0, -1});
+  return "random";
+}
+
+Point Controller::randomNovelPoint() {
+  for (std::size_t attempt = 0; attempt < 64; ++attempt) {
+    Point point = executor_.space().samplePoint(rng_);
+    if (seen_.insert(executor_.space().pointHash(point)).second) return point;
+  }
+  // The space is almost exhausted; accept a duplicate rather than spin.
+  return executor_.space().samplePoint(rng_);
+}
+
+void Controller::executeOne(Point point, const std::string& generatedBy,
+                            double parentImpact, std::ptrdiff_t pluginIndex) {
+  seen_.insert(executor_.space().pointHash(point));
+  const Outcome outcome = executor_.execute(point);
+
+  if (pluginIndex >= 0) {
+    PluginStats& stats = pluginStats_[static_cast<std::size_t>(pluginIndex)];
+    ++stats.timesChosen;
+    stats.gainSum += outcome.impact - parentImpact;
+  }
+
+  maxImpact_ = std::max(maxImpact_, outcome.impact);
+  insertTop(point, outcome.impact);
+
+  TestRecord record;
+  record.point = std::move(point);
+  record.outcome = outcome;
+  record.generatedBy = generatedBy;
+  record.bestImpactSoFar = maxImpact_;
+  history_.push_back(std::move(record));
+}
+
+const Controller::TopScenario& Controller::sampleParent() {
+  assert(!top_.empty());
+  // Sharpened impact-proportional sampling (squared weights): "test
+  // scenarios that have had a large impact ... will be chosen more often
+  // than those with little impact". The floor keeps zero-impact parents in
+  // play — they may sit next to undiscovered structure.
+  constexpr double kFloor = 0.02;
+  const double mu = std::max(maxImpact_, 1e-9);
+  const auto weight = [&](const TopScenario& s) {
+    // Normalize by µ so relative quality drives selection even while all
+    // impacts are small; the 4th power strongly favours the frontier.
+    const double q = s.impact / mu;
+    return q * q * q * q + kFloor;
+  };
+  double total = 0.0;
+  for (const TopScenario& scenario : top_) total += weight(scenario);
+  double roll = rng_.uniform() * total;
+  for (const TopScenario& scenario : top_) {
+    roll -= weight(scenario);
+    if (roll <= 0.0) return scenario;
+  }
+  return top_.back();
+}
+
+std::size_t Controller::samplePlugin() {
+  if (!options_.pluginFitnessWeighting || plugins_.size() == 1) {
+    return static_cast<std::size_t>(rng_.below(plugins_.size()));
+  }
+  // Fitnex-style: plugins whose mutations historically increased impact are
+  // chosen more often; unexplored plugins start at the neutral weight 1.
+  constexpr double kFloor = 0.1;
+  double total = 0.0;
+  std::vector<double> weights(plugins_.size());
+  for (std::size_t i = 0; i < plugins_.size(); ++i) {
+    weights[i] = std::max(kFloor, 1.0 + pluginStats_[i].averageGain());
+    total += weights[i];
+  }
+  double roll = rng_.uniform() * total;
+  for (std::size_t i = 0; i < plugins_.size(); ++i) {
+    roll -= weights[i];
+    if (roll <= 0.0) return i;
+  }
+  return plugins_.size() - 1;
+}
+
+void Controller::insertTop(const Point& point, double impact) {
+  const auto position = std::find_if(
+      top_.begin(), top_.end(),
+      [impact](const TopScenario& s) { return s.impact < impact; });
+  top_.insert(position, TopScenario{point, impact});
+  if (top_.size() > options_.topSetSize) top_.pop_back();
+}
+
+std::optional<TestRecord> Controller::best() const {
+  const auto it = std::max_element(
+      history_.begin(), history_.end(),
+      [](const TestRecord& a, const TestRecord& b) {
+        return a.outcome.impact < b.outcome.impact;
+      });
+  if (it == history_.end()) return std::nullopt;
+  return *it;
+}
+
+std::optional<std::size_t> Controller::testsToReach(double threshold) const {
+  for (std::size_t i = 0; i < history_.size(); ++i) {
+    if (history_[i].outcome.impact >= threshold) return i + 1;
+  }
+  return std::nullopt;
+}
+
+}  // namespace avd::core

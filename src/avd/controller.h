@@ -1,0 +1,115 @@
+// The AVD Test Controller — Algorithm 1 of the paper.
+//
+//   1  parent := sample(Π)                         // impact-weighted
+//   2  plugin := sample(parent.plugins)            // fitness-gain-weighted
+//   3  mutateDistance := 1 − parent.impact / µ
+//   4  newScenario := plugin.mutate(parent, mutateDistance)
+//   5  if newScenario ∉ Ω and newScenario ∉ Π then Ψ := Ψ ∪ newScenario
+//
+// Π is the set of top-impact executed scenarios, Ω the history of all
+// executed scenarios, Ψ the queue of pending scenarios, µ the maximum
+// impact observed so far. Like a battleships player (§3), the controller
+// opens with random shots and focuses as structure emerges: high-impact
+// parents are mutated gently (fine tuning), low-impact parents strongly.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "avd/executor.h"
+#include "avd/plugin.h"
+#include "common/rng.h"
+
+namespace avd::core {
+
+struct ControllerOptions {
+  /// |Π|: how many top-impact scenarios are kept as mutation parents.
+  std::size_t topSetSize = 8;
+  /// Battleships opening: this many uniformly random tests seed Π before
+  /// feedback-guided generation starts.
+  std::size_t initialRandomTests = 10;
+  /// Fitnex-style plugin sampling by historical fitness gain (§3). Disable
+  /// for the uniform-plugin-selection ablation.
+  bool pluginFitnessWeighting = true;
+  /// Give up generating a novel mutation after this many attempts and fall
+  /// back to a random scenario.
+  std::size_t maxGenerationAttempts = 32;
+};
+
+/// One executed test, in execution order.
+struct TestRecord {
+  Point point;
+  Outcome outcome;
+  std::string generatedBy;   // "random" or the plugin's name
+  double bestImpactSoFar = 0.0;  // µ after this test
+};
+
+/// Cumulative per-plugin sampling statistics (the "historical benefit").
+struct PluginStats {
+  std::uint64_t timesChosen = 0;
+  double gainSum = 0.0;  // Σ (child impact − parent impact)
+
+  double averageGain() const noexcept {
+    return timesChosen == 0 ? 0.0
+                            : gainSum / static_cast<double>(timesChosen);
+  }
+};
+
+class Controller {
+ public:
+  Controller(ScenarioExecutor& executor, std::vector<PluginPtr> plugins,
+             ControllerOptions options = {}, std::uint64_t seed = 1);
+
+  /// Runs `count` additional tests (generate -> enqueue -> execute -> learn).
+  void runTests(std::size_t count);
+
+  const std::vector<TestRecord>& history() const noexcept { return history_; }
+  double maxImpact() const noexcept { return maxImpact_; }
+  /// Best scenario so far (nullopt before any test ran).
+  std::optional<TestRecord> best() const;
+  const std::vector<PluginStats>& pluginStats() const noexcept {
+    return pluginStats_;
+  }
+  std::size_t executedTests() const noexcept { return history_.size(); }
+  /// Tests executed until impact first reached `threshold`; nullopt if never.
+  std::optional<std::size_t> testsToReach(double threshold) const;
+
+ private:
+  struct TopScenario {
+    Point point;
+    double impact = 0.0;
+  };
+
+  /// Lines 1-5 of Algorithm 1; returns the plugin used, or "random".
+  std::string generateScenario();
+  Point randomNovelPoint();
+  void executeOne(Point point, const std::string& generatedBy,
+                  double parentImpact, std::ptrdiff_t pluginIndex);
+  const TopScenario& sampleParent();
+  std::size_t samplePlugin();
+  void insertTop(const Point& point, double impact);
+
+  ScenarioExecutor& executor_;
+  std::vector<PluginPtr> plugins_;
+  ControllerOptions options_;
+  util::Rng rng_;
+
+  std::vector<TopScenario> top_;            // Π, sorted descending by impact
+  std::unordered_set<std::uint64_t> seen_;  // Ω ∪ Ψ, as point hashes
+  struct Pending {
+    Point point;
+    std::string generatedBy;
+    double parentImpact;
+    std::ptrdiff_t pluginIndex;
+  };
+  std::deque<Pending> queue_;  // Ψ
+  double maxImpact_ = 0.0;     // µ
+  std::vector<TestRecord> history_;
+  std::vector<PluginStats> pluginStats_;
+};
+
+}  // namespace avd::core

@@ -1,0 +1,38 @@
+// Scenario execution interface.
+//
+// The controller is agnostic of the system under test: it hands a point to
+// an executor, which instantiates the test configuration (via the tool
+// plugins' parameters encoded in the point), runs the test against a fresh
+// deployment and computes the impact metric — "the impact on the correct,
+// unmodified nodes of the target system" (§3).
+#pragma once
+
+#include <cstdint>
+
+#include "avd/hyperspace.h"
+
+namespace avd::core {
+
+struct Outcome {
+  /// Normalized damage in [0, 1]: 0 = baseline performance, 1 = correct
+  /// clients fully starved. This is the fitness Algorithm 1 maximizes.
+  double impact = 0.0;
+  double throughputRps = 0.0;
+  double avgLatencySec = 0.0;
+  std::uint64_t viewChanges = 0;
+  bool safetyViolated = false;
+};
+
+class ScenarioExecutor {
+ public:
+  virtual ~ScenarioExecutor() = default;
+
+  /// Runs the test scenario `point` (one full system re-initialization per
+  /// call, per §3) and returns its measured outcome.
+  virtual Outcome execute(const Point& point) = 0;
+
+  /// The hyperspace this executor's points live in.
+  virtual const Hyperspace& space() const noexcept = 0;
+};
+
+}  // namespace avd::core

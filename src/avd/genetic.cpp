@@ -1,0 +1,111 @@
+#include "avd/genetic.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace avd::core {
+
+GeneticExplorer::GeneticExplorer(ScenarioExecutor& executor,
+                                 std::vector<PluginPtr> plugins,
+                                 GeneticOptions options, std::uint64_t seed)
+    : executor_(executor),
+      plugins_(std::move(plugins)),
+      options_(options),
+      rng_(seed) {
+  assert(!plugins_.empty());
+  assert(options_.populationSize >= 2);
+}
+
+void GeneticExplorer::evaluate(Point point, const char* origin) {
+  seen_.insert(executor_.space().pointHash(point));
+  const Outcome outcome = executor_.execute(point);
+  maxImpact_ = std::max(maxImpact_, outcome.impact);
+
+  nextGeneration_.push_back(Individual{point, outcome.impact});
+
+  TestRecord record;
+  record.point = std::move(point);
+  record.outcome = outcome;
+  record.generatedBy = origin;
+  record.bestImpactSoFar = maxImpact_;
+  history_.push_back(std::move(record));
+}
+
+const GeneticExplorer::Individual& GeneticExplorer::tournamentSelect() {
+  const Individual* best = nullptr;
+  for (std::size_t i = 0; i < options_.tournament; ++i) {
+    const Individual& candidate =
+        population_[rng_.below(population_.size())];
+    if (best == nullptr || candidate.impact > best->impact) {
+      best = &candidate;
+    }
+  }
+  return *best;
+}
+
+Point GeneticExplorer::crossover(const Point& a, const Point& b) {
+  Point child(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    child[i] = rng_.chance(0.5) ? a[i] : b[i];
+  }
+  return child;
+}
+
+void GeneticExplorer::runTests(std::size_t count) {
+  std::size_t budget = count;
+  while (budget > 0) {
+    // Seed generation: uniformly random individuals.
+    if (population_.empty() &&
+        nextGeneration_.size() < options_.populationSize) {
+      evaluate(executor_.space().samplePoint(rng_), "seed");
+      --budget;
+      if (nextGeneration_.size() == options_.populationSize) {
+        population_ = std::move(nextGeneration_);
+        nextGeneration_.clear();
+        ++generation_;
+      }
+      continue;
+    }
+
+    // Breed one child; once a full generation has been evaluated, it
+    // replaces its parents (generational GA).
+    const Point& parentA = tournamentSelect().point;
+    const Point& parentB = tournamentSelect().point;
+    Point child = rng_.chance(options_.crossoverRate)
+                      ? crossover(parentA, parentB)
+                      : parentA;
+    if (rng_.chance(options_.mutationRate)) {
+      const PluginPtr& plugin = plugins_[rng_.below(plugins_.size())];
+      // GA mutation strength is not fitness-adaptive; use a mid-range
+      // distance and let selection pressure do the focusing.
+      plugin->mutate(executor_.space(), child, 0.2, rng_);
+    }
+    // Re-sample duplicates a few times; duplicates still cost budget if
+    // they persist (the GA has no global dedup by design, but re-running
+    // an identical deterministic test teaches nothing).
+    for (int attempt = 0;
+         attempt < 4 && seen_.contains(executor_.space().pointHash(child));
+         ++attempt) {
+      const PluginPtr& plugin = plugins_[rng_.below(plugins_.size())];
+      plugin->mutate(executor_.space(), child, 0.5, rng_);
+    }
+
+    evaluate(std::move(child), "genetic");
+    --budget;
+    if (nextGeneration_.size() == options_.populationSize) {
+      population_ = std::move(nextGeneration_);
+      nextGeneration_.clear();
+      ++generation_;
+    }
+  }
+}
+
+std::optional<std::size_t> GeneticExplorer::testsToReach(
+    double threshold) const {
+  for (std::size_t i = 0; i < history_.size(); ++i) {
+    if (history_[i].outcome.impact >= threshold) return i + 1;
+  }
+  return std::nullopt;
+}
+
+}  // namespace avd::core

@@ -1,0 +1,73 @@
+// Genetic-algorithm explorer.
+//
+// §3 motivates the Controller's meta-heuristic by analogy with prior work:
+// "Inkumsah and Xie showed the benefit of using Genetic Algorithms (another
+// meta-heuristic exploration algorithm) to improve the quality of method
+// sequence generation". This explorer implements that alternative for
+// comparison: a fixed-size population evolved by impact-proportional
+// tournament selection, uniform per-dimension crossover, and plugin-driven
+// mutation. It shares the executor and TestRecord bookkeeping with the
+// Controller so the strategies are directly comparable.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "avd/controller.h"
+#include "avd/executor.h"
+#include "avd/plugin.h"
+#include "common/rng.h"
+
+namespace avd::core {
+
+struct GeneticOptions {
+  std::size_t populationSize = 12;
+  /// Probability that a child is produced by crossover (otherwise cloned
+  /// from one parent) before mutation.
+  double crossoverRate = 0.7;
+  /// Probability of applying one plugin mutation to a child.
+  double mutationRate = 0.9;
+  /// Tournament size for parent selection.
+  std::size_t tournament = 3;
+};
+
+class GeneticExplorer {
+ public:
+  GeneticExplorer(ScenarioExecutor& executor, std::vector<PluginPtr> plugins,
+                  GeneticOptions options = {}, std::uint64_t seed = 1);
+
+  /// Executes `count` additional tests (the initial population counts
+  /// toward the budget).
+  void runTests(std::size_t count);
+
+  const std::vector<TestRecord>& history() const noexcept { return history_; }
+  double maxImpact() const noexcept { return maxImpact_; }
+  std::optional<std::size_t> testsToReach(double threshold) const;
+  std::size_t generation() const noexcept { return generation_; }
+
+ private:
+  struct Individual {
+    Point point;
+    double impact = 0.0;
+  };
+
+  void evaluate(Point point, const char* origin);
+  const Individual& tournamentSelect();
+  Point crossover(const Point& a, const Point& b);
+
+  ScenarioExecutor& executor_;
+  std::vector<PluginPtr> plugins_;
+  GeneticOptions options_;
+  util::Rng rng_;
+
+  std::vector<Individual> population_;
+  std::vector<Individual> nextGeneration_;
+  std::unordered_set<std::uint64_t> seen_;
+  std::vector<TestRecord> history_;
+  double maxImpact_ = 0.0;
+  std::size_t generation_ = 0;
+};
+
+}  // namespace avd::core

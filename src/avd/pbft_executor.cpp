@@ -1,0 +1,182 @@
+#include "avd/pbft_executor.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "faultinject/mac_corruptor.h"
+#include "faultinject/network_faults.h"
+#include "faultinject/reorder.h"
+#include "faultinject/tamper.h"
+
+namespace avd::core {
+
+PbftAttackExecutor::PbftAttackExecutor(Hyperspace space,
+                                       PbftExecutorOptions options)
+    : space_(std::move(space)), options_(std::move(options)) {}
+
+pbft::DeploymentConfig PbftAttackExecutor::buildConfig(
+    const Point& point) const {
+  pbft::DeploymentConfig config;
+  config.pbft = options_.pbft;
+  config.link = options_.link;
+  config.clientRetx = options_.clientRetx;
+  config.warmup = options_.warmup;
+  config.measure = options_.measure;
+  config.service = options_.service;
+
+  config.correctClients = static_cast<std::uint32_t>(space_.valueOf(
+      point, "correct_clients", options_.defaultCorrectClients));
+  config.maliciousClients = static_cast<std::uint32_t>(space_.valueOf(
+      point, "malicious_clients", options_.defaultMaliciousClients));
+
+  const auto mask =
+      static_cast<std::uint64_t>(space_.valueOf(point, "mac_mask", 0));
+  if (mask != 0 && config.maliciousClients > 0) {
+    config.maliciousClientBehavior.macPolicy = fi::makeMacCorruptor(mask);
+  }
+
+  switch (space_.valueOf(point, "replica_behavior", 0)) {
+    case 0:
+      break;
+    case 1: {  // slow primary
+      pbft::ReplicaBehavior primary;
+      primary.slowPrimary = true;
+      config.replicaBehaviors[0] = primary;
+      break;
+    }
+    case 2: {  // slow primary + colluding client
+      pbft::ReplicaBehavior primary;
+      primary.slowPrimary = true;
+      if (config.maliciousClients == 0) config.maliciousClients = 1;
+      primary.colludingClient = config.pbft.replicaCount();
+      config.maliciousClientBehavior.broadcastRequests = true;
+      config.replicaBehaviors[0] = primary;
+      break;
+    }
+    case 3: {  // spurious view changes
+      pbft::ReplicaBehavior replica;
+      replica.spuriousViewChangeInterval = config.pbft.requestTimeout / 2;
+      config.replicaBehaviors[0] = replica;
+      break;
+    }
+    case 4: {  // silent prepares
+      pbft::ReplicaBehavior replica;
+      replica.silentPrepares = true;
+      config.replicaBehaviors[0] = replica;
+      break;
+    }
+    case 5: {  // equivocating primary
+      pbft::ReplicaBehavior primary;
+      primary.equivocate = true;
+      config.replicaBehaviors[0] = primary;
+      break;
+    }
+    case 6: {  // one fast-clock backup (premature timeouts)
+      pbft::ReplicaBehavior replica;
+      replica.timerSkew = 0.1;
+      config.replicaBehaviors[1] = replica;
+      break;
+    }
+    case 7: {  // f+1 fast-clock backups — enough to co-opt view changes
+      pbft::ReplicaBehavior replica;
+      replica.timerSkew = 0.1;
+      config.replicaBehaviors[1] = replica;
+      config.replicaBehaviors[2] = replica;
+      break;
+    }
+    default:
+      break;
+  }
+
+  // Deterministic per scenario: re-running a point reproduces its outcome.
+  config.seed = util::hashCombine(options_.baseSeed, space_.pointHash(point));
+  return config;
+}
+
+pbft::RunResult PbftAttackExecutor::runConfigured(
+    const pbft::DeploymentConfig& config, const Point* point) const {
+  pbft::Deployment deployment(config);
+  if (point != nullptr) {
+    const auto dropPercent = space_.valueOf(*point, "drop_probability", 0);
+    if (dropPercent > 0) {
+      deployment.network().addFault(std::make_shared<fi::DropFault>(
+          static_cast<double>(dropPercent) / 100.0));
+    }
+    const auto reorderPercent =
+        space_.valueOf(*point, "reorder_intensity", 0);
+    if (reorderPercent > 0) {
+      deployment.network().addFault(std::make_shared<fi::ReorderFault>(
+          static_cast<double>(reorderPercent) / 100.0, sim::msec(20)));
+    }
+    const auto tamperPercent =
+        space_.valueOf(*point, "tamper_probability", 0);
+    if (tamperPercent > 0) {
+      deployment.network().addFault(std::make_shared<fi::TamperFault>(
+          static_cast<double>(tamperPercent) / 100.0));
+    }
+  }
+  return deployment.run();
+}
+
+double PbftAttackExecutor::baselineFor(std::uint32_t correctClients,
+                                       std::uint32_t maliciousClients) {
+  const auto key = std::make_pair(correctClients, maliciousClients);
+  const auto it = baselineCache_.find(key);
+  if (it != baselineCache_.end()) return it->second;
+
+  pbft::DeploymentConfig config;
+  config.pbft = options_.pbft;
+  config.link = options_.link;
+  config.clientRetx = options_.clientRetx;
+  config.warmup = options_.warmup;
+  config.measure = options_.measure;
+  config.service = options_.service;
+  config.correctClients = correctClients;
+  // Tool-less malicious clients behave exactly like correct ones; keep them
+  // so the offered load matches the attack run.
+  config.maliciousClients = maliciousClients;
+  config.seed = util::hashCombine(options_.baseSeed,
+                                  util::hashCombine(correctClients + 1,
+                                                    maliciousClients));
+
+  const double throughput = runConfigured(config, nullptr).throughputRps;
+  baselineCache_.emplace(key, throughput);
+  return throughput;
+}
+
+Outcome PbftAttackExecutor::execute(const Point& point) {
+  const pbft::DeploymentConfig config = buildConfig(point);
+  const pbft::RunResult result = runConfigured(config, &point);
+  ++executed_;
+
+  Outcome outcome;
+  outcome.throughputRps = result.throughputRps;
+  outcome.avgLatencySec = result.avgLatencySec;
+  outcome.viewChanges = result.viewChangesInitiated;
+  outcome.safetyViolated = result.safetyViolated;
+
+  const double baseline =
+      baselineFor(config.correctClients, config.maliciousClients);
+  outcome.impact =
+      baseline > 0.0
+          ? std::clamp(1.0 - result.throughputRps / baseline, 0.0, 1.0)
+          : 0.0;
+  return outcome;
+}
+
+Hyperspace makePaperMacHyperspace() {
+  Hyperspace space;
+  space.add(Dimension::grayBitmask("mac_mask", 12));
+  space.add(Dimension::range("correct_clients", 10, 250, 10));
+  space.add(Dimension::choice("malicious_clients", {1, 2}));
+  return space;
+}
+
+Hyperspace makeFigure3Subspace() {
+  Hyperspace space;
+  space.add(Dimension::grayBitmask("mac_mask", 10));
+  space.add(Dimension::range("correct_clients", 10, 100, 10));
+  return space;
+}
+
+}  // namespace avd::core

@@ -1,0 +1,93 @@
+// Executor binding AVD scenarios to simulated PBFT deployments.
+//
+// Dimensions are recognized by name, so the same executor serves every
+// experiment in the paper (and the extensions):
+//
+//   "mac_mask"          grayBitmask — MAC-corruption bitmask for the
+//                       malicious clients' generateMAC calls (§6)
+//   "correct_clients"   range       — number of correct clients
+//   "malicious_clients" choice      — number of malicious clients
+//   "replica_behavior"  choice      — synthesized malicious-replica
+//                       behaviour (protocol-aware tool class, §5):
+//                       0 none, 1 slow primary, 2 slow primary + colluding
+//                       client, 3 spurious view changes, 4 silent prepares,
+//                       5 equivocating primary, 6 one fast-clock backup,
+//                       7 f+1 fast-clock backups
+//   "drop_probability"  range       — percent of all traffic dropped
+//                       (network-control tool class, §2)
+//   "reorder_intensity" range       — percent of messages delayed into a
+//                       reorder window (message-reordering tool, §5)
+//   "tamper_probability" range      — percent of messages with one random
+//                       bit flipped (blind fuzzing, the weakest §4 tool)
+//
+// The impact metric is normalized damage: 1 − throughput / baseline, where
+// the baseline is the same deployment with every tool disabled (cached per
+// client population).
+#pragma once
+
+#include <map>
+#include <utility>
+
+#include "avd/executor.h"
+#include "pbft/deployment.h"
+
+namespace avd::core {
+
+struct PbftExecutorOptions {
+  /// PBFT protocol parameters. Timeouts default to a 10x scale-down of the
+  /// 5 s production default so one test needs only ~2 virtual seconds; the
+  /// attack dynamics depend on timeout/retransmission/latency *ratios*.
+  pbft::Config pbft;
+  sim::LinkModel link{sim::usec(500), sim::usec(100)};
+  sim::Time clientRetx = sim::msec(100);
+  sim::Time warmup = sim::msec(250);
+  sim::Time measure = sim::msec(2000);
+  pbft::ServiceKind service = pbft::ServiceKind::kCounter;
+  std::uint64_t baseSeed = 1;
+  /// Defaults when the hyperspace lacks the corresponding dimension.
+  std::uint32_t defaultCorrectClients = 20;
+  std::uint32_t defaultMaliciousClients = 1;
+
+  PbftExecutorOptions() {
+    pbft.f = 1;
+    pbft.requestTimeout = sim::msec(500);
+    pbft.viewChangeTimeout = sim::msec(500);
+  }
+};
+
+class PbftAttackExecutor final : public ScenarioExecutor {
+ public:
+  PbftAttackExecutor(Hyperspace space, PbftExecutorOptions options = {});
+
+  Outcome execute(const Point& point) override;
+  const Hyperspace& space() const noexcept override { return space_; }
+
+  /// Baseline (no-attack) throughput for a client population; cached.
+  double baselineFor(std::uint32_t correctClients,
+                     std::uint32_t maliciousClients);
+
+  std::uint64_t executedCount() const noexcept { return executed_; }
+  const PbftExecutorOptions& options() const noexcept { return options_; }
+
+  /// The deployment a point denotes (exposed for tests and debugging).
+  pbft::DeploymentConfig buildConfig(const Point& point) const;
+
+ private:
+  pbft::RunResult runConfigured(const pbft::DeploymentConfig& config,
+                                const Point* point) const;
+
+  Hyperspace space_;
+  PbftExecutorOptions options_;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, double> baselineCache_;
+  std::uint64_t executed_ = 0;
+};
+
+/// The paper's §6 experiment space: 4096 Gray-coded mask values x 25 client
+/// counts (10..250 step 10) x {1,2} malicious clients = 204,800 scenarios.
+Hyperspace makePaperMacHyperspace();
+
+/// The Figure 3 subspace: 1024 mask values x client counts 10..100 step 10,
+/// one malicious client.
+Hyperspace makeFigure3Subspace();
+
+}  // namespace avd::core

@@ -1,0 +1,95 @@
+#include "avd/plugin.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/gray_code.h"
+
+namespace avd::core {
+
+namespace {
+
+/// Distance-scaled step size: at least 1, at most half the dimension.
+std::uint64_t stepSize(double distance, std::uint64_t cardinality,
+                       util::Rng& rng) {
+  const double maxStep =
+      std::max(1.0, static_cast<double>(cardinality) / 2.0 * distance);
+  // Uniform in [1, maxStep]: a "strong" mutation may still land nearby, but
+  // its expected displacement grows with distance.
+  return 1 + rng.below(static_cast<std::uint64_t>(maxStep));
+}
+
+/// Reflects `index + delta` (signed) back into [0, cardinality).
+std::uint64_t reflect(std::uint64_t index, std::int64_t delta,
+                      std::uint64_t cardinality) {
+  std::int64_t v = static_cast<std::int64_t>(index) + delta;
+  const auto hi = static_cast<std::int64_t>(cardinality) - 1;
+  while (v < 0 || v > hi) {
+    if (v < 0) v = -v;
+    if (v > hi) v = 2 * hi - v;
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace
+
+void IndexStepPlugin::mutate(const Hyperspace& space, Point& point,
+                             double distance, util::Rng& rng) const {
+  const Dimension& dimension = space.dimension(dimension_);
+  if (dimension.cardinality() < 2) return;
+  const std::uint64_t step = stepSize(distance, dimension.cardinality(), rng);
+  const std::int64_t delta = rng.chance(0.5)
+                                 ? static_cast<std::int64_t>(step)
+                                 : -static_cast<std::int64_t>(step);
+  point[dimension_] =
+      reflect(point[dimension_], delta, dimension.cardinality());
+}
+
+void ResamplePlugin::mutate(const Hyperspace& space, Point& point,
+                            double distance, util::Rng& rng) const {
+  const Dimension& dimension = space.dimension(dimension_);
+  if (dimension.cardinality() < 2) return;
+  // Low distance -> usually keep the parent's value; high -> resample.
+  if (!rng.chance(std::max(distance, 0.15))) return;
+  std::uint64_t index = rng.below(dimension.cardinality() - 1);
+  if (index >= point[dimension_]) ++index;  // exclude the current value
+  point[dimension_] = index;
+}
+
+void BinaryMaskFlipPlugin::mutate(const Hyperspace& space, Point& point,
+                                  double distance, util::Rng& rng) const {
+  const Dimension& dimension = space.dimension(dimension_);
+  const std::uint32_t bits = dimension.bits();
+  if (bits == 0) return;
+  const auto flips = static_cast<std::uint32_t>(std::max(
+      1.0, std::round(distance * static_cast<double>(bits))));
+  // Work in mask (value) space, then map back to the Gray index that
+  // produces the new mask.
+  std::uint64_t mask = util::toGray(point[dimension_]);
+  for (std::uint32_t i = 0; i < flips; ++i) {
+    mask ^= std::uint64_t{1} << rng.below(bits);
+  }
+  point[dimension_] = util::fromGray(mask);
+}
+
+std::vector<PluginPtr> defaultPlugins(const Hyperspace& space) {
+  std::vector<PluginPtr> plugins;
+  for (std::size_t i = 0; i < space.dimensionCount(); ++i) {
+    const Dimension& dimension = space.dimension(i);
+    const std::string pluginName = "step:" + dimension.name();
+    switch (dimension.kind()) {
+      case Dimension::Kind::kRange:
+      case Dimension::Kind::kGrayBitmask:
+        plugins.push_back(
+            std::make_shared<IndexStepPlugin>(pluginName, i));
+        break;
+      case Dimension::Kind::kChoice:
+        plugins.push_back(std::make_shared<ResamplePlugin>(
+            "resample:" + dimension.name(), i));
+        break;
+    }
+  }
+  return plugins;
+}
+
+}  // namespace avd::core

@@ -1,0 +1,97 @@
+// Mutation plugins (§3).
+//
+// "The interaction between the Test Controller and the individual testing
+// tools is done through specialized plugins. The Controller has a high-level
+// view on the testing process, leaving the details of each particular tool
+// to the plugins."
+//
+// A plugin knows how to mutate the parameters it owns, honouring the
+// controller's mutateDistance contract: distance near 0 must produce a
+// scenario close to its parent (in the tool's own notion of closeness —
+// one Gray bit flip, a neighbouring call number, one transposition...),
+// distance near 1 a far-away one.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "avd/hyperspace.h"
+#include "common/rng.h"
+
+namespace avd::core {
+
+class MutationPlugin {
+ public:
+  virtual ~MutationPlugin() = default;
+
+  virtual std::string_view name() const noexcept = 0;
+
+  /// Mutates `point` in place. `distance` in [0, 1] scales how far the
+  /// child may stray from the parent along this plugin's parameters.
+  virtual void mutate(const Hyperspace& space, Point& point, double distance,
+                      util::Rng& rng) const = 0;
+};
+
+using PluginPtr = std::shared_ptr<const MutationPlugin>;
+
+/// Steps one dimension's *index* by a distance-scaled delta with reflection
+/// at the bounds. On a grayBitmask dimension a unit step flips exactly one
+/// mask bit — the paper's neighbourhood; on a range dimension it moves to
+/// the adjacent parameter value.
+class IndexStepPlugin final : public MutationPlugin {
+ public:
+  IndexStepPlugin(std::string name, std::size_t dimension)
+      : name_(std::move(name)), dimension_(dimension) {}
+
+  std::string_view name() const noexcept override { return name_; }
+  void mutate(const Hyperspace& space, Point& point, double distance,
+              util::Rng& rng) const override;
+
+ private:
+  std::string name_;
+  std::size_t dimension_;
+};
+
+/// Resamples one dimension uniformly (used for small categorical
+/// dimensions, where "distance" has no metric meaning; the distance only
+/// scales the probability of changing at all).
+class ResamplePlugin final : public MutationPlugin {
+ public:
+  ResamplePlugin(std::string name, std::size_t dimension)
+      : name_(std::move(name)), dimension_(dimension) {}
+
+  std::string_view name() const noexcept override { return name_; }
+  void mutate(const Hyperspace& space, Point& point, double distance,
+              util::Rng& rng) const override;
+
+ private:
+  std::string name_;
+  std::size_t dimension_;
+};
+
+/// Ablation plugin: mutates a grayBitmask dimension by flipping
+/// distance-scaled *random mask bits* directly (binary neighbourhood)
+/// instead of stepping through the Gray-coded index space. Exists to
+/// quantify what the Gray encoding buys the exploration (DESIGN.md §5.3).
+class BinaryMaskFlipPlugin final : public MutationPlugin {
+ public:
+  BinaryMaskFlipPlugin(std::string name, std::size_t dimension)
+      : name_(std::move(name)), dimension_(dimension) {}
+
+  std::string_view name() const noexcept override { return name_; }
+  void mutate(const Hyperspace& space, Point& point, double distance,
+              util::Rng& rng) const override;
+
+ private:
+  std::string name_;
+  std::size_t dimension_;
+};
+
+/// Builds the default plugin set for a hyperspace: an IndexStepPlugin per
+/// range/gray dimension and a ResamplePlugin per choice dimension.
+std::vector<PluginPtr> defaultPlugins(const Hyperspace& space);
+
+}  // namespace avd::core

@@ -1,0 +1,94 @@
+#include "avd/quorum_executor.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace avd::core {
+
+QuorumApiExecutor::QuorumApiExecutor(Hyperspace space,
+                                     QuorumExecutorOptions options)
+    : space_(std::move(space)), options_(std::move(options)) {}
+
+quorum::QuorumConfig QuorumApiExecutor::buildConfig(const Point& point) const {
+  quorum::QuorumConfig config = options_.base;
+
+  const auto inflationLog2 = space_.valueOf(point, "ts_inflation_log2", 0);
+  if (inflationLog2 > 0) {
+    config.maliciousClients = std::max(1u, config.maliciousClients);
+    config.maliciousBehavior.timestampInflation =
+        sim::Time{1} << std::min<std::int64_t>(inflationLog2, 62);
+    config.maliciousBehavior.victimKeys = static_cast<std::uint32_t>(
+        std::max<std::int64_t>(1, space_.valueOf(point, "victim_keys", 1)));
+    // Cycle fast enough to cover every victim key within the warmup.
+    config.maliciousBehavior.poisonInterval = sim::msec(30);
+  }
+
+  switch (space_.valueOf(point, "q_replica_behavior", 0)) {
+    case 0:
+      break;
+    case 1: {  // one silent replica: inside the quorum slack
+      quorum::QReplicaBehavior silent;
+      silent.silent = true;
+      config.replicaBehaviors[config.replicas - 1] = silent;
+      break;
+    }
+    case 2: {  // N-W+1 silent replicas: write quorum unreachable
+      quorum::QReplicaBehavior silent;
+      silent.silent = true;
+      const std::uint32_t count = config.replicas - config.writeQuorum + 1;
+      for (std::uint32_t i = 0; i < count; ++i) {
+        config.replicaBehaviors[config.replicas - 1 - i] = silent;
+      }
+      break;
+    }
+    case 3: {  // one fabricating replica
+      quorum::QReplicaBehavior fabricator;
+      fabricator.fabricateReads = true;
+      config.replicaBehaviors[config.replicas - 1] = fabricator;
+      break;
+    }
+    default:
+      break;
+  }
+
+  config.seed = util::hashCombine(options_.baseSeed, space_.pointHash(point));
+  return config;
+}
+
+double QuorumApiExecutor::baselineOps() {
+  if (!baselineOps_) {
+    quorum::QuorumConfig config = options_.base;
+    config.seed = util::hashCombine(options_.baseSeed, 0x9e3779b9);
+    baselineOps_ = quorum::runQuorumScenario(config).opsPerSec;
+  }
+  return *baselineOps_;
+}
+
+Outcome QuorumApiExecutor::execute(const Point& point) {
+  const quorum::QuorumResult result =
+      quorum::runQuorumScenario(buildConfig(point));
+
+  Outcome outcome;
+  outcome.throughputRps = result.opsPerSec;
+  outcome.avgLatencySec = result.avgLatencySec;
+  const double baseline = baselineOps();
+  const double throughputDamage =
+      baseline > 0
+          ? std::clamp(1.0 - result.opsPerSec / baseline, 0.0, 1.0)
+          : 0.0;
+  // Correctness damage counts fully: serving poisoned data at full speed is
+  // at least as bad as serving nothing.
+  outcome.impact = std::max(throughputDamage, result.staleFraction);
+  return outcome;
+}
+
+Hyperspace makeQuorumApiHyperspace() {
+  Hyperspace space;
+  space.add(Dimension::range("ts_inflation_log2", 0, 40, 1));
+  space.add(Dimension::range("victim_keys", 1, 8, 1));
+  space.add(Dimension::choice("q_replica_behavior", {0, 1, 2, 3}));
+  return space;
+}
+
+}  // namespace avd::core

@@ -1,0 +1,47 @@
+// Executor binding AVD scenarios to the quorum KV store — the "evaluate an
+// API before deployment" use case of §2. Impact here is the worse of two
+// damages: lost throughput (availability attacks) and the stale-read
+// fraction (correctness attacks — data an honest client wrote and can no
+// longer see).
+//
+// Dimensions (by name):
+//   "ts_inflation_log2" range 0..40 — poisoned writes carry a version of
+//                       now + 2^v microseconds (0 = honest client);
+//   "victim_keys"       range       — how many honest keys get poisoned;
+//   "q_replica_behavior" choice     — 0 none, 1 one silent replica,
+//                       2 N-W+1 silent replicas (quorum starvation),
+//                       3 one fabricating replica (unauthenticated reads).
+#pragma once
+
+#include <optional>
+
+#include "avd/executor.h"
+#include "quorum/deployment.h"
+
+namespace avd::core {
+
+struct QuorumExecutorOptions {
+  quorum::QuorumConfig base;  // replicas/quorums/clients/windows
+  std::uint64_t baseSeed = 1;
+};
+
+class QuorumApiExecutor final : public ScenarioExecutor {
+ public:
+  QuorumApiExecutor(Hyperspace space, QuorumExecutorOptions options = {});
+
+  Outcome execute(const Point& point) override;
+  const Hyperspace& space() const noexcept override { return space_; }
+
+  quorum::QuorumConfig buildConfig(const Point& point) const;
+  double baselineOps();
+
+ private:
+  Hyperspace space_;
+  QuorumExecutorOptions options_;
+  std::optional<double> baselineOps_;
+};
+
+/// The assessment space used by the bench and example.
+Hyperspace makeQuorumApiHyperspace();
+
+}  // namespace avd::core

@@ -1,0 +1,110 @@
+#include "avd/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+namespace avd::core {
+
+namespace {
+
+void appendDouble(std::string& out, double value) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  out += buffer;
+}
+
+}  // namespace
+
+std::string historyCsv(const Hyperspace& space,
+                       const std::vector<TestRecord>& history) {
+  std::string out = "test,generatedBy";
+  for (std::size_t d = 0; d < space.dimensionCount(); ++d) {
+    out += ',';
+    out += space.dimension(d).name();
+  }
+  out += ",impact,bestImpact,throughputRps,avgLatencySec,viewChanges,"
+         "safetyViolated\n";
+
+  for (std::size_t i = 0; i < history.size(); ++i) {
+    const TestRecord& record = history[i];
+    out += std::to_string(i + 1);
+    out += ',';
+    out += record.generatedBy;
+    for (std::size_t d = 0; d < space.dimensionCount(); ++d) {
+      out += ',';
+      out += std::to_string(space.dimension(d).value(record.point[d]));
+    }
+    out += ',';
+    appendDouble(out, record.outcome.impact);
+    out += ',';
+    appendDouble(out, record.bestImpactSoFar);
+    out += ',';
+    appendDouble(out, record.outcome.throughputRps);
+    out += ',';
+    appendDouble(out, record.outcome.avgLatencySec);
+    out += ',';
+    out += std::to_string(record.outcome.viewChanges);
+    out += ',';
+    out += record.outcome.safetyViolated ? '1' : '0';
+    out += '\n';
+  }
+  return out;
+}
+
+std::string summaryJson(const Hyperspace& space,
+                        const std::vector<TestRecord>& history,
+                        double strongThreshold) {
+  const TestRecord* best = nullptr;
+  std::size_t firstStrong = 0;
+  std::size_t strong = 0;
+  double maxImpact = 0;
+  for (std::size_t i = 0; i < history.size(); ++i) {
+    const TestRecord& record = history[i];
+    if (best == nullptr || record.outcome.impact > best->outcome.impact) {
+      best = &record;
+    }
+    maxImpact = std::max(maxImpact, record.outcome.impact);
+    if (record.outcome.impact >= strongThreshold) {
+      ++strong;
+      if (firstStrong == 0) firstStrong = i + 1;
+    }
+  }
+
+  std::string out = "{\n";
+  out += "  \"tests\": " + std::to_string(history.size()) + ",\n";
+  out += "  \"maxImpact\": ";
+  appendDouble(out, maxImpact);
+  out += ",\n  \"strongThreshold\": ";
+  appendDouble(out, strongThreshold);
+  out += ",\n  \"strongTests\": " + std::to_string(strong);
+  out += ",\n  \"firstStrongTest\": " +
+         (firstStrong > 0 ? std::to_string(firstStrong) : std::string("null"));
+  out += ",\n  \"best\": ";
+  if (best == nullptr) {
+    out += "null";
+  } else {
+    out += "{\n";
+    for (std::size_t d = 0; d < space.dimensionCount(); ++d) {
+      out += "    \"" + space.dimension(d).name() + "\": " +
+             std::to_string(space.dimension(d).value(best->point[d])) + ",\n";
+    }
+    out += "    \"impact\": ";
+    appendDouble(out, best->outcome.impact);
+    out += ",\n    \"throughputRps\": ";
+    appendDouble(out, best->outcome.throughputRps);
+    out += ",\n    \"generatedBy\": \"" + best->generatedBy + "\"\n  }";
+  }
+  out += "\n}\n";
+  return out;
+}
+
+bool writeFile(const std::string& path, const std::string& contents) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return false;
+  file.write(contents.data(),
+             static_cast<std::streamsize>(contents.size()));
+  return static_cast<bool>(file);
+}
+
+}  // namespace avd::core

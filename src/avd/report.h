@@ -1,0 +1,30 @@
+// Result export: CSV for the per-test history (one row per executed
+// scenario, ready for gnuplot/pandas) and a compact JSON summary. Used by
+// the CLI and available to any embedding program.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "avd/controller.h"
+#include "avd/hyperspace.h"
+
+namespace avd::core {
+
+/// CSV with header:
+///   test,generatedBy,<dim names...>,impact,bestImpact,throughputRps,
+///   avgLatencySec,viewChanges,safetyViolated
+std::string historyCsv(const Hyperspace& space,
+                       const std::vector<TestRecord>& history);
+
+/// One-object JSON summary: budget, max impact, first crossing of the
+/// given threshold, best point (by dimension name), strong-test fraction.
+std::string summaryJson(const Hyperspace& space,
+                        const std::vector<TestRecord>& history,
+                        double strongThreshold = 0.9);
+
+/// Writes a string to a file; returns false (and leaves no partial file
+/// guarantees) on I/O failure.
+bool writeFile(const std::string& path, const std::string& contents);
+
+}  // namespace avd::core

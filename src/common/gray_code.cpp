@@ -1,0 +1,17 @@
+#include "common/gray_code.h"
+
+#include <bit>
+
+namespace avd::util {
+
+std::uint64_t fromGray(std::uint64_t gray) noexcept {
+  std::uint64_t binary = gray;
+  for (int shift = 1; shift < 64; shift <<= 1) binary ^= binary >> shift;
+  return binary;
+}
+
+int hammingDistance(std::uint64_t a, std::uint64_t b) noexcept {
+  return std::popcount(a ^ b);
+}
+
+}  // namespace avd::util

@@ -1,0 +1,23 @@
+// Reflected binary Gray code.
+//
+// The paper encodes the MAC-corruption bitmask dimension in Gray code so
+// that a unit step in the explored dimension flips exactly one corruption
+// bit, giving the hill-climbing controller a smooth neighbourhood (§6).
+#pragma once
+
+#include <cstdint>
+
+namespace avd::util {
+
+/// Binary value -> Gray code.
+constexpr std::uint64_t toGray(std::uint64_t binary) noexcept {
+  return binary ^ (binary >> 1);
+}
+
+/// Gray code -> binary value.
+std::uint64_t fromGray(std::uint64_t gray) noexcept;
+
+/// Number of bits that differ between two words (Hamming distance).
+int hammingDistance(std::uint64_t a, std::uint64_t b) noexcept;
+
+}  // namespace avd::util

@@ -1,0 +1,30 @@
+#include "common/hash.h"
+
+namespace avd::util {
+
+namespace {
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+}  // namespace
+
+std::uint64_t fnv1a(std::span<const std::uint8_t> data) noexcept {
+  std::uint64_t h = kFnvOffset;
+  for (std::uint8_t b : data) {
+    h ^= b;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a(std::string_view s) noexcept {
+  return fnv1a(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+}
+
+std::uint64_t hashCombine(std::uint64_t seed, std::uint64_t value) noexcept {
+  // 64-bit variant of boost::hash_combine using the golden-ratio constant.
+  seed ^= value + 0x9E3779B97F4A7C15ULL + (seed << 12) + (seed >> 4);
+  return seed;
+}
+
+}  // namespace avd::util

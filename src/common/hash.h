@@ -1,0 +1,19 @@
+// Non-cryptographic hashing used for digests, deduplication keys and
+// deterministic seed derivation. Cryptographic-strength MACs live in
+// src/crypto; this header is for identity, not authentication.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace avd::util {
+
+/// 64-bit FNV-1a over raw bytes.
+std::uint64_t fnv1a(std::span<const std::uint8_t> data) noexcept;
+std::uint64_t fnv1a(std::string_view s) noexcept;
+
+/// Order-sensitive combination of two 64-bit hashes (boost-style mix).
+std::uint64_t hashCombine(std::uint64_t seed, std::uint64_t value) noexcept;
+
+}  // namespace avd::util

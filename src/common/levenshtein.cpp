@@ -1,0 +1,10 @@
+#include "common/levenshtein.h"
+
+namespace avd::util {
+
+std::size_t levenshtein(std::string_view a, std::string_view b) {
+  return levenshtein(std::span<const char>(a.data(), a.size()),
+                     std::span<const char>(b.data(), b.size()));
+}
+
+}  // namespace avd::util

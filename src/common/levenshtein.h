@@ -1,0 +1,41 @@
+// Levenshtein (edit) distance over arbitrary element sequences.
+//
+// The message-reordering tool (§5) expresses mutateDistance as the edit
+// distance between the original delivery order of a message stream and its
+// mutation; the generic implementation here is shared by that tool and by
+// the tests that validate the metric axioms.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <numeric>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace avd::util {
+
+/// Edit distance between two element spans with unit insert/delete/replace
+/// cost. O(|a|*|b|) time, O(min(|a|,|b|)) space.
+template <typename T>
+std::size_t levenshtein(std::span<const T> a, std::span<const T> b) {
+  if (a.size() < b.size()) return levenshtein(b, a);
+  // b is the shorter sequence; keep one rolling row over it.
+  std::vector<std::size_t> row(b.size() + 1);
+  std::iota(row.begin(), row.end(), std::size_t{0});
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diagonal = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t previous = row[j];
+      const std::size_t replace = diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, replace});
+      diagonal = previous;
+    }
+  }
+  return row[b.size()];
+}
+
+std::size_t levenshtein(std::string_view a, std::string_view b);
+
+}  // namespace avd::util

@@ -1,0 +1,24 @@
+// Fundamental identifier and scalar types shared across the AVD libraries.
+#pragma once
+
+#include <cstdint>
+
+namespace avd::util {
+
+/// Identifier of a node (replica or client) in a simulated deployment.
+/// Node ids are dense: replicas occupy [0, n) and clients follow.
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+/// PBFT view number.
+using ViewId = std::uint64_t;
+
+/// PBFT sequence number assigned by the primary.
+using SeqNum = std::uint64_t;
+
+/// Client-local request timestamp (monotonically increasing per client).
+using RequestId = std::uint64_t;
+
+}  // namespace avd::util

@@ -1,0 +1,29 @@
+#include "crypto/authenticator.h"
+
+namespace avd::crypto {
+
+MacTag MacService::generate(util::NodeId target, std::uint64_t digest) {
+  const std::uint64_t callIndex = generateCalls_++;
+  MacTag tag = computeMac(keychain_->sessionKey(self_, target), digest);
+  if (faultPolicy_ && faultPolicy_->shouldCorrupt(callIndex, target)) {
+    tag = ~tag;
+  }
+  return tag;
+}
+
+bool MacService::verify(util::NodeId from, std::uint64_t digest,
+                        MacTag tag) const noexcept {
+  return computeMac(keychain_->sessionKey(self_, from), digest) == tag;
+}
+
+Authenticator MacService::authenticate(std::uint64_t digest,
+                                       std::uint32_t replicaCount) {
+  Authenticator auth;
+  auth.tags.reserve(replicaCount);
+  for (util::NodeId replica = 0; replica < replicaCount; ++replica) {
+    auth.tags.push_back(generate(replica, digest));
+  }
+  return auth;
+}
+
+}  // namespace avd::crypto

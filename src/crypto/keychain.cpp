@@ -1,0 +1,21 @@
+#include "crypto/keychain.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace avd::crypto {
+
+MacKey Keychain::sessionKey(util::NodeId a, util::NodeId b) const noexcept {
+  const util::NodeId lo = std::min(a, b);
+  const util::NodeId hi = std::max(a, b);
+  std::uint64_t state = masterSeed_ ^
+                        (static_cast<std::uint64_t>(lo) << 32) ^
+                        static_cast<std::uint64_t>(hi);
+  MacKey key;
+  key.k0 = util::splitmix64(state);
+  key.k1 = util::splitmix64(state);
+  return key;
+}
+
+}  // namespace avd::crypto

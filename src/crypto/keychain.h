@@ -1,0 +1,29 @@
+// Pairwise session-key derivation.
+//
+// Every ordered pair of nodes shares a symmetric session key, derived
+// deterministically from a deployment master seed. Both endpoints derive
+// the same key; no third node can (the simulator enforces this by routing
+// all MAC operations through each node's own MacService, which only exposes
+// keys involving that node).
+#pragma once
+
+#include "common/types.h"
+#include "crypto/mac.h"
+
+namespace avd::crypto {
+
+class Keychain {
+ public:
+  explicit Keychain(std::uint64_t masterSeed) noexcept
+      : masterSeed_(masterSeed) {}
+
+  /// Session key shared by nodes `a` and `b`; symmetric in its arguments.
+  MacKey sessionKey(util::NodeId a, util::NodeId b) const noexcept;
+
+  std::uint64_t masterSeed() const noexcept { return masterSeed_; }
+
+ private:
+  std::uint64_t masterSeed_;
+};
+
+}  // namespace avd::crypto

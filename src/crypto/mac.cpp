@@ -1,0 +1,83 @@
+#include "crypto/mac.h"
+
+#include <cstring>
+
+namespace avd::crypto {
+
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int b) noexcept {
+  return (x << b) | (x >> (64 - b));
+}
+
+struct SipState {
+  std::uint64_t v0, v1, v2, v3;
+
+  explicit SipState(const MacKey& key) noexcept
+      : v0(key.k0 ^ 0x736f6d6570736575ULL),
+        v1(key.k1 ^ 0x646f72616e646f6dULL),
+        v2(key.k0 ^ 0x6c7967656e657261ULL),
+        v3(key.k1 ^ 0x7465646279746573ULL) {}
+
+  void round() noexcept {
+    v0 += v1;
+    v1 = rotl(v1, 13);
+    v1 ^= v0;
+    v0 = rotl(v0, 32);
+    v2 += v3;
+    v3 = rotl(v3, 16);
+    v3 ^= v2;
+    v0 += v3;
+    v3 = rotl(v3, 21);
+    v3 ^= v0;
+    v2 += v1;
+    v1 = rotl(v1, 17);
+    v1 ^= v2;
+    v2 = rotl(v2, 32);
+  }
+
+  void absorb(std::uint64_t m) noexcept {
+    v3 ^= m;
+    round();
+    round();
+    v0 ^= m;
+  }
+
+  std::uint64_t finalize() noexcept {
+    v2 ^= 0xff;
+    round();
+    round();
+    round();
+    round();
+    return v0 ^ v1 ^ v2 ^ v3;
+  }
+};
+
+}  // namespace
+
+MacTag computeMac(const MacKey& key, std::span<const std::uint8_t> data) noexcept {
+  SipState state(key);
+  const std::size_t full = data.size() / 8;
+  for (std::size_t i = 0; i < full; ++i) {
+    std::uint64_t m;
+    std::memcpy(&m, data.data() + i * 8, 8);
+    state.absorb(m);
+  }
+  // Final block: remaining bytes plus the length in the top byte, per the
+  // SipHash specification.
+  std::uint64_t last = static_cast<std::uint64_t>(data.size() & 0xff) << 56;
+  const std::size_t tail = data.size() % 8;
+  for (std::size_t i = 0; i < tail; ++i) {
+    last |= static_cast<std::uint64_t>(data[full * 8 + i]) << (8 * i);
+  }
+  state.absorb(last);
+  return state.finalize();
+}
+
+MacTag computeMac(const MacKey& key, std::uint64_t digest) noexcept {
+  std::uint8_t buf[8];
+  std::memcpy(buf, &digest, 8);
+  return computeMac(key, std::span<const std::uint8_t>(buf, 8));
+}
+
+}  // namespace avd::crypto

@@ -1,0 +1,34 @@
+// Keyed message authentication codes.
+//
+// PBFT authenticates all protocol traffic with pairwise-session-key MACs
+// (Castro & Liskov use UMAC; Aardvark's "Big MAC" attack exploits the fact
+// that only the key holder can validate a tag). The attacks AVD reproduces
+// depend solely on *who can verify which tag*, not on cryptographic
+// strength, so a SipHash-2-4 construction with 128-bit keys and 64-bit tags
+// stands in for UMAC (see DESIGN.md substitution table).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace avd::crypto {
+
+/// 128-bit symmetric MAC key.
+struct MacKey {
+  std::uint64_t k0 = 0;
+  std::uint64_t k1 = 0;
+
+  friend bool operator==(const MacKey&, const MacKey&) = default;
+};
+
+/// 64-bit authentication tag.
+using MacTag = std::uint64_t;
+
+/// SipHash-2-4 over `data` under `key`.
+MacTag computeMac(const MacKey& key, std::span<const std::uint8_t> data) noexcept;
+
+/// Convenience overload for hashing a pre-computed 64-bit digest, the common
+/// case in the protocol layer (MACs cover message digests, not full bodies).
+MacTag computeMac(const MacKey& key, std::uint64_t digest) noexcept;
+
+}  // namespace avd::crypto

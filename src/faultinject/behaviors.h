@@ -1,0 +1,55 @@
+// Pre-built malicious-node configurations for the attacks in the paper.
+//
+// These are the "synthesized malicious entities" AVD discovers; packaging
+// them as deployment builders lets examples, tests and benches reproduce
+// each attack directly, and gives the AVD executor named building blocks.
+#pragma once
+
+#include <cstdint>
+
+#include "pbft/deployment.h"
+
+namespace avd::fi {
+
+/// Mask whose corruption pattern, for an n-replica deployment under a
+/// `width`-bit mask, invalidates every authenticator entry EXCEPT the entry
+/// for replica `validReplica`, in every transmission round. Against the
+/// primary == validReplica this is the full Big MAC attack ("corrupting the
+/// MAC in all messages sent by a malicious client", §6): the primary orders
+/// the request, no backup can EVER authenticate it (no retransmission round
+/// helps), the sequence number stalls, the request timers force a view
+/// change — and the historical implementation crashes in the view-change
+/// path (Config::viewChangeCrashBug), killing the deployment's quorum.
+std::uint64_t bigMacMaskValidOnlyFor(util::NodeId validReplica,
+                                     std::uint32_t replicas,
+                                     std::uint32_t width = 12);
+
+/// Round-rotating mask for n=4 under 12 bits: round 0 is valid only for
+/// replica 0, round 1 only for replica 1, round 2 only for replicas 2,3.
+/// Each replica authenticates SOME transmission round, so digest matching
+/// resolves every parked pre-prepare within a retransmission cycle and no
+/// view change ever fires — the paper's "no view change if every
+/// retransmission from the malicious client was correct" observation. The
+/// attack is nonetheless damaging in a stealthier way: in-order execution
+/// stalls ~2 retransmission rounds behind every poisoned sequence number,
+/// costing an order of magnitude of throughput with zero protocol alarms.
+std::uint64_t rotatingBigMacMask();
+
+/// Big MAC deployment: `correctClients` plus one malicious client running
+/// the MAC-corruption tool with `mask`.
+pbft::DeploymentConfig makeBigMacScenario(std::uint32_t correctClients,
+                                          std::uint64_t mask,
+                                          std::uint64_t seed = 1);
+
+/// Slow-primary deployment (§6): replica 0 is a malicious primary dripping
+/// one request per timer period. With `colluding` a malicious client is
+/// added whose requests are the only ones the primary serves (useful
+/// throughput -> 0); without it the primary serves one correct request per
+/// period (~0.2 req/s at the 5 s default timer). `perRequestTimers` applies
+/// the bug fix for the ablation.
+pbft::DeploymentConfig makeSlowPrimaryScenario(std::uint32_t correctClients,
+                                               bool colluding,
+                                               bool perRequestTimers,
+                                               std::uint64_t seed = 1);
+
+}  // namespace avd::fi

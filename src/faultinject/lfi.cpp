@@ -1,0 +1,51 @@
+#include "faultinject/lfi.h"
+
+namespace avd::fi {
+
+void FaultPlan::add(FaultSpec spec) {
+  points_[spec.function].specs.push_back(std::move(spec));
+}
+
+void FaultPlan::clear() { points_.clear(); }
+
+int FaultPlan::shouldFail(std::string_view function) {
+  // Calls are counted even at points with no specs: call counts are the
+  // coordinates of the LFI hyperspace, so the tester needs them to write
+  // the next plan.
+  auto it = points_.find(function);
+  if (it == points_.end()) {
+    it = points_.emplace(std::string(function), PointState{}).first;
+  }
+  PointState& point = it->second;
+  const std::uint64_t call = point.calls++;
+  for (const FaultSpec& spec : point.specs) {
+    if (call == spec.callNumber ||
+        (spec.persistent && call >= spec.callNumber)) {
+      ++injected_;
+      return spec.errorCode;
+    }
+  }
+  return 0;
+}
+
+std::uint64_t FaultPlan::callCount(std::string_view function) const {
+  const auto it = points_.find(function);
+  return it == points_.end() ? 0 : it->second.calls;
+}
+
+std::size_t FaultPlan::specCount() const noexcept {
+  std::size_t count = 0;
+  for (const auto& [name, point] : points_) count += point.specs.size();
+  return count;
+}
+
+sim::NetworkFault::Decision SendFaultAdapter::onMessage(
+    util::NodeId from, util::NodeId to, const sim::MessagePtr&, util::Rng&) {
+  Decision decision;
+  if (plan_ != nullptr && filter_.matches(from, to)) {
+    decision.drop = plan_->shouldFail(kPoint) != 0;
+  }
+  return decision;
+}
+
+}  // namespace avd::fi

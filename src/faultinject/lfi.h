@@ -1,0 +1,76 @@
+// Library-level fault injection (LFI-style, §5).
+//
+// LFI [Marinescu & Candea, USENIX ATC'10] injects errors at library-call
+// boundaries, parameterized by (function, error code, call number) — the
+// three hyperspace dimensions the paper names for this tool class. Our
+// simulated nodes make no real libc calls, so the same plan machinery is
+// driven from instrumented seams of the substrate instead: the shipped
+// adapter fails `net::send` calls (message silently lost, as a failed
+// sendto() would be), which exercises precisely the retransmission and
+// timeout recovery paths such tools target. New seams can be added by
+// consulting the plan from any component.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "faultinject/network_faults.h"
+#include "sim/network.h"
+
+namespace avd::fi {
+
+/// One injection directive.
+struct FaultSpec {
+  std::string function;      // injection-point name, e.g. "net::send"
+  std::uint64_t callNumber;  // zero-based call index at which to inject
+  int errorCode = -1;        // simulated errno handed to the caller
+  bool persistent = false;   // if true, also inject at every later call
+};
+
+/// A set of injection directives with per-point call counting. Components
+/// call shouldFail() at each instrumented call site; the plan decides.
+class FaultPlan {
+ public:
+  void add(FaultSpec spec);
+  void clear();
+
+  /// Counts one call to `function` and returns the simulated error code, or
+  /// 0 when the call should succeed.
+  int shouldFail(std::string_view function);
+
+  std::uint64_t callCount(std::string_view function) const;
+  std::uint64_t injectedCount() const noexcept { return injected_; }
+  std::size_t specCount() const noexcept;
+
+ private:
+  struct PointState {
+    std::vector<FaultSpec> specs;
+    std::uint64_t calls = 0;
+  };
+  // Transparent comparator so string_view lookups do not allocate.
+  std::map<std::string, PointState, std::less<>> points_;
+  std::uint64_t injected_ = 0;
+};
+
+/// Adapter exposing the plan's "net::send" point as a network fault: an
+/// injected error makes the send silently fail, like a dropped syscall.
+/// Counts only messages originating from `fromNodes` (empty = all).
+class SendFaultAdapter final : public sim::NetworkFault {
+ public:
+  SendFaultAdapter(FaultPlan* plan, FlowFilter filter = {}) noexcept
+      : plan_(plan), filter_(std::move(filter)) {}
+
+  Decision onMessage(util::NodeId from, util::NodeId to,
+                     const sim::MessagePtr& message, util::Rng& rng) override;
+
+  static constexpr std::string_view kPoint = "net::send";
+
+ private:
+  FaultPlan* plan_;
+  FlowFilter filter_;
+};
+
+}  // namespace avd::fi

@@ -1,0 +1,3 @@
+#include "faultinject/mac_corruptor.h"
+
+// Header-only logic; this translation unit anchors the vtable.

@@ -1,0 +1,52 @@
+// MAC-corruption fault injector (the tool used in the paper's evaluation).
+//
+// §6: "The parameter describing which MAC to corrupt is a 12-bit-wide bit
+// mask, where bit n decides whether to corrupt or not the (n mod 12)-th
+// call to the generateMAC function in the malicious client."
+//
+// A client request to n replicas makes n generateMAC calls (one authenticator
+// entry per replica), so with n = 4 the 12 bits cover three full
+// transmission rounds before the pattern repeats — which is why corruption
+// patterns that differ between the initial send and the retransmissions
+// produce such different protocol behaviour (and the vertical structure in
+// Figure 3).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "crypto/authenticator.h"
+
+namespace avd::fi {
+
+class MacCorruptionPolicy final : public crypto::MacFaultPolicy {
+ public:
+  /// `mask` is interpreted over `width` bits: generateMAC call k is
+  /// corrupted iff bit (k mod width) of `mask` is set.
+  explicit MacCorruptionPolicy(std::uint64_t mask,
+                               std::uint32_t width = 12) noexcept
+      : mask_(mask), width_(width == 0 ? 1 : width) {}
+
+  bool shouldCorrupt(std::uint64_t callIndex,
+                     util::NodeId /*target*/) override {
+    ++calls_;
+    return (mask_ >> (callIndex % width_)) & 1;
+  }
+
+  std::uint64_t mask() const noexcept { return mask_; }
+  std::uint32_t width() const noexcept { return width_; }
+  std::uint64_t observedCalls() const noexcept { return calls_; }
+
+ private:
+  std::uint64_t mask_;
+  std::uint32_t width_;
+  std::uint64_t calls_ = 0;
+};
+
+/// Convenience factory matching the paper's tool configuration.
+inline std::shared_ptr<MacCorruptionPolicy> makeMacCorruptor(
+    std::uint64_t mask, std::uint32_t width = 12) {
+  return std::make_shared<MacCorruptionPolicy>(mask, width);
+}
+
+}  // namespace avd::fi

@@ -1,0 +1,44 @@
+#include "faultinject/network_faults.h"
+
+namespace avd::fi {
+
+sim::NetworkFault::Decision DropFault::onMessage(util::NodeId from,
+                                                 util::NodeId to,
+                                                 const sim::MessagePtr&,
+                                                 util::Rng& rng) {
+  Decision decision;
+  if (filter_.matches(from, to) && rng.chance(probability_)) {
+    decision.drop = true;
+    ++dropped_;
+  }
+  return decision;
+}
+
+sim::NetworkFault::Decision DelayFault::onMessage(util::NodeId from,
+                                                  util::NodeId to,
+                                                  const sim::MessagePtr&,
+                                                  util::Rng& rng) {
+  Decision decision;
+  if (filter_.matches(from, to)) {
+    decision.extraDelay = fixed_;
+    if (randomSpan_ > 0) {
+      decision.extraDelay += static_cast<sim::Time>(
+          rng.below(static_cast<std::uint64_t>(randomSpan_) + 1));
+    }
+  }
+  return decision;
+}
+
+sim::NetworkFault::Decision PartitionFault::onMessage(util::NodeId from,
+                                                      util::NodeId to,
+                                                      const sim::MessagePtr&,
+                                                      util::Rng&) {
+  Decision decision;
+  if (healed_) return decision;
+  const bool crossAb = groupA_.contains(from) && groupB_.contains(to);
+  const bool crossBa = groupB_.contains(from) && groupA_.contains(to);
+  decision.drop = crossAb || crossBa;
+  return decision;
+}
+
+}  // namespace avd::fi

@@ -1,0 +1,80 @@
+// Network-level fault tools: probabilistic drops, fixed extra delay, and
+// partitions. These are the "control over the network" testing tools of §2
+// (an attacker's power ranges "from DoS attacks to taking control of
+// routers"). Each is a sim::NetworkFault hook; deployments can stack them.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <utility>
+
+#include "sim/network.h"
+
+namespace avd::fi {
+
+/// Selects which (from, to) flows a fault applies to. Default: everything.
+struct FlowFilter {
+  /// Matches when either set is empty or contains the respective endpoint.
+  std::set<util::NodeId> fromNodes;
+  std::set<util::NodeId> toNodes;
+
+  bool matches(util::NodeId from, util::NodeId to) const noexcept {
+    return (fromNodes.empty() || fromNodes.contains(from)) &&
+           (toNodes.empty() || toNodes.contains(to));
+  }
+};
+
+/// Drops matching messages with fixed probability.
+class DropFault final : public sim::NetworkFault {
+ public:
+  DropFault(double probability, FlowFilter filter = {}) noexcept
+      : probability_(probability), filter_(std::move(filter)) {}
+
+  Decision onMessage(util::NodeId from, util::NodeId to,
+                     const sim::MessagePtr& message, util::Rng& rng) override;
+
+  std::uint64_t dropped() const noexcept { return dropped_; }
+
+ private:
+  double probability_;
+  FlowFilter filter_;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Adds fixed + uniformly random extra delay to matching messages.
+class DelayFault final : public sim::NetworkFault {
+ public:
+  DelayFault(sim::Time fixed, sim::Time randomSpan = 0,
+             FlowFilter filter = {}) noexcept
+      : fixed_(fixed), randomSpan_(randomSpan), filter_(std::move(filter)) {}
+
+  Decision onMessage(util::NodeId from, util::NodeId to,
+                     const sim::MessagePtr& message, util::Rng& rng) override;
+
+ private:
+  sim::Time fixed_;
+  sim::Time randomSpan_;
+  FlowFilter filter_;
+};
+
+/// Cuts all traffic between two node groups (bidirectional). Nodes absent
+/// from both groups are unaffected. Can be healed mid-run.
+class PartitionFault final : public sim::NetworkFault {
+ public:
+  PartitionFault(std::set<util::NodeId> groupA, std::set<util::NodeId> groupB)
+      : groupA_(std::move(groupA)), groupB_(std::move(groupB)) {}
+
+  Decision onMessage(util::NodeId from, util::NodeId to,
+                     const sim::MessagePtr& message, util::Rng& rng) override;
+
+  void heal() noexcept { healed_ = true; }
+  bool healedState() const noexcept { return healed_; }
+
+ private:
+  std::set<util::NodeId> groupA_;
+  std::set<util::NodeId> groupB_;
+  bool healed_ = false;
+};
+
+}  // namespace avd::fi

@@ -1,0 +1,25 @@
+#include "faultinject/reorder.h"
+
+namespace avd::fi {
+
+sim::NetworkFault::Decision ReorderFault::onMessage(util::NodeId from,
+                                                    util::NodeId to,
+                                                    const sim::MessagePtr&,
+                                                    util::Rng& rng) {
+  Decision decision;
+  if (window_ > 0 && filter_.matches(from, to) && rng.chance(intensity_)) {
+    decision.extraDelay = static_cast<sim::Time>(
+        rng.below(static_cast<std::uint64_t>(window_) + 1));
+    ++perturbed_;
+  }
+  return decision;
+}
+
+sim::NetworkFault::Decision SequenceTap::onMessage(
+    util::NodeId from, util::NodeId to, const sim::MessagePtr& message,
+    util::Rng&) {
+  if (filter_.matches(from, to)) sendOrder_.push_back(message.get());
+  return Decision{};
+}
+
+}  // namespace avd::fi

@@ -1,0 +1,61 @@
+// Message-reordering tool (§5).
+//
+// Many distributed systems assume nothing about delivery order, so bugs can
+// hide in orderings the test network never produced. This tool perturbs
+// delivery by adding random extra delay (within `window`) to a fraction
+// (`intensity`) of matching messages; delivered streams then differ from
+// sent streams with an edit distance that grows with both parameters, which
+// is exactly the mutateDistance contract the paper assigns to reordering
+// tools ("the edit distance (Levenshtein distance) between two streams of
+// messages").
+#pragma once
+
+#include <vector>
+
+#include "faultinject/network_faults.h"
+#include "sim/network.h"
+
+namespace avd::fi {
+
+class ReorderFault final : public sim::NetworkFault {
+ public:
+  /// intensity in [0,1]: fraction of messages delayed; window: maximum extra
+  /// delay, i.e. how far a message can slip past its successors.
+  ReorderFault(double intensity, sim::Time window, FlowFilter filter = {})
+      : intensity_(intensity), window_(window), filter_(std::move(filter)) {}
+
+  Decision onMessage(util::NodeId from, util::NodeId to,
+                     const sim::MessagePtr& message, util::Rng& rng) override;
+
+  double intensity() const noexcept { return intensity_; }
+  sim::Time window() const noexcept { return window_; }
+  std::uint64_t perturbed() const noexcept { return perturbed_; }
+
+ private:
+  double intensity_;
+  sim::Time window_;
+  FlowFilter filter_;
+  std::uint64_t perturbed_ = 0;
+};
+
+/// Passive tap that records the *send order* of matching messages, for
+/// comparing against an observed delivery order with util::levenshtein.
+class SequenceTap final : public sim::NetworkFault {
+ public:
+  explicit SequenceTap(FlowFilter filter = {}) : filter_(std::move(filter)) {}
+
+  Decision onMessage(util::NodeId from, util::NodeId to,
+                     const sim::MessagePtr& message, util::Rng& rng) override;
+
+  /// Messages in send order, identified by object address (stable within a
+  /// run because payloads are shared immutable objects).
+  const std::vector<const sim::Message*>& sendOrder() const noexcept {
+    return sendOrder_;
+  }
+
+ private:
+  FlowFilter filter_;
+  std::vector<const sim::Message*> sendOrder_;
+};
+
+}  // namespace avd::fi

@@ -1,0 +1,89 @@
+#include "faultinject/tamper.h"
+
+namespace avd::fi {
+
+namespace {
+
+using pbft::MsgKind;
+
+std::uint64_t flippedBit(std::uint64_t value, util::Rng& rng) {
+  return value ^ (std::uint64_t{1} << rng.below(64));
+}
+
+/// Flips a bit either in the authenticator (common case — it is the bulk
+/// of the attack surface) or in the digest.
+template <typename M>
+void corruptAuthenticated(M& message, util::Rng& rng) {
+  if (!message.auth.tags.empty() && rng.chance(0.7)) {
+    auto& tag = message.auth.tags[rng.below(message.auth.tags.size())];
+    tag = flippedBit(tag, rng);
+  } else {
+    message.digest = flippedBit(message.digest, rng);
+  }
+}
+
+}  // namespace
+
+sim::MessagePtr TamperFault::corrupt(const sim::MessagePtr& message,
+                                     util::Rng& rng) {
+  switch (static_cast<MsgKind>(message->kind())) {
+    case MsgKind::kRequest: {
+      auto copy = std::make_shared<pbft::RequestMessage>(
+          *std::static_pointer_cast<const pbft::RequestMessage>(message));
+      if (!copy->operation.empty() && rng.chance(0.3)) {
+        copy->operation[rng.below(copy->operation.size())] ^=
+            static_cast<std::uint8_t>(1u << rng.below(8));
+      } else if (!copy->auth.tags.empty() && rng.chance(0.6)) {
+        auto& tag = copy->auth.tags[rng.below(copy->auth.tags.size())];
+        tag = flippedBit(tag, rng);
+      } else {
+        copy->digest = flippedBit(copy->digest, rng);
+      }
+      return copy;
+    }
+    case MsgKind::kPrePrepare: {
+      auto copy = std::make_shared<pbft::PrePrepareMessage>(
+          *std::static_pointer_cast<const pbft::PrePrepareMessage>(message));
+      corruptAuthenticated(*copy, rng);
+      return copy;
+    }
+    case MsgKind::kPrepare: {
+      auto copy = std::make_shared<pbft::PrepareMessage>(
+          *std::static_pointer_cast<const pbft::PrepareMessage>(message));
+      corruptAuthenticated(*copy, rng);
+      return copy;
+    }
+    case MsgKind::kCommit: {
+      auto copy = std::make_shared<pbft::CommitMessage>(
+          *std::static_pointer_cast<const pbft::CommitMessage>(message));
+      corruptAuthenticated(*copy, rng);
+      return copy;
+    }
+    case MsgKind::kReply: {
+      auto copy = std::make_shared<pbft::ReplyMessage>(
+          *std::static_pointer_cast<const pbft::ReplyMessage>(message));
+      if (rng.chance(0.5)) {
+        copy->mac = flippedBit(copy->mac, rng);
+      } else {
+        copy->resultDigest = flippedBit(copy->resultDigest, rng);
+      }
+      return copy;
+    }
+    default:
+      return nullptr;  // leave other kinds untouched
+  }
+}
+
+sim::NetworkFault::Decision TamperFault::onMessage(
+    util::NodeId from, util::NodeId to, const sim::MessagePtr& message,
+    util::Rng& rng) {
+  Decision decision;
+  if (!filter_.matches(from, to) || !rng.chance(probability_)) {
+    return decision;
+  }
+  decision.replace = corrupt(message, rng);
+  if (decision.replace != nullptr) ++tampered_;
+  return decision;
+}
+
+}  // namespace avd::fi

@@ -1,0 +1,42 @@
+// Blind message tampering — the weakest attacker of §4.
+//
+// "Without access to any source, binary, or documentation, an attacker
+// (and AVD) can only resort to random bit flips, random fuzzing, or to
+// random packet drops/reordering." This tool flips random bits in
+// in-flight PBFT messages (digests, authenticator entries, payload bytes,
+// header fields) with a configurable probability. Expected outcome — and
+// the reason the power ladder starts here — is near-zero impact: every
+// tampered field is covered by a digest or MAC check, so correct replicas
+// discard the message and retransmission repairs the loss. Tampering is
+// therefore equivalent to a (costlier) drop.
+#pragma once
+
+#include "faultinject/network_faults.h"
+#include "pbft/message.h"
+#include "sim/network.h"
+
+namespace avd::fi {
+
+class TamperFault final : public sim::NetworkFault {
+ public:
+  /// Flips one random bit in a random field of matching messages with
+  /// probability `probability`.
+  TamperFault(double probability, FlowFilter filter = {}) noexcept
+      : probability_(probability), filter_(std::move(filter)) {}
+
+  Decision onMessage(util::NodeId from, util::NodeId to,
+                     const sim::MessagePtr& message, util::Rng& rng) override;
+
+  std::uint64_t tampered() const noexcept { return tampered_; }
+
+ private:
+  /// Clones a PBFT message with one bit flipped; nullptr for kinds the
+  /// tool does not understand (they pass through untouched).
+  sim::MessagePtr corrupt(const sim::MessagePtr& message, util::Rng& rng);
+
+  double probability_;
+  FlowFilter filter_;
+  std::uint64_t tampered_ = 0;
+};
+
+}  // namespace avd::fi

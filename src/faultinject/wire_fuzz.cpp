@@ -1,0 +1,29 @@
+#include "faultinject/wire_fuzz.h"
+
+namespace avd::fi {
+
+sim::NetworkFault::Decision WireFuzzFault::onMessage(
+    util::NodeId from, util::NodeId to, const sim::MessagePtr& message,
+    util::Rng& rng) {
+  Decision decision;
+  if (!filter_.matches(from, to) || !rng.chance(probability_)) {
+    return decision;
+  }
+
+  util::Bytes frame = pbft::wire::encode(*message);
+  if (frame.empty()) return decision;  // not a PBFT message
+
+  const std::uint64_t bit = rng.below(frame.size() * 8);
+  frame[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+  ++flipped_;
+
+  decision.replace = pbft::wire::decode(frame);
+  if (decision.replace == nullptr) {
+    // Framing destroyed: a real transport discards the packet.
+    ++unparseable_;
+    decision.drop = true;
+  }
+  return decision;
+}
+
+}  // namespace avd::fi

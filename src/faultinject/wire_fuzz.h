@@ -1,0 +1,34 @@
+// Byte-level blind fuzzing (§4, the literal "random bit flips" attacker).
+//
+// Unlike TamperFault (which mutates typed fields), this tool round-trips
+// each matching message through the canonical wire codec and flips a random
+// bit of the encoded frame. If the mangled frame still parses, the parsed
+// message replaces the original; if it no longer parses (framing damage), a
+// real network stack would discard it, so the message is dropped.
+#pragma once
+
+#include "faultinject/network_faults.h"
+#include "pbft/wire.h"
+#include "sim/network.h"
+
+namespace avd::fi {
+
+class WireFuzzFault final : public sim::NetworkFault {
+ public:
+  WireFuzzFault(double probability, FlowFilter filter = {}) noexcept
+      : probability_(probability), filter_(std::move(filter)) {}
+
+  Decision onMessage(util::NodeId from, util::NodeId to,
+                     const sim::MessagePtr& message, util::Rng& rng) override;
+
+  std::uint64_t flipped() const noexcept { return flipped_; }
+  std::uint64_t unparseable() const noexcept { return unparseable_; }
+
+ private:
+  double probability_;
+  FlowFilter filter_;
+  std::uint64_t flipped_ = 0;
+  std::uint64_t unparseable_ = 0;
+};
+
+}  // namespace avd::fi

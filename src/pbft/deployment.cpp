@@ -1,0 +1,144 @@
+#include "pbft/deployment.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/stats.h"
+
+namespace avd::pbft {
+
+std::unique_ptr<Service> Deployment::makeService(ServiceKind kind) {
+  switch (kind) {
+    case ServiceKind::kCounter:
+      return std::make_unique<CounterService>();
+    case ServiceKind::kKv:
+      return std::make_unique<KvService>();
+  }
+  return std::make_unique<CounterService>();
+}
+
+Deployment::Deployment(DeploymentConfig config)
+    : config_(std::move(config)),
+      keychain_(util::hashCombine(util::fnv1a("avd.deployment"),
+                                  config_.seed)),
+      simulator_(config_.seed),
+      network_(&simulator_, config_.link) {
+  const std::uint32_t n = config_.pbft.replicaCount();
+
+  replicas_.reserve(n);
+  for (util::NodeId id = 0; id < n; ++id) {
+    ReplicaBehavior behavior;
+    if (const auto it = config_.replicaBehaviors.find(id);
+        it != config_.replicaBehaviors.end()) {
+      behavior = it->second;
+    }
+    replicas_.push_back(std::make_unique<Replica>(
+        id, config_.pbft, &keychain_, makeService(config_.service), behavior));
+    network_.registerNode(replicas_.back().get());
+  }
+
+  clients_.reserve(config_.totalClients());
+  for (std::uint32_t i = 0; i < config_.maliciousClients; ++i) {
+    clients_.push_back(std::make_unique<Client>(
+        maliciousClientId(i), config_.pbft, &keychain_,
+        config_.maliciousClientBehavior, config_.clientRetx));
+    network_.registerNode(clients_.back().get());
+  }
+  for (std::uint32_t i = 0; i < config_.correctClients; ++i) {
+    clients_.push_back(std::make_unique<Client>(
+        correctClientId(i), config_.pbft, &keychain_,
+        config_.correctClientBehavior, config_.clientRetx));
+    network_.registerNode(clients_.back().get());
+  }
+}
+
+void Deployment::runFor(sim::Time duration) {
+  if (!started_) {
+    started_ = true;
+    for (auto& replica : replicas_) replica->start();
+    for (auto& client : clients_) client->start();
+  }
+  simulator_.runUntil(simulator_.now() + duration);
+}
+
+RunResult Deployment::run() {
+  runFor(config_.warmup + config_.measure);
+  return collect();
+}
+
+RunResult Deployment::collect() const {
+  RunResult result;
+  const sim::Time windowStart = config_.warmup;
+  const sim::Time windowEnd = config_.warmup + config_.measure;
+  const double windowSeconds = sim::toSeconds(config_.measure);
+
+  double latencySum = 0.0;
+  std::uint64_t latencyCount = 0;
+  util::SampleSet latencies;
+  for (std::uint32_t i = 0; i < config_.correctClients; ++i) {
+    const Client& client = *clients_[config_.maliciousClients + i];
+    for (const Client::Completion& completion : client.completions()) {
+      if (completion.when < windowStart || completion.when >= windowEnd) {
+        continue;
+      }
+      ++result.correctCompleted;
+      const double latencySec = sim::toSeconds(completion.latency);
+      latencySum += latencySec;
+      latencies.add(latencySec);
+      ++latencyCount;
+    }
+  }
+  result.p50LatencySec = latencies.percentile(50);
+  result.p99LatencySec = latencies.percentile(99);
+  for (std::uint32_t i = 0; i < config_.maliciousClients; ++i) {
+    const Client& client = *clients_[i];
+    for (const Client::Completion& completion : client.completions()) {
+      if (completion.when >= windowStart && completion.when < windowEnd) {
+        ++result.maliciousCompleted;
+      }
+    }
+  }
+
+  result.throughputRps =
+      windowSeconds > 0.0
+          ? static_cast<double>(result.correctCompleted) / windowSeconds
+          : 0.0;
+  result.avgLatencySec =
+      latencyCount > 0 ? latencySum / static_cast<double>(latencyCount) : 0.0;
+
+  for (const auto& replica : replicas_) {
+    result.viewChangesInitiated += replica->stats().viewChangesInitiated;
+    result.maxView = std::max(result.maxView, replica->view());
+  }
+
+  // Safety oracle: every pair of replicas must agree on the digest executed
+  // at every sequence number both executed.
+  for (std::size_t a = 0; a + 1 < replicas_.size() && !result.safetyViolated;
+       ++a) {
+    const auto& traceA = replicas_[a]->executionTrace();
+    for (std::size_t b = a + 1; b < replicas_.size(); ++b) {
+      const auto& traceB = replicas_[b]->executionTrace();
+      const auto& shorter = traceA.size() <= traceB.size() ? traceA : traceB;
+      const auto& longer = traceA.size() <= traceB.size() ? traceB : traceA;
+      for (const auto& [seq, digest] : shorter) {
+        const auto it = longer.find(seq);
+        if (it != longer.end() && it->second != digest) {
+          result.safetyViolated = true;
+          break;
+        }
+      }
+      if (result.safetyViolated) break;
+    }
+  }
+
+  result.network = network_.counters();
+  result.eventsExecuted = simulator_.executedEvents();
+  return result;
+}
+
+RunResult runScenario(const DeploymentConfig& config) {
+  Deployment deployment(config);
+  return deployment.run();
+}
+
+}  // namespace avd::pbft

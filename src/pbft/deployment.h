@@ -1,0 +1,122 @@
+// Full simulated PBFT deployment and impact measurement.
+//
+// A Deployment assembles replicas, clients and the simulated network —
+// the in-process equivalent of the paper's Emulab testbed — runs the
+// workload for a warmup + measurement window, and reports the metric AVD
+// optimizes: throughput and latency *observed by the correct clients* (§3:
+// "the impact on the correct, unmodified nodes of the target system").
+// Individual AVD tests construct a fresh Deployment each time, matching the
+// paper's per-test re-initialization.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "crypto/keychain.h"
+#include "pbft/client.h"
+#include "pbft/config.h"
+#include "pbft/replica.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace avd::pbft {
+
+enum class ServiceKind { kCounter, kKv };
+
+struct DeploymentConfig {
+  Config pbft;
+  std::uint32_t correctClients = 10;
+  std::uint32_t maliciousClients = 0;
+  ClientBehavior correctClientBehavior;
+  ClientBehavior maliciousClientBehavior;
+  /// Behaviour overrides by replica id (absent = correct replica).
+  std::map<util::NodeId, ReplicaBehavior> replicaBehaviors;
+  sim::LinkModel link{sim::usec(500), sim::usec(100)};
+  sim::Time clientRetx = sim::msec(150);
+  sim::Time warmup = sim::sec(1);
+  sim::Time measure = sim::sec(4);
+  std::uint64_t seed = 1;
+  ServiceKind service = ServiceKind::kCounter;
+
+  std::uint32_t totalClients() const noexcept {
+    return correctClients + maliciousClients;
+  }
+};
+
+/// Outcome of one test run.
+struct RunResult {
+  /// Requests completed by correct clients per second of measured time.
+  double throughputRps = 0.0;
+  /// Mean completion latency of correct-client requests (seconds).
+  double avgLatencySec = 0.0;
+  /// Latency percentiles of correct-client requests (seconds).
+  double p50LatencySec = 0.0;
+  double p99LatencySec = 0.0;
+  std::uint64_t correctCompleted = 0;
+  std::uint64_t maliciousCompleted = 0;
+  std::uint64_t viewChangesInitiated = 0;
+  util::ViewId maxView = 0;
+  /// True if two replicas executed different batches at the same sequence
+  /// number — a PBFT safety violation (should never happen).
+  bool safetyViolated = false;
+  sim::NetworkCounters network;
+  std::uint64_t eventsExecuted = 0;
+};
+
+class Deployment {
+ public:
+  explicit Deployment(DeploymentConfig config);
+
+  /// Runs warmup + measurement and returns the collected result.
+  RunResult run();
+
+  /// Advances virtual time (for tests that want stepwise control).
+  void runFor(sim::Time duration);
+
+  /// Collects metrics over the window [warmup, warmup + measure].
+  RunResult collect() const;
+
+  // --- Accessors ------------------------------------------------------------
+  sim::Simulator& simulator() noexcept { return simulator_; }
+  sim::Network& network() noexcept { return network_; }
+  const crypto::Keychain& keychain() const noexcept { return keychain_; }
+  const DeploymentConfig& config() const noexcept { return config_; }
+
+  std::uint32_t replicaCount() const noexcept {
+    return config_.pbft.replicaCount();
+  }
+  Replica& replica(std::uint32_t index) { return *replicas_.at(index); }
+
+  /// Clients are laid out as: malicious [0, m), then correct [m, m+c).
+  Client& maliciousClient(std::uint32_t index) {
+    return *clients_.at(index);
+  }
+  Client& correctClient(std::uint32_t index) {
+    return *clients_.at(config_.maliciousClients + index);
+  }
+  util::NodeId maliciousClientId(std::uint32_t index) const noexcept {
+    return replicaCount() + index;
+  }
+  util::NodeId correctClientId(std::uint32_t index) const noexcept {
+    return replicaCount() + config_.maliciousClients + index;
+  }
+
+ private:
+  static std::unique_ptr<Service> makeService(ServiceKind kind);
+
+  DeploymentConfig config_;
+  crypto::Keychain keychain_;
+  sim::Simulator simulator_;
+  sim::Network network_;
+  std::vector<std::unique_ptr<Replica>> replicas_;
+  std::vector<std::unique_ptr<Client>> clients_;
+  bool started_ = false;
+};
+
+/// Convenience: build, run and summarize one deployment in a single call —
+/// the shape of "execute one test scenario" used all over the benches.
+RunResult runScenario(const DeploymentConfig& config);
+
+}  // namespace avd::pbft

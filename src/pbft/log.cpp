@@ -1,0 +1,47 @@
+#include "pbft/log.h"
+
+namespace avd::pbft {
+
+LogEntry* ReplicaLog::find(util::SeqNum seq) {
+  const auto it = entries_.find(seq);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+const LogEntry* ReplicaLog::find(util::SeqNum seq) const {
+  const auto it = entries_.find(seq);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void ReplicaLog::truncateBelow(util::SeqNum stableSeq) {
+  entries_.erase(entries_.begin(), entries_.upper_bound(stableSeq));
+}
+
+std::vector<PreparedProof> ReplicaLog::preparedProofsAbove(
+    util::SeqNum stableSeq, std::uint32_t f) const {
+  (void)f;
+  std::vector<PreparedProof> proofs;
+  for (const auto& [seq, entry] : entries_) {
+    if (seq <= stableSeq || !entry.everPrepared) continue;
+    PreparedProof proof;
+    proof.seq = seq;
+    proof.view = entry.preparedView;
+    proof.digest = entry.preparedDigest;
+    proof.batch = entry.preparedBatch;
+    proofs.push_back(std::move(proof));
+  }
+  return proofs;
+}
+
+void ReplicaLog::resetUnexecutedForNewView() {
+  for (auto& [seq, entry] : entries_) {
+    if (entry.executed) continue;
+    entry.prePrepare = nullptr;
+    entry.digest = 0;
+    entry.prepares.clear();
+    entry.commits.clear();
+    entry.prepareSent = false;
+    entry.commitSent = false;
+  }
+}
+
+}  // namespace avd::pbft

@@ -1,0 +1,114 @@
+// Per-sequence-number protocol log.
+//
+// Tracks, for every in-window sequence number, the accepted pre-prepare and
+// the prepare/commit certificates being accumulated for it. Votes are keyed
+// by replica and carry the digest they endorse, so votes that race ahead of
+// the pre-prepare are held and only counted once they match the accepted
+// digest. Garbage collection follows the checkpoint protocol: once a
+// checkpoint becomes stable at sequence s, everything at or below s is
+// discarded and the watermarks advance.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/types.h"
+#include "pbft/message.h"
+
+namespace avd::pbft {
+
+struct LogEntry {
+  /// Pre-prepare accepted for this sequence in `view` (null until then).
+  PrePreparePtr prePrepare;
+  util::ViewId view = 0;
+  std::uint64_t digest = 0;
+
+  /// PREPARE votes: replica -> endorsed digest. Never includes the primary
+  /// (its pre-prepare stands in for its prepare).
+  std::map<util::NodeId, std::uint64_t> prepares;
+  /// COMMIT votes: replica -> endorsed digest (includes own commit).
+  std::map<util::NodeId, std::uint64_t> commits;
+
+  bool prepareSent = false;
+  bool commitSent = false;
+  bool executed = false;
+
+  /// Memory of the highest-view prepared certificate this replica EVER held
+  /// for this sequence (PBFT's P-set entry). Live certificate fields above
+  /// are wiped when a new view installs, but this memory must survive:
+  /// a committed value anywhere implies 2f+1 replicas hold its prepared
+  /// certificate, and their view-change messages must keep carrying it even
+  /// across interrupted re-agreement attempts — otherwise a later new-view
+  /// could null out a sequence some replica already executed.
+  bool everPrepared = false;
+  util::ViewId preparedView = 0;
+  std::uint64_t preparedDigest = 0;
+  std::vector<RequestPtr> preparedBatch;
+
+  /// Records the live certificate as the ever-prepared memory (monotone in
+  /// view; within a view the digest is fixed by the accepted pre-prepare).
+  void recordPrepared() {
+    if (everPrepared && preparedView > view) return;
+    everPrepared = true;
+    preparedView = view;
+    preparedDigest = digest;
+    preparedBatch = prePrepare->batch;
+  }
+
+  std::size_t matchingPrepares() const noexcept {
+    return countMatching(prepares);
+  }
+  std::size_t matchingCommits() const noexcept { return countMatching(commits); }
+
+  /// Prepared certificate: accepted pre-prepare + 2f matching prepares.
+  bool prepared(std::uint32_t f) const noexcept {
+    return prePrepare != nullptr && matchingPrepares() >= 2 * f;
+  }
+  /// Committed certificate: prepared + 2f+1 matching commits.
+  bool committed(std::uint32_t f) const noexcept {
+    return prepared(f) && matchingCommits() >= 2 * f + 1;
+  }
+
+ private:
+  std::size_t countMatching(
+      const std::map<util::NodeId, std::uint64_t>& votes) const noexcept {
+    if (prePrepare == nullptr) return 0;
+    std::size_t matching = 0;
+    for (const auto& [replica, voteDigest] : votes) {
+      if (voteDigest == digest) ++matching;
+    }
+    return matching;
+  }
+};
+
+class ReplicaLog {
+ public:
+  /// Returns (creating if needed) the entry at `seq`.
+  LogEntry& at(util::SeqNum seq) { return entries_[seq]; }
+
+  /// Entry lookup without creation; nullptr when absent.
+  LogEntry* find(util::SeqNum seq);
+  const LogEntry* find(util::SeqNum seq) const;
+
+  /// Drops all entries with seq <= stableSeq (checkpoint GC).
+  void truncateBelow(util::SeqNum stableSeq);
+
+  /// Prepared-but-possibly-uncommitted certificates above `stableSeq`, for
+  /// inclusion in a VIEW-CHANGE message.
+  std::vector<PreparedProof> preparedProofsAbove(util::SeqNum stableSeq,
+                                                 std::uint32_t f) const;
+
+  /// Clears certificate progress for entries that have not executed, as part
+  /// of installing a new view (fresh certificates are gathered there).
+  void resetUnexecutedForNewView();
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  auto begin() const noexcept { return entries_.begin(); }
+  auto end() const noexcept { return entries_.end(); }
+
+ private:
+  std::map<util::SeqNum, LogEntry> entries_;
+};
+
+}  // namespace avd::pbft

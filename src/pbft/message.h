@@ -1,0 +1,289 @@
+// PBFT protocol messages (Castro & Liskov, OSDI'99).
+//
+// Multicast messages carry MAC *authenticators* — one tag per replica under
+// the sender-replica session key — exactly as in the original
+// implementation; a receiver can only check its own entry. Replies carry a
+// single client-directed MAC. Request identity (and thus MAC coverage) is a
+// digest over the canonical byte encoding of (client, timestamp, operation);
+// the authenticator is deliberately outside the digest, which is what lets
+// a faulty client ship one request body with per-replica inconsistent tags
+// (the Big MAC attack surface).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/types.h"
+#include "crypto/authenticator.h"
+#include "sim/message.h"
+
+namespace avd::pbft {
+
+enum class MsgKind : std::uint32_t {
+  kRequest = 1,
+  kPrePrepare,
+  kPrepare,
+  kCommit,
+  kReply,
+  kCheckpoint,
+  kViewChange,
+  kNewView,
+  kStateRequest,
+  kStateResponse,
+  kStatus,
+  kSyncSeq,
+};
+
+/// Client request. Multicast on retransmission; carried inside pre-prepares.
+struct RequestMessage final : sim::Message {
+  util::NodeId client = util::kNoNode;
+  util::RequestId timestamp = 0;
+  util::Bytes operation;
+  /// Read-only optimization (Castro-Liskov §4.1 of the TOCS paper): the
+  /// request is executed tentatively against each replica's current state
+  /// without ordering; the client requires 2f+1 matching replies instead
+  /// of f+1 and falls back to the ordered path on failure.
+  bool readOnly = false;
+  /// Digest over (client, timestamp, operation, readOnly); requestDigest().
+  std::uint64_t digest = 0;
+  /// Per-replica MACs over `digest`. NOT covered by the digest.
+  crypto::Authenticator auth;
+
+  std::uint32_t kind() const noexcept override {
+    return static_cast<std::uint32_t>(MsgKind::kRequest);
+  }
+  std::size_t wireSize() const noexcept override {
+    return 32 + operation.size() + auth.tags.size() * 8;
+  }
+};
+
+using RequestPtr = std::shared_ptr<const RequestMessage>;
+
+/// Digest of a request's canonical encoding (authenticator excluded).
+std::uint64_t requestDigest(util::NodeId client, util::RequestId timestamp,
+                            const util::Bytes& operation,
+                            bool readOnly = false);
+
+/// Digest of an ordered batch of requests (empty batch = null request).
+std::uint64_t batchDigest(const std::vector<RequestPtr>& batch);
+
+/// PRE-PREPARE(v, n, d) with the request batch piggybacked.
+struct PrePrepareMessage final : sim::Message {
+  util::ViewId view = 0;
+  util::SeqNum seq = 0;
+  std::vector<RequestPtr> batch;
+  std::uint64_t digest = 0;  // batchDigest(batch)
+  util::NodeId replica = util::kNoNode;
+  crypto::Authenticator auth;  // over prePrepareDigest()
+
+  std::uint32_t kind() const noexcept override {
+    return static_cast<std::uint32_t>(MsgKind::kPrePrepare);
+  }
+  std::size_t wireSize() const noexcept override {
+    std::size_t size = 48 + auth.tags.size() * 8;
+    for (const RequestPtr& request : batch) size += request->wireSize();
+    return size;
+  }
+};
+
+using PrePreparePtr = std::shared_ptr<const PrePrepareMessage>;
+
+/// Digest a (view, seq, batch-digest) triple for replica-message MACs.
+std::uint64_t phaseDigest(MsgKind phase, util::ViewId view, util::SeqNum seq,
+                          std::uint64_t digest, util::NodeId replica);
+
+/// PREPARE(v, n, d, i).
+struct PrepareMessage final : sim::Message {
+  util::ViewId view = 0;
+  util::SeqNum seq = 0;
+  std::uint64_t digest = 0;
+  util::NodeId replica = util::kNoNode;
+  crypto::Authenticator auth;
+
+  std::uint32_t kind() const noexcept override {
+    return static_cast<std::uint32_t>(MsgKind::kPrepare);
+  }
+  std::size_t wireSize() const noexcept override {
+    return 48 + auth.tags.size() * 8;
+  }
+};
+
+/// COMMIT(v, n, d, i).
+struct CommitMessage final : sim::Message {
+  util::ViewId view = 0;
+  util::SeqNum seq = 0;
+  std::uint64_t digest = 0;
+  util::NodeId replica = util::kNoNode;
+  crypto::Authenticator auth;
+
+  std::uint32_t kind() const noexcept override {
+    return static_cast<std::uint32_t>(MsgKind::kCommit);
+  }
+  std::size_t wireSize() const noexcept override {
+    return 48 + auth.tags.size() * 8;
+  }
+};
+
+/// REPLY(v, t, c, i, r) — replica to client, single MAC.
+struct ReplyMessage final : sim::Message {
+  util::ViewId view = 0;
+  util::NodeId client = util::kNoNode;
+  util::RequestId timestamp = 0;
+  util::NodeId replica = util::kNoNode;
+  util::Bytes result;
+  std::uint64_t resultDigest = 0;
+  crypto::MacTag mac = 0;
+
+  std::uint32_t kind() const noexcept override {
+    return static_cast<std::uint32_t>(MsgKind::kReply);
+  }
+  std::size_t wireSize() const noexcept override {
+    return 40 + result.size();
+  }
+};
+
+using ReplyPtr = std::shared_ptr<const ReplyMessage>;
+
+/// Digest covered by the reply MAC.
+std::uint64_t replyDigest(const ReplyMessage& reply);
+
+/// CHECKPOINT(n, d, i).
+struct CheckpointMessage final : sim::Message {
+  util::SeqNum seq = 0;
+  std::uint64_t stateDigest = 0;
+  util::NodeId replica = util::kNoNode;
+  crypto::Authenticator auth;
+
+  std::uint32_t kind() const noexcept override {
+    return static_cast<std::uint32_t>(MsgKind::kCheckpoint);
+  }
+};
+
+/// A prepared certificate carried in a VIEW-CHANGE: proof that `batch` was
+/// prepared at sequence `seq` in view `view`.
+struct PreparedProof {
+  util::SeqNum seq = 0;
+  util::ViewId view = 0;
+  std::uint64_t digest = 0;
+  std::vector<RequestPtr> batch;
+};
+
+/// VIEW-CHANGE(v+1, n, C, P, i).
+struct ViewChangeMessage final : sim::Message {
+  util::ViewId newView = 0;
+  util::SeqNum stableSeq = 0;  // last stable checkpoint
+  std::vector<PreparedProof> prepared;
+  util::NodeId replica = util::kNoNode;
+  crypto::Authenticator auth;
+
+  std::uint32_t kind() const noexcept override {
+    return static_cast<std::uint32_t>(MsgKind::kViewChange);
+  }
+  std::size_t wireSize() const noexcept override {
+    return 64 + prepared.size() * 32;
+  }
+};
+
+using ViewChangePtr = std::shared_ptr<const ViewChangeMessage>;
+
+/// Digest covered by a view-change authenticator.
+std::uint64_t viewChangeDigest(const ViewChangeMessage& viewChange);
+
+/// NEW-VIEW(v, V, O): the new primary's re-issued pre-prepares for the
+/// sequence range spanned by the view-change certificates.
+struct NewViewMessage final : sim::Message {
+  util::ViewId view = 0;
+  std::vector<PrePreparePtr> prePrepares;
+  util::NodeId replica = util::kNoNode;
+  crypto::Authenticator auth;
+
+  std::uint32_t kind() const noexcept override {
+    return static_cast<std::uint32_t>(MsgKind::kNewView);
+  }
+  std::size_t wireSize() const noexcept override {
+    std::size_t size = 48;
+    for (const PrePreparePtr& pp : prePrepares) size += pp->wireSize();
+    return size;
+  }
+};
+
+using NewViewPtr = std::shared_ptr<const NewViewMessage>;
+
+/// Digest covered by a new-view authenticator.
+std::uint64_t newViewDigest(const NewViewMessage& newView);
+
+/// Ask a peer for its state at (or beyond) a stable checkpoint the sender
+/// has proof of but whose execution it missed. Point-to-point, single MAC.
+struct StateRequestMessage final : sim::Message {
+  util::SeqNum seq = 0;
+  util::NodeId replica = util::kNoNode;
+  crypto::MacTag mac = 0;
+
+  std::uint32_t kind() const noexcept override {
+    return static_cast<std::uint32_t>(MsgKind::kStateRequest);
+  }
+};
+
+/// State-transfer payload: application snapshot at `seq` plus the per-client
+/// last-executed timestamps needed to keep at-most-once execution intact.
+struct StateResponseMessage final : sim::Message {
+  util::SeqNum seq = 0;
+  std::uint64_t stateDigest = 0;
+  util::Bytes snapshot;
+  std::vector<std::pair<util::NodeId, util::RequestId>> clientTimestamps;
+  util::NodeId replica = util::kNoNode;
+  crypto::MacTag mac = 0;
+
+  std::uint32_t kind() const noexcept override {
+    return static_cast<std::uint32_t>(MsgKind::kStateResponse);
+  }
+  std::size_t wireSize() const noexcept override {
+    return 40 + snapshot.size() + clientTimestamps.size() * 12;
+  }
+};
+
+/// Digests covered by the state-transfer MACs.
+std::uint64_t stateRequestDigest(const StateRequestMessage& request);
+std::uint64_t stateResponseDigest(const StateResponseMessage& response);
+
+/// Periodic liveness gossip (the status/retransmission subprotocol of the
+/// Castro-Liskov implementation, which makes PBFT tolerate message loss):
+/// peers that see us lagging push SyncSeq attestations for the sequences we
+/// missed.
+struct StatusMessage final : sim::Message {
+  util::ViewId view = 0;
+  util::SeqNum lastExecuted = 0;
+  util::NodeId replica = util::kNoNode;
+  crypto::Authenticator auth;
+
+  std::uint32_t kind() const noexcept override {
+    return static_cast<std::uint32_t>(MsgKind::kStatus);
+  }
+};
+
+/// "I executed `batch` at `seq`" attestation. f+1 matching attestations
+/// prove correctness (at most f replicas are Byzantine), letting a lagging
+/// replica adopt and execute sequences whose agreement messages it lost.
+struct SyncSeqMessage final : sim::Message {
+  util::SeqNum seq = 0;
+  std::uint64_t digest = 0;  // batch digest
+  std::vector<RequestPtr> batch;
+  util::NodeId replica = util::kNoNode;
+  crypto::MacTag mac = 0;  // point-to-point
+
+  std::uint32_t kind() const noexcept override {
+    return static_cast<std::uint32_t>(MsgKind::kSyncSeq);
+  }
+  std::size_t wireSize() const noexcept override {
+    std::size_t size = 40;
+    for (const RequestPtr& request : batch) size += request->wireSize();
+    return size;
+  }
+};
+
+std::uint64_t statusDigest(const StatusMessage& status);
+std::uint64_t syncSeqDigest(const SyncSeqMessage& sync);
+
+}  // namespace avd::pbft

@@ -1,0 +1,131 @@
+#include "pbft/service.h"
+
+#include "common/hash.h"
+
+namespace avd::pbft {
+
+util::Bytes CounterService::execute(util::NodeId /*client*/,
+                                    const util::Bytes& operation) {
+  value_ += operation.empty() ? 1 : operation[0];
+  util::ByteWriter writer;
+  writer.u64(value_);
+  return writer.take();
+}
+
+std::uint64_t CounterService::stateDigest() const {
+  return util::hashCombine(util::fnv1a("counter"), value_);
+}
+
+util::Bytes CounterService::snapshot() const {
+  util::ByteWriter writer;
+  writer.u64(value_);
+  return writer.take();
+}
+
+void CounterService::restore(const util::Bytes& snapshot) {
+  util::ByteReader reader(snapshot);
+  value_ = reader.u64().value_or(0);
+}
+
+util::Bytes KvService::encodeGet(const std::string& key) {
+  util::ByteWriter writer;
+  writer.u8(static_cast<std::uint8_t>(Op::kGet));
+  writer.str(key);
+  return writer.take();
+}
+
+util::Bytes KvService::encodePut(const std::string& key,
+                                 const std::string& value) {
+  util::ByteWriter writer;
+  writer.u8(static_cast<std::uint8_t>(Op::kPut));
+  writer.str(key);
+  writer.str(value);
+  return writer.take();
+}
+
+util::Bytes KvService::encodeDel(const std::string& key) {
+  util::ByteWriter writer;
+  writer.u8(static_cast<std::uint8_t>(Op::kDel));
+  writer.str(key);
+  return writer.take();
+}
+
+util::Bytes KvService::execute(util::NodeId /*client*/,
+                               const util::Bytes& operation) {
+  util::ByteReader reader(operation);
+  util::ByteWriter result;
+  const auto opcode = reader.u8();
+  if (!opcode) return result.take();
+  switch (static_cast<Op>(*opcode)) {
+    case Op::kGet: {
+      const auto key = reader.str();
+      if (!key) break;
+      const auto it = table_.find(*key);
+      result.str(it == table_.end() ? std::string() : it->second);
+      break;
+    }
+    case Op::kPut: {
+      const auto key = reader.str();
+      const auto value = reader.str();
+      if (!key || !value) break;
+      table_[*key] = *value;
+      result.u8(1);
+      break;
+    }
+    case Op::kDel: {
+      const auto key = reader.str();
+      if (!key) break;
+      table_.erase(*key);
+      result.u8(1);
+      break;
+    }
+  }
+  return result.take();
+}
+
+util::Bytes KvService::snapshot() const {
+  util::ByteWriter writer;
+  writer.u64(table_.size());
+  for (const auto& [key, value] : table_) {
+    writer.str(key);
+    writer.str(value);
+  }
+  return writer.take();
+}
+
+void KvService::restore(const util::Bytes& snapshot) {
+  table_.clear();
+  util::ByteReader reader(snapshot);
+  const auto count = reader.u64();
+  if (!count) return;
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    const auto key = reader.str();
+    const auto value = reader.str();
+    if (!key || !value) return;
+    table_[*key] = *value;
+  }
+}
+
+std::optional<util::Bytes> KvService::query(
+    util::NodeId /*client*/, const util::Bytes& operation) const {
+  util::ByteReader reader(operation);
+  const auto opcode = reader.u8();
+  if (!opcode || static_cast<Op>(*opcode) != Op::kGet) return std::nullopt;
+  const auto key = reader.str();
+  if (!key) return std::nullopt;
+  util::ByteWriter result;
+  const auto it = table_.find(*key);
+  result.str(it == table_.end() ? std::string() : it->second);
+  return result.take();
+}
+
+std::uint64_t KvService::stateDigest() const {
+  std::uint64_t digest = util::fnv1a("kv");
+  for (const auto& [key, value] : table_) {
+    digest = util::hashCombine(digest, util::fnv1a(key));
+    digest = util::hashCombine(digest, util::fnv1a(value));
+  }
+  return digest;
+}
+
+}  // namespace avd::pbft

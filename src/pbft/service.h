@@ -1,0 +1,92 @@
+// Replicated application services.
+//
+// PBFT orders opaque operations; the Service interface is what a replica
+// executes them against. Two reference services ship with the library: a
+// counter (the micro-benchmark workload) and a small key-value store (the
+// example applications' workload). Both are deterministic, which the
+// protocol requires for replies from correct replicas to match.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/types.h"
+
+namespace avd::pbft {
+
+class Service {
+ public:
+  virtual ~Service() = default;
+
+  /// Executes one operation and returns its result. Must be deterministic
+  /// in (current state, client, operation).
+  virtual util::Bytes execute(util::NodeId client,
+                              const util::Bytes& operation) = 0;
+
+  /// Digest of the full application state, used in checkpoint messages.
+  virtual std::uint64_t stateDigest() const = 0;
+
+  /// Serializes the full application state (for state transfer to lagging
+  /// replicas). restore(snapshot()) must reproduce an identical state, i.e.
+  /// an equal stateDigest().
+  virtual util::Bytes snapshot() const = 0;
+  virtual void restore(const util::Bytes& snapshot) = 0;
+
+  /// Read-only evaluation for the tentative-execution optimization: answer
+  /// `operation` against the current state WITHOUT mutating it, or return
+  /// nullopt when the operation is not answerable read-only (it then goes
+  /// through ordering like any write).
+  virtual std::optional<util::Bytes> query(util::NodeId /*client*/,
+                                           const util::Bytes& /*operation*/)
+      const {
+    return std::nullopt;
+  }
+};
+
+using ServiceFactory = std::unique_ptr<Service> (*)();
+
+/// Increment-only counter; every operation bumps it by the first byte of
+/// the operation (or 1 when empty) and returns the new value.
+class CounterService final : public Service {
+ public:
+  util::Bytes execute(util::NodeId client, const util::Bytes& operation) override;
+  std::uint64_t stateDigest() const override;
+  util::Bytes snapshot() const override;
+  void restore(const util::Bytes& snapshot) override;
+
+  std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Key-value store with GET/PUT/DEL operations. Operation encoding (via
+/// ByteWriter): u8 opcode (0=GET 1=PUT 2=DEL), str key, [str value for PUT].
+/// Results: GET -> str value (empty when missing); PUT/DEL -> u8 1.
+class KvService final : public Service {
+ public:
+  enum class Op : std::uint8_t { kGet = 0, kPut = 1, kDel = 2 };
+
+  static util::Bytes encodeGet(const std::string& key);
+  static util::Bytes encodePut(const std::string& key, const std::string& value);
+  static util::Bytes encodeDel(const std::string& key);
+
+  util::Bytes execute(util::NodeId client, const util::Bytes& operation) override;
+  std::uint64_t stateDigest() const override;
+  util::Bytes snapshot() const override;
+  void restore(const util::Bytes& snapshot) override;
+  /// GETs are answerable read-only; PUT/DEL are not.
+  std::optional<util::Bytes> query(util::NodeId client,
+                                   const util::Bytes& operation) const override;
+
+  std::size_t size() const noexcept { return table_.size(); }
+
+ private:
+  std::map<std::string, std::string> table_;
+};
+
+}  // namespace avd::pbft

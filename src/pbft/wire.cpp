@@ -1,0 +1,427 @@
+#include "pbft/wire.h"
+
+#include <limits>
+
+namespace avd::pbft::wire {
+
+namespace {
+
+// Containers are length-prefixed; malformed lengths must fail fast rather
+// than trigger huge allocations.
+constexpr std::uint32_t kMaxBatch = 4096;
+constexpr std::uint32_t kMaxAuthTags = 1024;
+constexpr std::uint32_t kMaxProofs = 4096;
+constexpr std::uint32_t kMaxClientEntries = 1 << 20;
+
+void putAuth(util::ByteWriter& writer, const crypto::Authenticator& auth) {
+  writer.u32(static_cast<std::uint32_t>(auth.tags.size()));
+  for (const crypto::MacTag tag : auth.tags) writer.u64(tag);
+}
+
+bool getAuth(util::ByteReader& reader, crypto::Authenticator& auth) {
+  const auto count = reader.u32();
+  if (!count || *count > kMaxAuthTags) return false;
+  auth.tags.clear();
+  auth.tags.reserve(*count);
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    const auto tag = reader.u64();
+    if (!tag) return false;
+    auth.tags.push_back(*tag);
+  }
+  return true;
+}
+
+void putRequest(util::ByteWriter& writer, const RequestMessage& request) {
+  writer.u32(request.client);
+  writer.u64(request.timestamp);
+  writer.u8(request.readOnly ? 1 : 0);
+  writer.blob(request.operation);
+  writer.u64(request.digest);
+  putAuth(writer, request.auth);
+}
+
+RequestPtr getRequest(util::ByteReader& reader) {
+  auto request = std::make_shared<RequestMessage>();
+  const auto client = reader.u32();
+  const auto timestamp = reader.u64();
+  if (!client || !timestamp) return nullptr;
+  request->client = *client;
+  request->timestamp = *timestamp;
+  const auto readOnly = reader.u8();
+  if (!readOnly || *readOnly > 1) return nullptr;
+  request->readOnly = *readOnly == 1;
+  auto operation = reader.blob();
+  if (!operation) return nullptr;
+  request->operation = std::move(*operation);
+  const auto digest = reader.u64();
+  if (!digest) return nullptr;
+  request->digest = *digest;
+  if (!getAuth(reader, request->auth)) return nullptr;
+  return request;
+}
+
+void putBatch(util::ByteWriter& writer, const std::vector<RequestPtr>& batch) {
+  writer.u32(static_cast<std::uint32_t>(batch.size()));
+  for (const RequestPtr& request : batch) putRequest(writer, *request);
+}
+
+bool getBatch(util::ByteReader& reader, std::vector<RequestPtr>& batch) {
+  const auto count = reader.u32();
+  if (!count || *count > kMaxBatch) return false;
+  batch.clear();
+  batch.reserve(*count);
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    RequestPtr request = getRequest(reader);
+    if (request == nullptr) return false;
+    batch.push_back(std::move(request));
+  }
+  return true;
+}
+
+void putPrePrepareBody(util::ByteWriter& writer,
+                       const PrePrepareMessage& prePrepare) {
+  writer.u64(prePrepare.view);
+  writer.u64(prePrepare.seq);
+  writer.u64(prePrepare.digest);
+  writer.u32(prePrepare.replica);
+  putBatch(writer, prePrepare.batch);
+  putAuth(writer, prePrepare.auth);
+}
+
+PrePreparePtr getPrePrepareBody(util::ByteReader& reader) {
+  auto prePrepare = std::make_shared<PrePrepareMessage>();
+  const auto view = reader.u64();
+  const auto seq = reader.u64();
+  const auto digest = reader.u64();
+  const auto replica = reader.u32();
+  if (!view || !seq || !digest || !replica) return nullptr;
+  prePrepare->view = *view;
+  prePrepare->seq = *seq;
+  prePrepare->digest = *digest;
+  prePrepare->replica = *replica;
+  if (!getBatch(reader, prePrepare->batch)) return nullptr;
+  if (!getAuth(reader, prePrepare->auth)) return nullptr;
+  return prePrepare;
+}
+
+/// Shared shape of Prepare and Commit.
+template <typename M>
+void putPhase(util::ByteWriter& writer, const M& message) {
+  writer.u64(message.view);
+  writer.u64(message.seq);
+  writer.u64(message.digest);
+  writer.u32(message.replica);
+  putAuth(writer, message.auth);
+}
+
+template <typename M>
+std::shared_ptr<M> getPhase(util::ByteReader& reader) {
+  auto message = std::make_shared<M>();
+  const auto view = reader.u64();
+  const auto seq = reader.u64();
+  const auto digest = reader.u64();
+  const auto replica = reader.u32();
+  if (!view || !seq || !digest || !replica) return nullptr;
+  message->view = *view;
+  message->seq = *seq;
+  message->digest = *digest;
+  message->replica = *replica;
+  if (!getAuth(reader, message->auth)) return nullptr;
+  return message;
+}
+
+void putProofs(util::ByteWriter& writer,
+               const std::vector<PreparedProof>& proofs) {
+  writer.u32(static_cast<std::uint32_t>(proofs.size()));
+  for (const PreparedProof& proof : proofs) {
+    writer.u64(proof.seq);
+    writer.u64(proof.view);
+    writer.u64(proof.digest);
+    putBatch(writer, proof.batch);
+  }
+}
+
+bool getProofs(util::ByteReader& reader, std::vector<PreparedProof>& proofs) {
+  const auto count = reader.u32();
+  if (!count || *count > kMaxProofs) return false;
+  proofs.clear();
+  proofs.reserve(*count);
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    PreparedProof proof;
+    const auto seq = reader.u64();
+    const auto view = reader.u64();
+    const auto digest = reader.u64();
+    if (!seq || !view || !digest) return false;
+    proof.seq = *seq;
+    proof.view = *view;
+    proof.digest = *digest;
+    if (!getBatch(reader, proof.batch)) return false;
+    proofs.push_back(std::move(proof));
+  }
+  return true;
+}
+
+}  // namespace
+
+util::Bytes encode(const sim::Message& message) {
+  util::ByteWriter writer;
+  const auto kind = static_cast<MsgKind>(message.kind());
+  writer.u32(message.kind());
+  switch (kind) {
+    case MsgKind::kRequest:
+      putRequest(writer, static_cast<const RequestMessage&>(message));
+      break;
+    case MsgKind::kPrePrepare:
+      putPrePrepareBody(writer,
+                        static_cast<const PrePrepareMessage&>(message));
+      break;
+    case MsgKind::kPrepare:
+      putPhase(writer, static_cast<const PrepareMessage&>(message));
+      break;
+    case MsgKind::kCommit:
+      putPhase(writer, static_cast<const CommitMessage&>(message));
+      break;
+    case MsgKind::kReply: {
+      const auto& reply = static_cast<const ReplyMessage&>(message);
+      writer.u64(reply.view);
+      writer.u32(reply.client);
+      writer.u64(reply.timestamp);
+      writer.u32(reply.replica);
+      writer.blob(reply.result);
+      writer.u64(reply.resultDigest);
+      writer.u64(reply.mac);
+      break;
+    }
+    case MsgKind::kCheckpoint: {
+      const auto& checkpoint = static_cast<const CheckpointMessage&>(message);
+      writer.u64(checkpoint.seq);
+      writer.u64(checkpoint.stateDigest);
+      writer.u32(checkpoint.replica);
+      putAuth(writer, checkpoint.auth);
+      break;
+    }
+    case MsgKind::kViewChange: {
+      const auto& viewChange = static_cast<const ViewChangeMessage&>(message);
+      writer.u64(viewChange.newView);
+      writer.u64(viewChange.stableSeq);
+      putProofs(writer, viewChange.prepared);
+      writer.u32(viewChange.replica);
+      putAuth(writer, viewChange.auth);
+      break;
+    }
+    case MsgKind::kNewView: {
+      const auto& newView = static_cast<const NewViewMessage&>(message);
+      writer.u64(newView.view);
+      writer.u32(static_cast<std::uint32_t>(newView.prePrepares.size()));
+      for (const PrePreparePtr& prePrepare : newView.prePrepares) {
+        putPrePrepareBody(writer, *prePrepare);
+      }
+      writer.u32(newView.replica);
+      putAuth(writer, newView.auth);
+      break;
+    }
+    case MsgKind::kStateRequest: {
+      const auto& request = static_cast<const StateRequestMessage&>(message);
+      writer.u64(request.seq);
+      writer.u32(request.replica);
+      writer.u64(request.mac);
+      break;
+    }
+    case MsgKind::kStateResponse: {
+      const auto& response =
+          static_cast<const StateResponseMessage&>(message);
+      writer.u64(response.seq);
+      writer.u64(response.stateDigest);
+      writer.blob(response.snapshot);
+      writer.u32(static_cast<std::uint32_t>(response.clientTimestamps.size()));
+      for (const auto& [client, timestamp] : response.clientTimestamps) {
+        writer.u32(client);
+        writer.u64(timestamp);
+      }
+      writer.u32(response.replica);
+      writer.u64(response.mac);
+      break;
+    }
+    case MsgKind::kStatus: {
+      const auto& status = static_cast<const StatusMessage&>(message);
+      writer.u64(status.view);
+      writer.u64(status.lastExecuted);
+      writer.u32(status.replica);
+      putAuth(writer, status.auth);
+      break;
+    }
+    case MsgKind::kSyncSeq: {
+      const auto& sync = static_cast<const SyncSeqMessage&>(message);
+      writer.u64(sync.seq);
+      writer.u64(sync.digest);
+      putBatch(writer, sync.batch);
+      writer.u32(sync.replica);
+      writer.u64(sync.mac);
+      break;
+    }
+    default:
+      return {};  // non-PBFT payload
+  }
+  return writer.take();
+}
+
+sim::MessagePtr decode(std::span<const std::uint8_t> buffer) {
+  util::ByteReader reader(buffer);
+  const auto kind = reader.u32();
+  if (!kind) return nullptr;
+
+  // The decoded object is returned only when every field parsed AND the
+  // buffer held nothing else (trailing garbage = malformed frame).
+  const auto finish = [&reader](sim::MessagePtr message) -> sim::MessagePtr {
+    if (message == nullptr || !reader.exhausted()) return nullptr;
+    return message;
+  };
+
+  switch (static_cast<MsgKind>(*kind)) {
+    case MsgKind::kRequest:
+      return finish(getRequest(reader));
+    case MsgKind::kPrePrepare:
+      return finish(getPrePrepareBody(reader));
+    case MsgKind::kPrepare:
+      return finish(getPhase<PrepareMessage>(reader));
+    case MsgKind::kCommit:
+      return finish(getPhase<CommitMessage>(reader));
+    case MsgKind::kReply: {
+      auto reply = std::make_shared<ReplyMessage>();
+      const auto view = reader.u64();
+      const auto client = reader.u32();
+      const auto timestamp = reader.u64();
+      const auto replica = reader.u32();
+      if (!view || !client || !timestamp || !replica) return nullptr;
+      reply->view = *view;
+      reply->client = *client;
+      reply->timestamp = *timestamp;
+      reply->replica = *replica;
+      auto result = reader.blob();
+      if (!result) return nullptr;
+      reply->result = std::move(*result);
+      const auto resultDigest = reader.u64();
+      const auto mac = reader.u64();
+      if (!resultDigest || !mac) return nullptr;
+      reply->resultDigest = *resultDigest;
+      reply->mac = *mac;
+      return finish(std::move(reply));
+    }
+    case MsgKind::kCheckpoint: {
+      auto checkpoint = std::make_shared<CheckpointMessage>();
+      const auto seq = reader.u64();
+      const auto stateDigest = reader.u64();
+      const auto replica = reader.u32();
+      if (!seq || !stateDigest || !replica) return nullptr;
+      checkpoint->seq = *seq;
+      checkpoint->stateDigest = *stateDigest;
+      checkpoint->replica = *replica;
+      if (!getAuth(reader, checkpoint->auth)) return nullptr;
+      return finish(std::move(checkpoint));
+    }
+    case MsgKind::kViewChange: {
+      auto viewChange = std::make_shared<ViewChangeMessage>();
+      const auto newView = reader.u64();
+      const auto stableSeq = reader.u64();
+      if (!newView || !stableSeq) return nullptr;
+      viewChange->newView = *newView;
+      viewChange->stableSeq = *stableSeq;
+      if (!getProofs(reader, viewChange->prepared)) return nullptr;
+      const auto replica = reader.u32();
+      if (!replica) return nullptr;
+      viewChange->replica = *replica;
+      if (!getAuth(reader, viewChange->auth)) return nullptr;
+      return finish(std::move(viewChange));
+    }
+    case MsgKind::kNewView: {
+      auto newView = std::make_shared<NewViewMessage>();
+      const auto view = reader.u64();
+      const auto count = reader.u32();
+      if (!view || !count || *count > kMaxProofs) return nullptr;
+      newView->view = *view;
+      newView->prePrepares.reserve(*count);
+      for (std::uint32_t i = 0; i < *count; ++i) {
+        PrePreparePtr prePrepare = getPrePrepareBody(reader);
+        if (prePrepare == nullptr) return nullptr;
+        newView->prePrepares.push_back(std::move(prePrepare));
+      }
+      const auto replica = reader.u32();
+      if (!replica) return nullptr;
+      newView->replica = *replica;
+      if (!getAuth(reader, newView->auth)) return nullptr;
+      return finish(std::move(newView));
+    }
+    case MsgKind::kStateRequest: {
+      auto request = std::make_shared<StateRequestMessage>();
+      const auto seq = reader.u64();
+      const auto replica = reader.u32();
+      const auto mac = reader.u64();
+      if (!seq || !replica || !mac) return nullptr;
+      request->seq = *seq;
+      request->replica = *replica;
+      request->mac = *mac;
+      return finish(std::move(request));
+    }
+    case MsgKind::kStateResponse: {
+      auto response = std::make_shared<StateResponseMessage>();
+      const auto seq = reader.u64();
+      const auto stateDigest = reader.u64();
+      if (!seq || !stateDigest) return nullptr;
+      response->seq = *seq;
+      response->stateDigest = *stateDigest;
+      auto snapshot = reader.blob();
+      if (!snapshot) return nullptr;
+      response->snapshot = std::move(*snapshot);
+      const auto count = reader.u32();
+      if (!count || *count > kMaxClientEntries) return nullptr;
+      response->clientTimestamps.reserve(*count);
+      for (std::uint32_t i = 0; i < *count; ++i) {
+        const auto client = reader.u32();
+        const auto timestamp = reader.u64();
+        if (!client || !timestamp) return nullptr;
+        response->clientTimestamps.emplace_back(*client, *timestamp);
+      }
+      const auto replica = reader.u32();
+      const auto mac = reader.u64();
+      if (!replica || !mac) return nullptr;
+      response->replica = *replica;
+      response->mac = *mac;
+      return finish(std::move(response));
+    }
+    case MsgKind::kStatus: {
+      auto status = std::make_shared<StatusMessage>();
+      const auto view = reader.u64();
+      const auto lastExecuted = reader.u64();
+      const auto replica = reader.u32();
+      if (!view || !lastExecuted || !replica) return nullptr;
+      status->view = *view;
+      status->lastExecuted = *lastExecuted;
+      status->replica = *replica;
+      if (!getAuth(reader, status->auth)) return nullptr;
+      return finish(std::move(status));
+    }
+    case MsgKind::kSyncSeq: {
+      auto sync = std::make_shared<SyncSeqMessage>();
+      const auto seq = reader.u64();
+      const auto digest = reader.u64();
+      if (!seq || !digest) return nullptr;
+      sync->seq = *seq;
+      sync->digest = *digest;
+      if (!getBatch(reader, sync->batch)) return nullptr;
+      const auto replica = reader.u32();
+      const auto mac = reader.u64();
+      if (!replica || !mac) return nullptr;
+      sync->replica = *replica;
+      sync->mac = *mac;
+      return finish(std::move(sync));
+    }
+    default:
+      return nullptr;
+  }
+}
+
+std::size_t encodedSize(const sim::Message& message) {
+  return encode(message).size();
+}
+
+}  // namespace avd::pbft::wire

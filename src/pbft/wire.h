@@ -1,0 +1,30 @@
+// Canonical wire encoding for every PBFT protocol message.
+//
+// The simulator's fast path passes typed objects, but a credible release
+// needs a wire format: digests and MACs must cover well-defined bytes, the
+// blind fuzzing tool (§4: "random bit flips") needs real bytes to flip,
+// and tests need a stable golden format. Encoding is little-endian with
+// length-prefixed containers (see common/bytes.h); decode() is total — any
+// input either yields a fully-validated message object or nullptr, never
+// undefined behaviour.
+#pragma once
+
+#include <span>
+
+#include "common/bytes.h"
+#include "pbft/message.h"
+
+namespace avd::pbft::wire {
+
+/// Serializes any PBFT message. Returns an empty buffer for non-PBFT
+/// payload kinds.
+util::Bytes encode(const sim::Message& message);
+
+/// Parses a buffer produced by encode() (or an arbitrary/corrupted one).
+/// Returns nullptr when the buffer is not a well-formed message.
+sim::MessagePtr decode(std::span<const std::uint8_t> buffer);
+
+/// Exact encoded size; useful for byte accounting in tests.
+std::size_t encodedSize(const sim::Message& message);
+
+}  // namespace avd::pbft::wire

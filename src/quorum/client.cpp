@@ -1,0 +1,143 @@
+#include "quorum/client.h"
+
+#include "common/bytes.h"
+
+namespace avd::quorum {
+
+QClient::QClient(util::NodeId id, std::uint32_t replicaCount,
+                 std::uint32_t readQuorum, std::uint32_t writeQuorum,
+                 QClientBehavior behavior, sim::Time retryTimeout)
+    : sim::Node(id),
+      replicaCount_(replicaCount),
+      readQuorum_(readQuorum),
+      writeQuorum_(writeQuorum),
+      behavior_(behavior),
+      retryTimeout_(retryTimeout) {}
+
+Key QClient::ownKey() const noexcept { return id(); }
+
+void QClient::start() {
+  const auto jitter =
+      static_cast<sim::Time>(simulator().rng().below(sim::msec(10) + 1));
+  if (malicious()) {
+    setTimer(jitter, [this] { startWrite(); });
+  } else {
+    setTimer(jitter, [this] { startWrite(); });
+  }
+}
+
+void QClient::startWrite() {
+  auto write = std::make_shared<WriteRequest>();
+  currentOpId_ = ++nextOpId_;
+  write->opId = currentOpId_;
+
+  if (malicious()) {
+    // Poison a victim's key with a far-future version: the store trusts
+    // the timestamp, so this shadows all later honest writes to the key.
+    write->key = behavior_.firstVictimKey + nextVictim_;
+    nextVictim_ = (nextVictim_ + 1) % std::max(1u, behavior_.victimKeys);
+    write->version = Version{now() + behavior_.timestampInflation, id()};
+    write->value = {0xEE, 0xEE};
+  } else {
+    ++writeSeq_;
+    write->key = ownKey();
+    write->version = Version{now(), id()};  // honest wall-clock version
+    util::ByteWriter payload;
+    payload.u64(writeSeq_);
+    write->value = payload.take();
+    lastWrittenVersion_ = write->version;
+    lastWrittenValue_ = write->value;
+  }
+
+  phase_ = Phase::kWriting;
+  responders_.clear();
+  opStart_ = now();
+  currentMessage_ = std::move(write);
+  broadcastCurrent();
+}
+
+void QClient::startRead() {
+  auto read = std::make_shared<ReadRequest>();
+  currentOpId_ = ++nextOpId_;
+  read->opId = currentOpId_;
+  read->key = ownKey();
+
+  phase_ = Phase::kReading;
+  responders_.clear();
+  bestVersion_ = Version{};
+  bestValue_.clear();
+  opStart_ = now();
+  currentMessage_ = std::move(read);
+  broadcastCurrent();
+}
+
+void QClient::broadcastCurrent() {
+  for (util::NodeId replica = 0; replica < replicaCount_; ++replica) {
+    send(replica, currentMessage_);
+  }
+  if (!retryArmed_) {
+    retryArmed_ = true;
+    retryTimer_ = setTimer(retryTimeout_, [this] { onRetry(); });
+  }
+}
+
+void QClient::onRetry() {
+  retryArmed_ = false;
+  if (phase_ == Phase::kIdle) return;
+  // Quorum not yet reached (loss or silent replicas): rebroadcast. All
+  // operations are idempotent under LWW, so this is safe.
+  broadcastCurrent();
+}
+
+void QClient::completeOp() {
+  phase_ = Phase::kIdle;
+  if (retryArmed_) {
+    cancelTimer(retryTimer_);
+    retryArmed_ = false;
+  }
+  stats_.latencySumSec += sim::toSeconds(now() - opStart_);
+}
+
+void QClient::receive(util::NodeId from, const sim::MessagePtr& message) {
+  switch (static_cast<QMsgKind>(message->kind())) {
+    case QMsgKind::kWriteAck: {
+      const auto& ack = *std::static_pointer_cast<const WriteAck>(message);
+      if (phase_ != Phase::kWriting || ack.opId != currentOpId_) return;
+      responders_.insert(from);
+      if (responders_.size() < writeQuorum_) return;
+      completeOp();
+      ++stats_.writesCompleted;
+      if (malicious()) {
+        setTimer(behavior_.poisonInterval, [this] { startWrite(); });
+      } else {
+        startRead();  // verify what we just wrote
+      }
+      break;
+    }
+    case QMsgKind::kReadResponse: {
+      const auto& response =
+          *std::static_pointer_cast<const ReadResponse>(message);
+      if (phase_ != Phase::kReading || response.opId != currentOpId_) return;
+      const bool isNewResponder = responders_.insert(from).second;
+      if (response.found && bestVersion_ < response.version) {
+        bestVersion_ = response.version;
+        bestValue_ = response.value;
+      }
+      if (!isNewResponder || responders_.size() < readQuorum_) return;
+      completeOp();
+      ++stats_.readsCompleted;
+      // Verification: the newest version a read quorum returns must be our
+      // own last acknowledged write (nobody else writes this key honestly).
+      if (bestVersion_ != lastWrittenVersion_ ||
+          bestValue_ != lastWrittenValue_) {
+        ++stats_.staleReads;
+      }
+      startWrite();
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace avd::quorum

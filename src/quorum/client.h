@@ -1,0 +1,100 @@
+// Clients of the quorum KV store.
+//
+// Honest clients run a closed verification loop on their own key: write a
+// monotonically increasing value with their wall-clock version, then read
+// it back through a read quorum. A read that returns anything older (or
+// other) than the client's own last acknowledged write is a STALE READ —
+// the correctness metric the AVD executor turns into impact.
+//
+// Malicious clients exercise the permissive API: the store trusts the
+// client-supplied timestamp, so a poisoner writes garbage to victim keys
+// with versions from the far future, permanently shadowing every honest
+// write that follows (the LWW timestamp-inflation attack).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "quorum/messages.h"
+#include "sim/node.h"
+
+namespace avd::quorum {
+
+struct QClientBehavior {
+  /// 0 = honest. Otherwise: added to now() as the poisoned version.
+  sim::Time timestampInflation = 0;
+  /// Victim range: the poisoner cycles over keys [firstVictimKey,
+  /// firstVictimKey + victimKeys). The deployment points this at the
+  /// honest clients' keys.
+  Key firstVictimKey = 0;
+  std::uint32_t victimKeys = 1;
+  /// Delay between poison writes.
+  sim::Time poisonInterval = sim::msec(200);
+};
+
+struct QClientStats {
+  std::uint64_t writesCompleted = 0;
+  std::uint64_t readsCompleted = 0;
+  std::uint64_t staleReads = 0;
+  double latencySumSec = 0.0;
+};
+
+class QClient final : public sim::Node {
+ public:
+  /// replicas: [0, replicaCount) node ids; R/W: quorum sizes.
+  QClient(util::NodeId id, std::uint32_t replicaCount, std::uint32_t readQuorum,
+          std::uint32_t writeQuorum, QClientBehavior behavior = {},
+          sim::Time retryTimeout = sim::msec(200));
+
+  void start() override;
+  void receive(util::NodeId from, const sim::MessagePtr& message) override;
+
+  const QClientStats& stats() const noexcept { return stats_; }
+  /// The key this (honest) client verifies.
+  Key ownKey() const noexcept;
+  bool malicious() const noexcept { return behavior_.timestampInflation > 0; }
+
+ private:
+  enum class Phase { kIdle, kWriting, kReading };
+
+  void startWrite();
+  void startRead();
+  void broadcastCurrent();
+  void onRetry();
+  void completeOp();
+
+  std::uint32_t replicaCount_;
+  std::uint32_t readQuorum_;
+  std::uint32_t writeQuorum_;
+  QClientBehavior behavior_;
+  sim::Time retryTimeout_;
+
+  Phase phase_ = Phase::kIdle;
+  std::uint64_t nextOpId_ = 0;
+  std::uint64_t currentOpId_ = 0;
+  sim::Time opStart_ = 0;
+  sim::MessagePtr currentMessage_;
+  /// Distinct replicas that answered the current operation (retransmission
+  /// produces duplicate answers; quorums count replicas, not messages).
+  std::set<util::NodeId> responders_;
+  /// Best (version, value) among read responses so far.
+  Version bestVersion_;
+  util::Bytes bestValue_;
+
+  /// Verification state: the last value/version this client successfully
+  /// wrote to its own key.
+  std::uint64_t writeSeq_ = 0;
+  Version lastWrittenVersion_;
+  util::Bytes lastWrittenValue_;
+
+  /// Poisoner state.
+  std::uint32_t nextVictim_ = 0;
+
+  sim::TimerId retryTimer_ = 0;
+  bool retryArmed_ = false;
+  QClientStats stats_;
+};
+
+}  // namespace avd::quorum

@@ -1,0 +1,108 @@
+#include "quorum/deployment.h"
+
+namespace avd::quorum {
+
+QuorumDeployment::QuorumDeployment(QuorumConfig config)
+    : config_(std::move(config)),
+      simulator_(config_.seed),
+      network_(&simulator_, config_.link) {
+  replicas_.reserve(config_.replicas);
+  for (util::NodeId id = 0; id < config_.replicas; ++id) {
+    QReplicaBehavior behavior;
+    if (const auto it = config_.replicaBehaviors.find(id);
+        it != config_.replicaBehaviors.end()) {
+      behavior = it->second;
+    }
+    replicas_.push_back(std::make_unique<QReplica>(id, behavior));
+    network_.registerNode(replicas_.back().get());
+  }
+
+  const util::NodeId firstClient = config_.replicas;
+  const util::NodeId firstHonest = firstClient + config_.maliciousClients;
+  clients_.reserve(config_.maliciousClients + config_.honestClients);
+  for (std::uint32_t i = 0; i < config_.maliciousClients; ++i) {
+    QClientBehavior behavior = config_.maliciousBehavior;
+    behavior.firstVictimKey = firstHonest;  // poison the honest keys
+    if (behavior.victimKeys == 0 || behavior.victimKeys > config_.honestClients) {
+      behavior.victimKeys = std::max(1u, config_.honestClients);
+    }
+    clients_.push_back(std::make_unique<QClient>(
+        firstClient + i, config_.replicas, config_.readQuorum,
+        config_.writeQuorum, behavior));
+    network_.registerNode(clients_.back().get());
+  }
+  for (std::uint32_t i = 0; i < config_.honestClients; ++i) {
+    clients_.push_back(std::make_unique<QClient>(
+        firstHonest + i, config_.replicas, config_.readQuorum,
+        config_.writeQuorum));
+    network_.registerNode(clients_.back().get());
+  }
+}
+
+void QuorumDeployment::runFor(sim::Time duration) {
+  if (!started_) {
+    started_ = true;
+    for (auto& replica : replicas_) replica->start();
+    for (auto& client : clients_) client->start();
+  }
+  simulator_.runUntil(simulator_.now() + duration);
+}
+
+QuorumResult QuorumDeployment::run() {
+  // Stats accumulate from t=0; the collect() below subtracts nothing, so a
+  // separate warmup snapshot keeps the window semantics of the PBFT
+  // deployment: run warmup, snapshot, run measure, diff.
+  runFor(config_.warmup);
+  std::vector<QClientStats> snapshot;
+  snapshot.reserve(config_.honestClients);
+  for (std::uint32_t i = 0; i < config_.honestClients; ++i) {
+    snapshot.push_back(honestClient(i).stats());
+  }
+  runFor(config_.measure);
+
+  QuorumResult result;
+  double latencySum = 0.0;
+  for (std::uint32_t i = 0; i < config_.honestClients; ++i) {
+    const QClientStats& now = honestClient(i).stats();
+    const QClientStats& then = snapshot[i];
+    result.honestWrites += now.writesCompleted - then.writesCompleted;
+    result.honestReads += now.readsCompleted - then.readsCompleted;
+    result.staleReads += now.staleReads - then.staleReads;
+    latencySum += now.latencySumSec - then.latencySumSec;
+  }
+  const double seconds = sim::toSeconds(config_.measure);
+  const std::uint64_t ops = result.honestWrites + result.honestReads;
+  result.opsPerSec = seconds > 0 ? static_cast<double>(ops) / seconds : 0;
+  result.staleFraction =
+      result.honestReads > 0
+          ? static_cast<double>(result.staleReads) /
+                static_cast<double>(result.honestReads)
+          : 0.0;
+  result.avgLatencySec =
+      ops > 0 ? latencySum / static_cast<double>(ops) : 0.0;
+  return result;
+}
+
+QuorumResult QuorumDeployment::collect() const {
+  QuorumResult result;
+  for (std::uint32_t i = 0; i < config_.honestClients; ++i) {
+    const QClientStats& stats =
+        clients_[config_.maliciousClients + i]->stats();
+    result.honestWrites += stats.writesCompleted;
+    result.honestReads += stats.readsCompleted;
+    result.staleReads += stats.staleReads;
+  }
+  result.staleFraction =
+      result.honestReads > 0
+          ? static_cast<double>(result.staleReads) /
+                static_cast<double>(result.honestReads)
+          : 0.0;
+  return result;
+}
+
+QuorumResult runQuorumScenario(const QuorumConfig& config) {
+  QuorumDeployment deployment(config);
+  return deployment.run();
+}
+
+}  // namespace avd::quorum

@@ -1,0 +1,73 @@
+// Simulated deployment of the quorum KV store (the second system under
+// test). Mirrors the PBFT deployment's shape: build from a config, run a
+// warmup + measurement window, report the damage to honest clients —
+// here both performance (ops/s) and CORRECTNESS (stale-read fraction),
+// because the interesting attacks against this API poison data rather than
+// throughput.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "quorum/client.h"
+#include "quorum/replica.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace avd::quorum {
+
+struct QuorumConfig {
+  std::uint32_t replicas = 5;
+  std::uint32_t readQuorum = 3;   // R
+  std::uint32_t writeQuorum = 3;  // W  (R + W > N for overlap)
+  std::uint32_t honestClients = 8;
+  std::uint32_t maliciousClients = 0;
+  QClientBehavior maliciousBehavior;
+  std::map<util::NodeId, QReplicaBehavior> replicaBehaviors;
+  sim::LinkModel link{sim::usec(500), sim::usec(100)};
+  sim::Time warmup = sim::msec(300);
+  sim::Time measure = sim::sec(2);
+  std::uint64_t seed = 1;
+};
+
+struct QuorumResult {
+  double opsPerSec = 0.0;        // honest completed ops (writes+reads) / s
+  double staleFraction = 0.0;    // stale reads / reads, honest clients
+  double avgLatencySec = 0.0;
+  std::uint64_t honestReads = 0;
+  std::uint64_t honestWrites = 0;
+  std::uint64_t staleReads = 0;
+};
+
+class QuorumDeployment {
+ public:
+  explicit QuorumDeployment(QuorumConfig config);
+
+  QuorumResult run();
+  void runFor(sim::Time duration);
+  QuorumResult collect() const;
+
+  sim::Simulator& simulator() noexcept { return simulator_; }
+  sim::Network& network() noexcept { return network_; }
+  QReplica& replica(std::uint32_t index) { return *replicas_.at(index); }
+  QClient& honestClient(std::uint32_t index) {
+    return *clients_.at(config_.maliciousClients + index);
+  }
+  QClient& maliciousClient(std::uint32_t index) {
+    return *clients_.at(index);
+  }
+  const QuorumConfig& config() const noexcept { return config_; }
+
+ private:
+  QuorumConfig config_;
+  sim::Simulator simulator_;
+  sim::Network network_;
+  std::vector<std::unique_ptr<QReplica>> replicas_;
+  std::vector<std::unique_ptr<QClient>> clients_;  // malicious first
+  bool started_ = false;
+};
+
+QuorumResult runQuorumScenario(const QuorumConfig& config);
+
+}  // namespace avd::quorum

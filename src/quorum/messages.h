@@ -1,0 +1,91 @@
+// Messages of the quorum-replicated key-value store (second target system).
+//
+// The store is Dynamo/Cassandra-shaped: N replicas, client-driven quorum
+// writes (wait for W acks) and reads (take the newest of R responses),
+// last-write-wins reconciliation on a CLIENT-SUPPLIED timestamp, and no
+// intra-cluster authentication. Those last two properties are the point:
+// they are common real-world API decisions, and AVD's job (§2: "evaluate an
+// Application Programming Interface before deployment ... discover if the
+// API enables certain attacks from clients, by being too permissive") is to
+// find out what a malicious participant can do with them.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/types.h"
+#include "sim/message.h"
+#include "sim/time.h"
+
+namespace avd::quorum {
+
+enum class QMsgKind : std::uint32_t {
+  kWriteRequest = 0x5100,
+  kWriteAck,
+  kReadRequest,
+  kReadResponse,
+};
+
+/// Last-write-wins version: client-supplied wall-clock timestamp, writer id
+/// as the tiebreaker. The timestamp is *trusted* — that is the API flaw.
+struct Version {
+  sim::Time timestamp = 0;
+  util::NodeId writer = util::kNoNode;
+
+  friend bool operator==(const Version&, const Version&) = default;
+  friend bool operator<(const Version& a, const Version& b) {
+    return a.timestamp != b.timestamp ? a.timestamp < b.timestamp
+                                      : a.writer < b.writer;
+  }
+};
+
+using Key = std::uint32_t;
+
+struct WriteRequest final : sim::Message {
+  Key key = 0;
+  util::Bytes value;
+  Version version;
+  std::uint64_t opId = 0;  // client-local correlation id
+
+  std::uint32_t kind() const noexcept override {
+    return static_cast<std::uint32_t>(QMsgKind::kWriteRequest);
+  }
+  std::size_t wireSize() const noexcept override {
+    return 32 + value.size();
+  }
+};
+
+struct WriteAck final : sim::Message {
+  Key key = 0;
+  std::uint64_t opId = 0;
+
+  std::uint32_t kind() const noexcept override {
+    return static_cast<std::uint32_t>(QMsgKind::kWriteAck);
+  }
+};
+
+struct ReadRequest final : sim::Message {
+  Key key = 0;
+  std::uint64_t opId = 0;
+
+  std::uint32_t kind() const noexcept override {
+    return static_cast<std::uint32_t>(QMsgKind::kReadRequest);
+  }
+};
+
+struct ReadResponse final : sim::Message {
+  Key key = 0;
+  std::uint64_t opId = 0;
+  bool found = false;
+  Version version;
+  util::Bytes value;
+
+  std::uint32_t kind() const noexcept override {
+    return static_cast<std::uint32_t>(QMsgKind::kReadResponse);
+  }
+  std::size_t wireSize() const noexcept override {
+    return 40 + value.size();
+  }
+};
+
+}  // namespace avd::quorum

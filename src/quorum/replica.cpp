@@ -1,0 +1,62 @@
+#include "quorum/replica.h"
+
+namespace avd::quorum {
+
+void QReplica::receive(util::NodeId from, const sim::MessagePtr& message) {
+  if (behavior_.silent) return;
+
+  switch (static_cast<QMsgKind>(message->kind())) {
+    case QMsgKind::kWriteRequest: {
+      const auto& write =
+          *std::static_pointer_cast<const WriteRequest>(message);
+      Entry& entry = table_[write.key];
+      // Last-write-wins on the CLIENT-SUPPLIED version: the replica has no
+      // way to tell an honest wall-clock from an inflated one.
+      if (entry.version < write.version) {
+        entry.version = write.version;
+        entry.value = write.value;
+        ++stats_.writesApplied;
+      } else {
+        ++stats_.writesStale;
+      }
+      auto ack = std::make_shared<WriteAck>();
+      ack->key = write.key;
+      ack->opId = write.opId;
+      send(from, std::move(ack));
+      break;
+    }
+    case QMsgKind::kReadRequest: {
+      const auto& read =
+          *std::static_pointer_cast<const ReadRequest>(message);
+      auto response = std::make_shared<ReadResponse>();
+      response->key = read.key;
+      response->opId = read.opId;
+      if (behavior_.fabricateReads) {
+        // No authentication anywhere: nothing stops this value from
+        // winning the client's max-version reconciliation.
+        response->found = true;
+        response->version =
+            Version{now() + behavior_.fabricationLead, id()};
+        response->value = {0xBA, 0xD0};
+        ++stats_.fabricated;
+      } else if (const auto it = table_.find(read.key); it != table_.end()) {
+        response->found = true;
+        response->version = it->second.version;
+        response->value = it->second.value;
+      }
+      ++stats_.readsServed;
+      send(from, std::move(response));
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+std::optional<Version> QReplica::versionOf(Key key) const {
+  const auto it = table_.find(key);
+  if (it == table_.end()) return std::nullopt;
+  return it->second.version;
+}
+
+}  // namespace avd::quorum

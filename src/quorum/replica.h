@@ -1,0 +1,60 @@
+// Storage replica of the quorum KV store.
+//
+// Honest behaviour: apply writes under last-write-wins, answer reads with
+// the stored (version, value). Malicious behaviours model compromised
+// storage nodes: staying silent (sloppy availability attack) or fabricating
+// read responses with inflated versions (possible because the intra-cluster
+// protocol has no authentication — the second API flaw AVD probes).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "quorum/messages.h"
+#include "sim/node.h"
+
+namespace avd::quorum {
+
+struct QReplicaBehavior {
+  /// Never answer anything (crash-like, but undetectable by timeout logic
+  /// on the write path since W < N absorbs it).
+  bool silent = false;
+  /// Answer reads with a fabricated value carrying a far-future version —
+  /// one lying replica can poison every read quorum it lands in.
+  bool fabricateReads = false;
+  /// Version inflation used by the fabricator.
+  sim::Time fabricationLead = sim::sec(1u << 20);
+};
+
+struct QReplicaStats {
+  std::uint64_t writesApplied = 0;
+  std::uint64_t writesStale = 0;  // LWW-rejected (older than stored)
+  std::uint64_t readsServed = 0;
+  std::uint64_t fabricated = 0;
+};
+
+class QReplica final : public sim::Node {
+ public:
+  QReplica(util::NodeId id, QReplicaBehavior behavior = {})
+      : sim::Node(id), behavior_(behavior) {}
+
+  void receive(util::NodeId from, const sim::MessagePtr& message) override;
+
+  const QReplicaStats& stats() const noexcept { return stats_; }
+  /// Current stored version for a key (for tests); nullopt if absent.
+  std::optional<Version> versionOf(Key key) const;
+  std::size_t size() const noexcept { return table_.size(); }
+
+ private:
+  struct Entry {
+    Version version;
+    util::Bytes value;
+  };
+
+  QReplicaBehavior behavior_;
+  std::map<Key, Entry> table_;
+  QReplicaStats stats_;
+};
+
+}  // namespace avd::quorum

@@ -1,0 +1,27 @@
+// Base class for simulated network payloads.
+//
+// Messages travel through the simulator as shared immutable objects (no
+// serialization on the fast path); protocol layers downcast via kind tags.
+// Digests/MACs are still computed over canonical byte encodings so that
+// authentication covers exactly what a wire deployment would sign.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+namespace avd::sim {
+
+class Message {
+ public:
+  virtual ~Message() = default;
+
+  /// Protocol-defined discriminator; see pbft/message.h for the PBFT kinds.
+  virtual std::uint32_t kind() const noexcept = 0;
+
+  /// Approximate wire size in bytes, used by network byte counters.
+  virtual std::size_t wireSize() const noexcept { return 64; }
+};
+
+using MessagePtr = std::shared_ptr<const Message>;
+
+}  // namespace avd::sim

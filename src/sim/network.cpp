@@ -1,0 +1,60 @@
+#include "sim/network.h"
+
+#include <cassert>
+
+namespace avd::sim {
+
+void Network::registerNode(Node* node) {
+  assert(node != nullptr);
+  const util::NodeId id = node->id();
+  if (id >= nodes_.size()) nodes_.resize(id + 1, nullptr);
+  assert(nodes_[id] == nullptr && "duplicate node id");
+  nodes_[id] = node;
+  node->attach(simulator_, this);
+}
+
+void Network::send(util::NodeId from, util::NodeId to, MessagePtr message) {
+  assert(message != nullptr);
+  ++counters_.sent;
+  counters_.bytesSent += message->wireSize();
+
+  Node* const sender = node(from);
+  Node* const target = node(to);
+  if (sender == nullptr || !sender->alive() || target == nullptr) {
+    ++counters_.droppedDeadNode;
+    return;
+  }
+
+  Time extraDelay = 0;
+  for (const auto& fault : faults_) {
+    NetworkFault::Decision decision =
+        fault->onMessage(from, to, message, simulator_->rng());
+    if (decision.drop) {
+      ++counters_.droppedByFaults;
+      return;
+    }
+    extraDelay += decision.extraDelay;
+    if (decision.replace != nullptr) {
+      message = std::move(decision.replace);
+      ++counters_.tamperedByFaults;
+    }
+  }
+
+  Time delay = model_.baseLatency + extraDelay;
+  if (model_.jitter > 0) {
+    delay += static_cast<Time>(simulator_->rng().below(
+        static_cast<std::uint64_t>(model_.jitter) + 1));
+  }
+
+  simulator_->schedule(delay, [this, from, to, message = std::move(message)] {
+    Node* const receiver = node(to);
+    if (receiver == nullptr || !receiver->alive()) {
+      ++counters_.droppedDeadNode;
+      return;
+    }
+    ++counters_.delivered;
+    receiver->receive(from, message);
+  });
+}
+
+}  // namespace avd::sim

@@ -1,0 +1,91 @@
+// Simulated network fabric.
+//
+// The network delivers messages between registered nodes after a per-link
+// latency (base + uniform jitter) and passes every send through a chain of
+// NetworkFault hooks. The hooks are how AVD's network-level testing tools
+// (drops, delays, partitions, reordering — §2 "the networks may also be
+// under the control of AVD") plug into a deployment without the protocol
+// code knowing.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/message.h"
+#include "sim/node.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace avd::sim {
+
+/// Latency model applied to every link.
+struct LinkModel {
+  Time baseLatency = msec(1);
+  /// Uniform extra delay in [0, jitter].
+  Time jitter = 0;
+};
+
+/// Hook invoked for every message send. Implementations may drop the
+/// message, add extra delay (delaying selected messages is how the
+/// reordering tool permutes delivery order), or substitute a tampered
+/// payload (the blind bit-flipping tool).
+class NetworkFault {
+ public:
+  struct Decision {
+    bool drop = false;
+    Time extraDelay = 0;
+    /// Non-null: deliver this payload instead of the original.
+    MessagePtr replace;
+  };
+
+  virtual ~NetworkFault() = default;
+  virtual Decision onMessage(util::NodeId from, util::NodeId to,
+                             const MessagePtr& message, util::Rng& rng) = 0;
+};
+
+/// Traffic counters, exposed for tests and impact analysis.
+struct NetworkCounters {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t droppedByFaults = 0;
+  std::uint64_t droppedDeadNode = 0;
+  std::uint64_t tamperedByFaults = 0;
+  std::uint64_t bytesSent = 0;
+};
+
+class Network {
+ public:
+  Network(Simulator* simulator, LinkModel model) noexcept
+      : simulator_(simulator), model_(model) {}
+
+  /// Registers a node; its id must be < the deployment's node count and
+  /// unique. Nodes are attached to this network and simulator.
+  void registerNode(Node* node);
+
+  Node* node(util::NodeId id) const noexcept {
+    return id < nodes_.size() ? nodes_[id] : nullptr;
+  }
+  std::size_t nodeCount() const noexcept { return nodes_.size(); }
+
+  /// Sends `message` from `from` to `to`; applies fault hooks and latency.
+  void send(util::NodeId from, util::NodeId to, MessagePtr message);
+
+  void addFault(std::shared_ptr<NetworkFault> fault) {
+    faults_.push_back(std::move(fault));
+  }
+  void clearFaults() noexcept { faults_.clear(); }
+
+  const NetworkCounters& counters() const noexcept { return counters_; }
+  const LinkModel& linkModel() const noexcept { return model_; }
+
+ private:
+  Simulator* simulator_;
+  LinkModel model_;
+  std::vector<Node*> nodes_;
+  std::vector<std::shared_ptr<NetworkFault>> faults_;
+  NetworkCounters counters_;
+};
+
+}  // namespace avd::sim

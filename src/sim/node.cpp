@@ -1,0 +1,12 @@
+#include "sim/node.h"
+
+#include "sim/network.h"
+
+namespace avd::sim {
+
+void Node::send(util::NodeId to, MessagePtr message) {
+  assert(network_ != nullptr);
+  network_->send(id_, to, std::move(message));
+}
+
+}  // namespace avd::sim

@@ -1,0 +1,89 @@
+// Simulated node (process) base class.
+//
+// A Node owns no threads: it is a state machine invoked by the simulator
+// for message deliveries and timer expirations. Crashed nodes stop
+// receiving deliveries and their pending timers are suppressed, modelling a
+// fail-stop node without tearing down state (so post-mortem inspection in
+// tests still works).
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <memory>
+
+#include "common/types.h"
+#include "sim/message.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace avd::sim {
+
+class Network;
+
+class Node {
+ public:
+  explicit Node(util::NodeId id) noexcept : id_(id) {}
+  virtual ~Node() = default;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  util::NodeId id() const noexcept { return id_; }
+  bool alive() const noexcept { return alive_; }
+
+  /// Fail-stop crash / restart-less recovery toggle (used by fault tools).
+  void setAlive(bool alive) noexcept { alive_ = alive; }
+
+  /// Invoked once by the deployment after simulator/network attachment.
+  virtual void start() {}
+
+  /// Message delivery upcall. `from` is the sender's node id.
+  virtual void receive(util::NodeId from, const MessagePtr& message) = 0;
+
+  /// Wires the node into a simulation; owned by deployment code.
+  void attach(Simulator* simulator, Network* network) noexcept {
+    simulator_ = simulator;
+    network_ = network;
+  }
+
+ protected:
+  Time now() const noexcept { return simulator_->now(); }
+  Simulator& simulator() noexcept { return *simulator_; }
+  Network& network() noexcept { return *network_; }
+
+  /// Sends a message through the network to `to`.
+  void send(util::NodeId to, MessagePtr message);
+
+  /// Multiplier applied to every setTimer delay — the clock-skew fault
+  /// model (a node with a fast clock, scale < 1, times out prematurely).
+  void setTimerScale(double scale) noexcept {
+    if (scale > 0) timerScale_ = scale;
+  }
+  double timerScale() const noexcept { return timerScale_; }
+
+  /// Schedules a callback after `delay` (scaled by the node's clock skew);
+  /// suppressed if the node has crashed by the time it fires. Returns a
+  /// cancelable id.
+  TimerId setTimer(Time delay, std::function<void()> fn) {
+    assert(simulator_ != nullptr);
+    if (timerScale_ != 1.0) {
+      delay = std::max<Time>(
+          1, static_cast<Time>(static_cast<double>(delay) * timerScale_));
+    }
+    return simulator_->schedule(delay, [this, fn = std::move(fn)] {
+      if (alive_) fn();
+    });
+  }
+
+  void cancelTimer(TimerId id) { simulator_->cancel(id); }
+
+ private:
+  util::NodeId id_;
+  bool alive_ = true;
+  double timerScale_ = 1.0;
+  Simulator* simulator_ = nullptr;
+  Network* network_ = nullptr;
+};
+
+}  // namespace avd::sim

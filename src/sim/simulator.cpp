@@ -1,0 +1,69 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+
+namespace avd::sim {
+
+TimerId Simulator::scheduleAt(Time when, std::function<void()> fn) {
+  assert(when >= now_ && "cannot schedule into the past");
+  const TimerId id = nextId_++;
+  heap_.push(Event{when, id, std::move(fn)});
+  return id;
+}
+
+void Simulator::cancel(TimerId id) {
+  if (id != 0 && id < nextId_) cancelled_.insert(id);
+}
+
+bool Simulator::popNext(Event& out) {
+  while (!heap_.empty()) {
+    // priority_queue::top returns const&; the function object must be moved
+    // out before pop, so cast away the container-imposed const. The element
+    // is removed immediately afterwards, preserving heap invariants.
+    Event& top = const_cast<Event&>(heap_.top());
+    Event event{top.when, top.id, std::move(top.fn)};
+    heap_.pop();
+    if (const auto it = cancelled_.find(event.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    out = std::move(event);
+    return true;
+  }
+  return false;
+}
+
+bool Simulator::step() {
+  Event event;
+  if (!popNext(event)) return false;
+  now_ = event.when;
+  ++executed_;
+  event.fn();
+  return true;
+}
+
+void Simulator::runUntil(Time deadline) {
+  for (;;) {
+    if (heap_.empty()) break;
+    // Peek the earliest live event without executing past the deadline.
+    Event event;
+    if (!popNext(event)) break;
+    if (event.when > deadline) {
+      // Put it back; it belongs to the future.
+      heap_.push(std::move(event));
+      break;
+    }
+    now_ = event.when;
+    ++executed_;
+    event.fn();
+  }
+  now_ = deadline;
+}
+
+std::size_t Simulator::run(std::size_t maxEvents) {
+  std::size_t executed = 0;
+  while (executed < maxEvents && step()) ++executed;
+  return executed;
+}
+
+}  // namespace avd::sim

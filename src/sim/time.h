@@ -1,0 +1,26 @@
+// Virtual time.
+//
+// All simulation timestamps are 64-bit signed microsecond counts from the
+// start of the run. Plain integers (rather than std::chrono) keep event
+// arithmetic trivial and serialization exact; the helpers below are the only
+// sanctioned way to spell durations in higher layers.
+#pragma once
+
+#include <cstdint>
+
+namespace avd::sim {
+
+/// Microseconds of virtual time.
+using Time = std::int64_t;
+
+inline constexpr Time kTimeNever = INT64_MAX;
+
+constexpr Time usec(std::int64_t n) noexcept { return n; }
+constexpr Time msec(std::int64_t n) noexcept { return n * 1000; }
+constexpr Time sec(std::int64_t n) noexcept { return n * 1000 * 1000; }
+
+constexpr double toSeconds(Time t) noexcept {
+  return static_cast<double>(t) / 1e6;
+}
+
+}  // namespace avd::sim

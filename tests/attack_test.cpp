@@ -1,0 +1,142 @@
+// Reproductions of the two PBFT vulnerabilities from §6 as tests: the Big
+// MAC attack (inconsistent authenticators -> stall -> view change -> crash
+// of the historical implementation) and the slow-primary attack exploiting
+// the single view-change timer. Each attack also has a negative control
+// showing where the implementation's defences hold.
+#include <gtest/gtest.h>
+
+#include "faultinject/behaviors.h"
+#include "faultinject/mac_corruptor.h"
+#include "pbft/deployment.h"
+
+namespace avd::fi {
+namespace {
+
+std::uint64_t crashedReplicas(pbft::Deployment& deployment) {
+  std::uint64_t crashed = 0;
+  for (std::uint32_t r = 0; r < deployment.replicaCount(); ++r) {
+    crashed += deployment.replica(r).stats().crashedOnViewChange;
+  }
+  return crashed;
+}
+
+std::uint64_t pendedPrePrepares(pbft::Deployment& deployment) {
+  std::uint64_t pended = 0;
+  for (std::uint32_t r = 0; r < deployment.replicaCount(); ++r) {
+    pended += deployment.replica(r).stats().prePreparesPended;
+  }
+  return pended;
+}
+
+TEST(BigMacAttack, MaskZeroIsHarmless) {
+  const pbft::RunResult result =
+      pbft::runScenario(makeBigMacScenario(20, 0, 7));
+  EXPECT_GT(result.throughputRps, 1000.0);
+  EXPECT_EQ(result.maxView, 0u);
+  EXPECT_FALSE(result.safetyViolated);
+}
+
+TEST(BigMacAttack, FullAttackCrashesTheDeployment) {
+  // "by corrupting the MAC in all messages sent by a malicious client, PBFT
+  // will perform a view change and crash": the mask is valid only for the
+  // primary, so no backup ever authenticates the request, the stall forces
+  // a view change, and the crash bug takes out the quorum.
+  pbft::Deployment deployment(
+      makeBigMacScenario(20, bigMacMaskValidOnlyFor(0, 4), 7));
+  const pbft::RunResult result = deployment.run();
+
+  EXPECT_GE(crashedReplicas(deployment), 2u)
+      << "enough replicas must crash to destroy the quorum";
+  EXPECT_LT(result.throughputRps,
+            pbft::runScenario(makeBigMacScenario(20, 0, 7)).throughputRps *
+                0.15)
+      << "after the crash the deployment serves (almost) nothing";
+  EXPECT_FALSE(result.safetyViolated);
+}
+
+TEST(BigMacAttack, RotatingMaskDegradesStealthilyWithoutViewChange) {
+  // Each replica authenticates one retransmission round per cycle, so
+  // parked pre-prepares always resolve and no view change ever fires — the
+  // paper's observation that no view change occurs "if every retransmission
+  // from the malicious client was correct". But in-order execution still
+  // stalls behind each poisoned sequence number for ~2 retransmission
+  // rounds, so one client silently slashes throughput by an order of
+  // magnitude while staying below the view-change radar.
+  pbft::Deployment deployment(
+      makeBigMacScenario(20, rotatingBigMacMask(), 7));
+  const pbft::RunResult result = deployment.run();
+
+  EXPECT_GT(pendedPrePrepares(deployment), 0u)
+      << "digest matching must actually have been exercised";
+  EXPECT_EQ(crashedReplicas(deployment), 0u);
+  EXPECT_EQ(result.maxView, 0u) << "stealth: no view change, no deposition";
+  EXPECT_LT(result.throughputRps,
+            pbft::runScenario(makeBigMacScenario(20, 0, 7)).throughputRps *
+                0.2)
+      << "repeated in-order stalls must cost most of the throughput";
+}
+
+TEST(BigMacAttack, FullCorruptionIsFilteredAtEntry) {
+  // All-ones mask: nobody (not even the primary) can authenticate the
+  // malicious client's requests, so they are dropped at arrival and the
+  // system is unharmed.
+  pbft::Deployment deployment(makeBigMacScenario(20, 0xFFF, 7));
+  const pbft::RunResult result = deployment.run();
+  EXPECT_EQ(result.maxView, 0u);
+  EXPECT_EQ(crashedReplicas(deployment), 0u);
+  EXPECT_GT(result.throughputRps,
+            pbft::runScenario(makeBigMacScenario(20, 0, 7)).throughputRps *
+                0.8);
+}
+
+TEST(BigMacAttack, FixedViewChangeRecoversGracefully) {
+  // Ablation: with the view-change crash bug fixed, the poisoned sequence
+  // number is nulled by the view change and the system keeps running (in a
+  // view whose primary ignores the attacker).
+  pbft::DeploymentConfig config =
+      makeBigMacScenario(20, bigMacMaskValidOnlyFor(0, 4), 7);
+  config.pbft.viewChangeCrashBug = false;
+  config.measure = sim::sec(6);
+  pbft::Deployment deployment(config);
+  const pbft::RunResult result = deployment.run();
+
+  EXPECT_EQ(crashedReplicas(deployment), 0u);
+  EXPECT_GE(result.maxView, 1u) << "the view change must still happen";
+  EXPECT_GT(result.throughputRps,
+            pbft::runScenario(makeBigMacScenario(20, 0, 7)).throughputRps *
+                0.5)
+      << "throughput recovers once a correct primary ignores the attacker";
+  EXPECT_FALSE(result.safetyViolated);
+}
+
+TEST(SlowPrimary, SingleTimerBugYieldsOneRequestPerPeriod) {
+  const pbft::RunResult result = pbft::runScenario(
+      makeSlowPrimaryScenario(10, /*colluding=*/false, /*fix=*/false, 3));
+  // Paper: ~0.2 req/s with the default 5 s timer (one request per period).
+  EXPECT_GT(result.throughputRps, 0.05);
+  EXPECT_LT(result.throughputRps, 0.5);
+  EXPECT_EQ(result.maxView, 0u)
+      << "the malicious primary must never get deposed (that's the bug)";
+}
+
+TEST(SlowPrimary, ColludingClientZeroesUsefulThroughput) {
+  const pbft::RunResult result = pbft::runScenario(
+      makeSlowPrimaryScenario(10, /*colluding=*/true, /*fix=*/false, 3));
+  EXPECT_EQ(result.correctCompleted, 0u)
+      << "correct clients must starve completely";
+  EXPECT_GT(result.maliciousCompleted, 0u)
+      << "the colluder's requests are the only ones served";
+  EXPECT_EQ(result.maxView, 0u);
+}
+
+TEST(SlowPrimary, PerRequestTimersFixRestoresLiveness) {
+  const pbft::RunResult result = pbft::runScenario(
+      makeSlowPrimaryScenario(10, /*colluding=*/true, /*fix=*/true, 3));
+  // With one timer per request the starved requests depose the primary.
+  EXPECT_GE(result.maxView, 1u);
+  EXPECT_GT(result.throughputRps, 10.0)
+      << "after the view change a correct primary restores service";
+}
+
+}  // namespace
+}  // namespace avd::fi

@@ -1,0 +1,134 @@
+// Randomized adversarial sweep: each seed derives a random hostile
+// configuration — random corruption mask, random malicious behaviours,
+// random network faults, random deployment size — and the invariants must
+// hold regardless:
+//
+//   * SAFETY, always: no two replicas execute different batches at the
+//     same sequence number.
+//   * LIVENESS, whenever a correct quorum exists and the network delivers:
+//     correct clients keep completing requests.
+//
+// This is the repository's equivalent of letting AVD run wild overnight
+// and asserting the target never does the one thing BFT forbids.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "faultinject/mac_corruptor.h"
+#include "faultinject/network_faults.h"
+#include "faultinject/reorder.h"
+#include "faultinject/tamper.h"
+#include "pbft/deployment.h"
+
+namespace avd::pbft {
+namespace {
+
+struct ChaosSetup {
+  DeploymentConfig config;
+  double dropRate = 0;
+  double reorderRate = 0;
+  double tamperRate = 0;
+  bool quorumIntact = true;  // is a full correct quorum still guaranteed?
+};
+
+ChaosSetup randomSetup(std::uint64_t seed) {
+  util::Rng rng(seed);
+  ChaosSetup setup;
+  DeploymentConfig& config = setup.config;
+
+  config.pbft.f = 1 + static_cast<std::uint32_t>(rng.below(2));  // f in {1,2}
+  config.pbft.requestTimeout = sim::msec(400);
+  config.pbft.viewChangeTimeout = sim::msec(400);
+  config.clientRetx = sim::msec(100);
+  config.correctClients = 4 + static_cast<std::uint32_t>(rng.below(8));
+  config.warmup = sim::msec(300);
+  config.measure = sim::sec(3);
+  config.seed = seed * 7919 + 13;
+
+  // Up to f malicious replicas with random behaviours (staying within the
+  // fault budget keeps the liveness expectation meaningful).
+  const std::uint32_t maliciousReplicas =
+      static_cast<std::uint32_t>(rng.below(config.pbft.f + 1));
+  for (std::uint32_t i = 0; i < maliciousReplicas; ++i) {
+    ReplicaBehavior behavior;
+    switch (rng.below(5)) {
+      case 0:
+        behavior.silentPrepares = true;
+        behavior.silentCommits = true;
+        break;
+      case 1:
+        behavior.spuriousViewChangeInterval = sim::msec(150);
+        break;
+      case 2:
+        behavior.equivocate = true;
+        break;
+      case 3:
+        behavior.timerSkew = 0.01;
+        break;
+      case 4:
+        behavior.slowPrimary = true;  // only bites if it is the primary
+        break;
+    }
+    // Random replica, possibly the primary.
+    config.replicaBehaviors[static_cast<util::NodeId>(
+        rng.below(config.pbft.replicaCount()))] = behavior;
+  }
+  // Slow primaries within the fault budget can starve the system without
+  // violating safety; the fixed timers keep the liveness expectation valid.
+  config.pbft.perRequestTimers = true;
+  // The crash bug turns Big MAC stalls into quorum loss: legitimate damage,
+  // but it invalidates the liveness expectation, so run the fixed code and
+  // let safety be the universal assertion.
+  config.pbft.viewChangeCrashBug = false;
+
+  // A malicious client with a random corruption mask, sometimes.
+  if (rng.chance(0.7)) {
+    config.maliciousClients = 1 + static_cast<std::uint32_t>(rng.below(2));
+    config.maliciousClientBehavior.macPolicy =
+        fi::makeMacCorruptor(rng.below(4096));
+    config.maliciousClientBehavior.broadcastRequests = rng.chance(0.5);
+  }
+
+  // Mild random network hostility.
+  setup.dropRate = rng.chance(0.5) ? rng.uniform() * 0.08 : 0.0;
+  setup.reorderRate = rng.chance(0.5) ? rng.uniform() * 0.5 : 0.0;
+  setup.tamperRate = rng.chance(0.3) ? rng.uniform() * 0.03 : 0.0;
+  return setup;
+}
+
+class Chaos : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Chaos, SafetyAlwaysLivenessWhenQuorumIntact) {
+  const ChaosSetup setup = randomSetup(GetParam());
+  Deployment deployment(setup.config);
+  if (setup.dropRate > 0) {
+    deployment.network().addFault(
+        std::make_shared<fi::DropFault>(setup.dropRate));
+  }
+  if (setup.reorderRate > 0) {
+    deployment.network().addFault(
+        std::make_shared<fi::ReorderFault>(setup.reorderRate, sim::msec(15)));
+  }
+  if (setup.tamperRate > 0) {
+    deployment.network().addFault(
+        std::make_shared<fi::TamperFault>(setup.tamperRate));
+  }
+
+  const RunResult result = deployment.run();
+
+  EXPECT_FALSE(result.safetyViolated)
+      << "divergent execution under chaos seed " << GetParam();
+  if (setup.quorumIntact) {
+    EXPECT_GT(result.correctCompleted, 0u)
+        << "no progress at all under chaos seed " << GetParam()
+        << " (drop " << setup.dropRate << ", reorder " << setup.reorderRate
+        << ", tamper " << setup.tamperRate << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Chaos,
+                         ::testing::Range<std::uint64_t>(1, 31));
+
+}  // namespace
+}  // namespace avd::pbft

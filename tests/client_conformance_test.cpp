@@ -1,0 +1,190 @@
+// Protocol-conformance tests driving a single PBFT Client with crafted
+// replies: f+1 matching-reply acceptance, MAC/digest validation, divergent
+// (Byzantine) reply handling, view tracking, and retransmission behaviour.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "common/hash.h"
+#include "crypto/keychain.h"
+#include "pbft/client.h"
+#include "pbft/message.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace avd::pbft {
+namespace {
+
+class Probe final : public sim::Node {
+ public:
+  explicit Probe(util::NodeId id) : sim::Node(id) {}
+  void receive(util::NodeId, const sim::MessagePtr& message) override {
+    inbox.push_back(message);
+  }
+  std::vector<RequestPtr> requests() const {
+    std::vector<RequestPtr> out;
+    for (const auto& message : inbox) {
+      if (message->kind() == static_cast<std::uint32_t>(MsgKind::kRequest)) {
+        out.push_back(std::static_pointer_cast<const RequestMessage>(message));
+      }
+    }
+    return out;
+  }
+  std::vector<sim::MessagePtr> inbox;
+  using sim::Node::send;
+};
+
+struct Harness {
+  Harness() : keychain(3), simulator(3), network(&simulator, {sim::usec(10), 0}) {
+    Config config;
+    config.f = 1;
+    client = std::make_unique<Client>(4, config, &keychain, ClientBehavior{},
+                                      sim::msec(150));
+    for (util::NodeId id : {0u, 1u, 2u, 3u}) {
+      probes[id] = std::make_unique<Probe>(id);
+      network.registerNode(probes[id].get());
+    }
+    network.registerNode(client.get());
+    client->start();
+    settle();
+  }
+
+  void settle() { simulator.runUntil(simulator.now() + sim::msec(20)); }
+
+  /// Builds a valid reply from `replica` for the client's outstanding
+  /// request; `resultByte` controls the result payload.
+  std::shared_ptr<ReplyMessage> makeReply(util::NodeId replica,
+                                          util::RequestId timestamp,
+                                          std::uint8_t resultByte,
+                                          util::ViewId view = 0) {
+    auto reply = std::make_shared<ReplyMessage>();
+    reply->view = view;
+    reply->client = 4;
+    reply->timestamp = timestamp;
+    reply->replica = replica;
+    reply->result = {resultByte};
+    reply->resultDigest = util::fnv1a(reply->result);
+    crypto::MacService macs(replica, &keychain);
+    reply->mac = macs.generate(4, replyDigest(*reply));
+    return reply;
+  }
+
+  void deliver(util::NodeId from, sim::MessagePtr message) {
+    probes[from]->send(4, std::move(message));
+    settle();
+  }
+
+  crypto::Keychain keychain;
+  sim::Simulator simulator;
+  sim::Network network;
+  std::unique_ptr<Client> client;
+  std::map<util::NodeId, std::unique_ptr<Probe>> probes;
+};
+
+TEST(ClientConformance, FirstRequestGoesToPrimaryOnly) {
+  Harness h;
+  EXPECT_EQ(h.probes[0]->requests().size(), 1u);
+  EXPECT_EQ(h.probes[1]->requests().size(), 0u);
+  EXPECT_EQ(h.client->issued(), 1u);
+}
+
+TEST(ClientConformance, RequestCarriesFullAuthenticator) {
+  Harness h;
+  const auto requests = h.probes[0]->requests();
+  ASSERT_EQ(requests.size(), 1u);
+  ASSERT_EQ(requests[0]->auth.tags.size(), 4u);
+  for (util::NodeId replica = 0; replica < 4; ++replica) {
+    crypto::MacService macs(replica, &h.keychain);
+    EXPECT_TRUE(macs.verify(4, requests[0]->digest,
+                            requests[0]->auth.tags[replica]))
+        << "replica " << replica;
+  }
+}
+
+TEST(ClientConformance, FPlusOneMatchingRepliesComplete) {
+  Harness h;
+  h.deliver(0, h.makeReply(0, 1, 7));
+  EXPECT_EQ(h.client->completed(), 0u) << "one reply is not f+1";
+  h.deliver(1, h.makeReply(1, 1, 7));
+  EXPECT_EQ(h.client->completed(), 1u);
+  EXPECT_EQ(h.client->lastResult(), util::Bytes{7});
+  EXPECT_EQ(h.client->issued(), 2u) << "closed loop issues the next request";
+}
+
+TEST(ClientConformance, DuplicateRepliesFromOneReplicaDoNotCount) {
+  Harness h;
+  h.deliver(0, h.makeReply(0, 1, 7));
+  h.deliver(0, h.makeReply(0, 1, 7));
+  h.deliver(0, h.makeReply(0, 1, 7));
+  EXPECT_EQ(h.client->completed(), 0u)
+      << "votes are per replica, not per message";
+}
+
+TEST(ClientConformance, DivergentResultsNeedMatchingQuorum) {
+  Harness h;
+  // A Byzantine replica answers with a different result.
+  h.deliver(0, h.makeReply(0, 1, 7));
+  h.deliver(1, h.makeReply(1, 1, 9));
+  EXPECT_EQ(h.client->completed(), 0u) << "7 vs 9: no f+1 agreement yet";
+  h.deliver(2, h.makeReply(2, 1, 9));
+  EXPECT_EQ(h.client->completed(), 1u);
+  EXPECT_EQ(h.client->lastResult(), util::Bytes{9})
+      << "the matching pair wins; the lone answer is outvoted";
+}
+
+TEST(ClientConformance, TamperedReplyMacIsIgnored) {
+  Harness h;
+  auto bad = h.makeReply(0, 1, 7);
+  bad->mac = ~bad->mac;
+  h.deliver(0, bad);
+  h.deliver(1, h.makeReply(1, 1, 7));
+  EXPECT_EQ(h.client->completed(), 0u)
+      << "the tampered vote must not count toward f+1";
+}
+
+TEST(ClientConformance, ResultDigestMismatchIsIgnored) {
+  Harness h;
+  auto bad = h.makeReply(0, 1, 7);
+  bad->result = {8};  // body no longer matches the digest (nor the MAC)
+  h.deliver(0, bad);
+  h.deliver(1, h.makeReply(1, 1, 7));
+  EXPECT_EQ(h.client->completed(), 0u);
+}
+
+TEST(ClientConformance, StaleTimestampRepliesAreIgnored) {
+  Harness h;
+  h.deliver(0, h.makeReply(0, 1, 7));
+  h.deliver(1, h.makeReply(1, 1, 7));  // completes ts=1, issues ts=2
+  ASSERT_EQ(h.client->completed(), 1u);
+  h.deliver(2, h.makeReply(2, 1, 7));  // late vote for the OLD request
+  h.deliver(3, h.makeReply(3, 1, 7));
+  EXPECT_EQ(h.client->completed(), 1u);
+}
+
+TEST(ClientConformance, RetransmissionBroadcastsToAllReplicas) {
+  Harness h;
+  // No replies: let the 150 ms retransmission timer fire.
+  h.simulator.runUntil(h.simulator.now() + sim::msec(200));
+  EXPECT_EQ(h.client->retransmissions(), 1u);
+  for (util::NodeId replica : {1u, 2u, 3u}) {
+    EXPECT_EQ(h.probes[replica]->requests().size(), 1u)
+        << "replica " << replica;
+  }
+  // The retransmission regenerates the authenticator (fresh MAC calls) —
+  // the property the 12-bit corruption mask's round structure builds on.
+  EXPECT_EQ(h.client->macs().generateCallCount(), 8u);
+}
+
+TEST(ClientConformance, ViewTrackingRedirectsNextRequest) {
+  Harness h;
+  h.deliver(0, h.makeReply(0, 1, 7, /*view=*/1));
+  h.deliver(1, h.makeReply(1, 1, 7, /*view=*/1));
+  ASSERT_EQ(h.client->completed(), 1u);
+  EXPECT_EQ(h.client->believedView(), 1u);
+  // The next request goes to the primary of view 1 = replica 1.
+  EXPECT_EQ(h.probes[1]->requests().size(), 1u);
+}
+
+}  // namespace
+}  // namespace avd::pbft

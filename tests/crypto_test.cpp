@@ -1,0 +1,194 @@
+// Unit tests for the MAC / keychain / authenticator layer, including the
+// fault-policy hook the MAC-corruption tool uses.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <utility>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "crypto/authenticator.h"
+#include "crypto/keychain.h"
+#include "crypto/mac.h"
+#include "faultinject/mac_corruptor.h"
+
+namespace avd::crypto {
+namespace {
+
+TEST(Mac, DeterministicForSameKeyAndData) {
+  const MacKey key{1, 2};
+  const util::Bytes data{1, 2, 3, 4, 5};
+  EXPECT_EQ(computeMac(key, data), computeMac(key, data));
+}
+
+TEST(Mac, DifferentKeysDifferentTags) {
+  const util::Bytes data{1, 2, 3};
+  EXPECT_NE(computeMac(MacKey{1, 2}, data), computeMac(MacKey{1, 3}, data));
+  EXPECT_NE(computeMac(MacKey{1, 2}, data), computeMac(MacKey{2, 2}, data));
+}
+
+TEST(Mac, DifferentDataDifferentTags) {
+  const MacKey key{7, 8};
+  EXPECT_NE(computeMac(key, util::Bytes{1}), computeMac(key, util::Bytes{2}));
+  EXPECT_NE(computeMac(key, util::Bytes{}), computeMac(key, util::Bytes{0}));
+}
+
+TEST(Mac, LengthMattersEvenWithSharedPrefix) {
+  const MacKey key{7, 8};
+  const util::Bytes shorter{1, 2, 3};
+  const util::Bytes longer{1, 2, 3, 0};
+  EXPECT_NE(computeMac(key, shorter), computeMac(key, longer));
+}
+
+TEST(Mac, DigestOverloadMatchesByteEncoding) {
+  const MacKey key{3, 4};
+  const std::uint64_t digest = 0x1122334455667788ull;
+  util::Bytes bytes(8);
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<std::uint8_t>(digest >> (8 * i));
+  }
+  EXPECT_EQ(computeMac(key, digest), computeMac(key, bytes));
+}
+
+TEST(Mac, HandlesAllInputLengths) {
+  // Exercise every tail length of the 8-byte block cipher-style absorb.
+  const MacKey key{11, 13};
+  util::Bytes data;
+  std::set<MacTag> tags;
+  for (int len = 0; len <= 24; ++len) {
+    tags.insert(computeMac(key, data));
+    data.push_back(static_cast<std::uint8_t>(len));
+  }
+  EXPECT_EQ(tags.size(), 25u) << "every length yields a distinct tag";
+}
+
+TEST(Keychain, SessionKeysAreSymmetric) {
+  const Keychain keychain(99);
+  for (util::NodeId a = 0; a < 6; ++a) {
+    for (util::NodeId b = 0; b < 6; ++b) {
+      EXPECT_EQ(keychain.sessionKey(a, b), keychain.sessionKey(b, a));
+    }
+  }
+}
+
+TEST(Keychain, DistinctPairsDistinctKeys) {
+  const Keychain keychain(99);
+  std::set<std::pair<std::uint64_t, std::uint64_t>> keys;
+  for (util::NodeId a = 0; a < 10; ++a) {
+    for (util::NodeId b = a; b < 10; ++b) {
+      const MacKey key = keychain.sessionKey(a, b);
+      keys.insert({key.k0, key.k1});
+    }
+  }
+  EXPECT_EQ(keys.size(), 55u);  // C(10,2) + 10 self-pairs
+}
+
+TEST(Keychain, DifferentMasterSeedsDifferentKeys) {
+  EXPECT_NE(Keychain(1).sessionKey(0, 1).k0, Keychain(2).sessionKey(0, 1).k0);
+}
+
+TEST(MacService, PeerCanVerifyGeneratedTag) {
+  const Keychain keychain(5);
+  MacService alice(0, &keychain);
+  MacService bob(1, &keychain);
+  const std::uint64_t digest = 1234;
+  const MacTag tag = alice.generate(1, digest);
+  EXPECT_TRUE(bob.verify(0, digest, tag));
+  EXPECT_FALSE(bob.verify(0, digest + 1, tag));
+  EXPECT_FALSE(bob.verify(2, digest, tag)) << "wrong claimed sender";
+}
+
+TEST(MacService, ThirdPartyCannotVerify) {
+  const Keychain keychain(5);
+  MacService alice(0, &keychain);
+  MacService carol(2, &keychain);
+  const MacTag tag = alice.generate(1, 99);
+  // Carol checks with her own session key for Alice — different key, so the
+  // tag addressed to Bob fails (MACs provide no third-party verification).
+  EXPECT_FALSE(carol.verify(0, 99, tag));
+}
+
+TEST(MacService, CountsGenerateCalls) {
+  const Keychain keychain(5);
+  MacService service(0, &keychain);
+  EXPECT_EQ(service.generateCallCount(), 0u);
+  service.generate(1, 1);
+  service.generate(2, 2);
+  EXPECT_EQ(service.generateCallCount(), 2u);
+  service.authenticate(3, 4);
+  EXPECT_EQ(service.generateCallCount(), 6u);
+}
+
+TEST(MacService, AuthenticatorVerifiesPerReplica) {
+  const Keychain keychain(5);
+  MacService client(10, &keychain);
+  const std::uint64_t digest = 777;
+  const Authenticator auth = client.authenticate(digest, 4);
+  ASSERT_EQ(auth.tags.size(), 4u);
+  for (util::NodeId replica = 0; replica < 4; ++replica) {
+    MacService service(replica, &keychain);
+    EXPECT_TRUE(service.verify(10, digest, auth.tags[replica]));
+    // Another replica's entry never verifies for this replica.
+    EXPECT_FALSE(
+        service.verify(10, digest, auth.tags[(replica + 1) % 4]));
+  }
+}
+
+TEST(MacService, FaultPolicyCorruptsSelectedCalls) {
+  const Keychain keychain(5);
+  MacService client(10, &keychain);
+  // Corrupt calls 1 and 3 (mod 4): mask 0b1010 over width 4.
+  client.setFaultPolicy(std::make_shared<fi::MacCorruptionPolicy>(0b1010, 4));
+  const Authenticator auth = client.authenticate(42, 4);
+  for (util::NodeId replica = 0; replica < 4; ++replica) {
+    MacService service(replica, &keychain);
+    const bool expectValid = (replica % 2) == 0;
+    EXPECT_EQ(service.verify(10, 42, auth.tags[replica]), expectValid)
+        << "replica " << replica;
+  }
+}
+
+TEST(MacService, FaultPolicyPatternCyclesAcrossRounds) {
+  const Keychain keychain(5);
+  MacService client(10, &keychain);
+  // 12-bit mask corrupting only round 1 (calls 4..7 of each 12-call cycle).
+  client.setFaultPolicy(std::make_shared<fi::MacCorruptionPolicy>(0x0F0, 12));
+  MacService replica0(0, &keychain);
+
+  const Authenticator round0 = client.authenticate(1, 4);  // calls 0-3
+  const Authenticator round1 = client.authenticate(1, 4);  // calls 4-7
+  const Authenticator round2 = client.authenticate(1, 4);  // calls 8-11
+  const Authenticator round3 = client.authenticate(1, 4);  // calls 12-15 = r0
+
+  EXPECT_TRUE(replica0.verify(10, 1, round0.tags[0]));
+  EXPECT_FALSE(replica0.verify(10, 1, round1.tags[0]));
+  EXPECT_TRUE(replica0.verify(10, 1, round2.tags[0]));
+  EXPECT_TRUE(replica0.verify(10, 1, round3.tags[0]));
+}
+
+TEST(MacService, ClearingFaultPolicyRestoresHonesty) {
+  const Keychain keychain(5);
+  MacService client(10, &keychain);
+  MacService replica0(0, &keychain);
+  client.setFaultPolicy(std::make_shared<fi::MacCorruptionPolicy>(0xFFF, 12));
+  EXPECT_FALSE(replica0.verify(10, 8, client.generate(0, 8)));
+  client.setFaultPolicy(nullptr);
+  EXPECT_TRUE(replica0.verify(10, 8, client.generate(0, 8)));
+}
+
+TEST(MacCorruptionPolicy, CountsObservedCalls) {
+  fi::MacCorruptionPolicy policy(0, 12);
+  for (int i = 0; i < 5; ++i) policy.shouldCorrupt(i, 0);
+  EXPECT_EQ(policy.observedCalls(), 5u);
+  EXPECT_EQ(policy.mask(), 0u);
+  EXPECT_EQ(policy.width(), 12u);
+}
+
+TEST(MacCorruptionPolicy, ZeroWidthIsClampedToOne) {
+  fi::MacCorruptionPolicy policy(1, 0);
+  EXPECT_TRUE(policy.shouldCorrupt(0, 0));
+  EXPECT_TRUE(policy.shouldCorrupt(7, 0)) << "width 1: every call is bit 0";
+}
+
+}  // namespace
+}  // namespace avd::crypto

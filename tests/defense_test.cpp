@@ -1,0 +1,165 @@
+// Tests for the defense/extension features: the Aardvark-style primary
+// throughput guard, the equivocating-primary safety attack, and the
+// clock-skew fault tool (with the f+1 co-opt boundary).
+#include <gtest/gtest.h>
+
+#include "faultinject/behaviors.h"
+#include "pbft/deployment.h"
+
+namespace avd::pbft {
+namespace {
+
+TEST(ThroughputGuard, DeposesSlowPrimaryDespiteSingleTimerBug) {
+  // The buggy single timer never fires against the colluding slow primary;
+  // the Aardvark guard's *rate* expectation deposes it anyway.
+  DeploymentConfig config = fi::makeSlowPrimaryScenario(
+      10, /*colluding=*/true, /*perRequestTimers=*/false, 3);
+  config.pbft.primaryThroughputGuard = true;
+  config.pbft.guardWindow = sim::sec(2);
+  config.pbft.guardMinRps = 5.0;
+
+  const RunResult result = runScenario(config);
+  EXPECT_GE(result.maxView, 1u) << "the guard must depose the slow primary";
+  EXPECT_GT(result.throughputRps, 10.0) << "service must recover";
+  EXPECT_GT(result.correctCompleted, 100u);
+  EXPECT_FALSE(result.safetyViolated);
+}
+
+TEST(ThroughputGuard, QuietOnHealthyDeployment) {
+  DeploymentConfig config;
+  config.pbft.f = 1;
+  config.pbft.primaryThroughputGuard = true;
+  config.pbft.guardWindow = sim::sec(1);
+  config.pbft.guardMinRps = 5.0;
+  config.correctClients = 10;
+  config.warmup = sim::msec(300);
+  config.measure = sim::sec(3);
+  config.seed = 5;
+
+  const RunResult result = runScenario(config);
+  EXPECT_EQ(result.maxView, 0u) << "no false positives under healthy load";
+  EXPECT_GT(result.throughputRps, 500.0);
+}
+
+TEST(Equivocation, PrimaryCannotDivergeExecution) {
+  DeploymentConfig config;
+  config.pbft.f = 1;
+  config.pbft.requestTimeout = sim::msec(500);
+  config.pbft.viewChangeTimeout = sim::msec(500);
+  config.correctClients = 8;
+  config.warmup = 0;
+  config.measure = sim::sec(4);
+  config.seed = 77;
+  ReplicaBehavior equivocator;
+  equivocator.equivocate = true;
+  config.replicaBehaviors[0] = equivocator;
+
+  Deployment deployment(config);
+  const RunResult result = deployment.run();
+  EXPECT_FALSE(result.safetyViolated)
+      << "quorum intersection must prevent divergent execution";
+  EXPECT_GE(result.maxView, 1u)
+      << "the split votes stall a sequence and cost the equivocator its job";
+  // After the view change a correct primary restores service.
+  EXPECT_GT(result.correctCompleted, 100u);
+}
+
+TEST(ClockSkew, OneFastBackupIsHarmless) {
+  DeploymentConfig config;
+  config.pbft.f = 1;
+  config.pbft.requestTimeout = sim::msec(500);
+  config.pbft.viewChangeTimeout = sim::msec(500);
+  config.correctClients = 8;
+  config.warmup = sim::msec(300);
+  config.measure = sim::sec(3);
+  config.seed = 21;
+  ReplicaBehavior fast;
+  fast.timerSkew = 0.1;  // times out 10x early
+  config.replicaBehaviors[1] = fast;
+
+  Deployment deployment(config);
+  const RunResult result = deployment.run();
+  // The fast replica's lone view-change votes never reach f+1 supporters.
+  EXPECT_EQ(deployment.replica(0).view(), 0u);
+  EXPECT_EQ(deployment.replica(2).view(), 0u);
+  EXPECT_GT(result.throughputRps, 500.0);
+  EXPECT_FALSE(result.safetyViolated);
+}
+
+TEST(ClockSkew, FPlusOneFastBackupsCoOptViewChanges) {
+  // Backup request timers only arm on requests received directly from
+  // clients, so the premature-timeout attack needs (a) a client that
+  // broadcasts its requests and (b) clocks fast enough that the timer
+  // undercuts the commit latency. With f+1 such backups their view-change
+  // votes co-opt the correct replicas (the join rule) — view churn, while
+  // safety still holds.
+  DeploymentConfig config;
+  config.pbft.f = 1;
+  config.pbft.requestTimeout = sim::msec(500);
+  config.pbft.viewChangeTimeout = sim::msec(500);
+  config.correctClients = 8;
+  config.maliciousClients = 1;  // protocol-honest, but broadcasts
+  config.maliciousClientBehavior.broadcastRequests = true;
+  config.warmup = sim::msec(300);
+  config.measure = sim::sec(3);
+  config.seed = 22;
+  ReplicaBehavior fast;
+  fast.timerSkew = 0.002;  // 1 ms — below the ~3 ms commit latency
+  config.replicaBehaviors[1] = fast;
+  config.replicaBehaviors[2] = fast;
+
+  Deployment deployment(config);
+  const RunResult result = deployment.run();
+  EXPECT_GE(result.maxView, 1u);
+  EXPECT_FALSE(result.safetyViolated);
+}
+
+/// Regression sweep for the P-set safety fix: under a view-change storm
+/// (f+1 fast-clock backups + broadcast client produce thousands of views),
+/// interrupted re-agreement must never lose a committed value.
+class ViewChurnSafety : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ViewChurnSafety, CommittedValuesSurviveViewStorms) {
+  DeploymentConfig config;
+  config.pbft.f = 1;
+  config.pbft.requestTimeout = sim::msec(500);
+  config.pbft.viewChangeTimeout = sim::msec(500);
+  config.correctClients = 8;
+  config.maliciousClients = 1;
+  config.maliciousClientBehavior.broadcastRequests = true;
+  config.warmup = sim::msec(300);
+  config.measure = sim::sec(3);
+  config.seed = GetParam();
+  ReplicaBehavior fast;
+  fast.timerSkew = 0.002;
+  config.replicaBehaviors[1] = fast;
+  config.replicaBehaviors[2] = fast;
+
+  const RunResult result = runScenario(config);
+  EXPECT_FALSE(result.safetyViolated);
+  EXPECT_GT(result.maxView, 10u) << "the storm must actually rage";
+  EXPECT_GT(result.correctCompleted, 0u) << "liveness between storms";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ViewChurnSafety,
+                         ::testing::Values(22, 101, 202, 303, 404));
+
+TEST(ClockSkew, SlowClockDelaysLivenessButNotSafety) {
+  DeploymentConfig config;
+  config.pbft.f = 1;
+  config.correctClients = 5;
+  config.warmup = sim::msec(300);
+  config.measure = sim::sec(2);
+  config.seed = 23;
+  ReplicaBehavior slow;
+  slow.timerSkew = 10.0;  // sluggish timers
+  config.replicaBehaviors[3] = slow;
+
+  const RunResult result = runScenario(config);
+  EXPECT_GT(result.throughputRps, 500.0)
+      << "a slow-clock backup does not gate the quorum path";
+  EXPECT_FALSE(result.safetyViolated);
+}
+
+}  // namespace
+}  // namespace avd::pbft

@@ -1,0 +1,212 @@
+// Tests for the Deployment harness itself: node layout, measurement
+// windows, correct/malicious accounting, network counters, and the
+// PbftAttackExecutor's scenario-to-deployment mapping.
+#include <gtest/gtest.h>
+
+#include "avd/attacker_power.h"
+#include "common/gray_code.h"
+#include "avd/pbft_executor.h"
+#include "faultinject/behaviors.h"
+#include "faultinject/mac_corruptor.h"
+#include "pbft/deployment.h"
+
+namespace avd::pbft {
+namespace {
+
+TEST(DeploymentLayout, NodeIdsAreDense) {
+  DeploymentConfig config;
+  config.pbft.f = 2;  // 7 replicas
+  config.maliciousClients = 2;
+  config.correctClients = 3;
+  Deployment deployment(config);
+
+  EXPECT_EQ(deployment.replicaCount(), 7u);
+  EXPECT_EQ(deployment.maliciousClientId(0), 7u);
+  EXPECT_EQ(deployment.maliciousClientId(1), 8u);
+  EXPECT_EQ(deployment.correctClientId(0), 9u);
+  EXPECT_EQ(deployment.correctClientId(2), 11u);
+  EXPECT_EQ(deployment.maliciousClient(0).id(), 7u);
+  EXPECT_EQ(deployment.correctClient(0).id(), 9u);
+}
+
+TEST(DeploymentMetrics, WarmupCompletionsAreExcluded) {
+  DeploymentConfig config;
+  config.correctClients = 5;
+  config.warmup = sim::sec(1);
+  config.measure = sim::sec(1);
+  config.seed = 9;
+  Deployment deployment(config);
+  const RunResult result = deployment.run();
+
+  std::uint64_t allCompletions = 0;
+  for (std::uint32_t i = 0; i < config.correctClients; ++i) {
+    allCompletions += deployment.correctClient(i).completed();
+  }
+  EXPECT_GT(allCompletions, result.correctCompleted)
+      << "warmup-period completions must not count";
+  EXPECT_NEAR(static_cast<double>(result.correctCompleted),
+              static_cast<double>(allCompletions) / 2.0,
+              static_cast<double>(allCompletions) * 0.15)
+      << "two equal windows should split completions roughly evenly";
+}
+
+TEST(DeploymentMetrics, ThroughputNormalizesByMeasureWindow) {
+  DeploymentConfig config;
+  config.correctClients = 5;
+  config.warmup = sim::msec(500);
+  config.measure = sim::sec(2);
+  config.seed = 10;
+  const RunResult result = runScenario(config);
+  EXPECT_NEAR(result.throughputRps,
+              static_cast<double>(result.correctCompleted) / 2.0, 0.01);
+}
+
+TEST(DeploymentMetrics, MaliciousCompletionsCountedSeparately) {
+  DeploymentConfig config;
+  config.correctClients = 4;
+  config.maliciousClients = 2;  // no tools installed: protocol-honest
+  config.warmup = sim::msec(300);
+  config.measure = sim::sec(1);
+  config.seed = 11;
+  const RunResult result = runScenario(config);
+  EXPECT_GT(result.maliciousCompleted, 0u);
+  EXPECT_GT(result.correctCompleted, 0u);
+  // Honest "malicious" clients complete at roughly the per-client rate.
+  EXPECT_NEAR(static_cast<double>(result.maliciousCompleted) / 2.0,
+              static_cast<double>(result.correctCompleted) / 4.0,
+              static_cast<double>(result.correctCompleted) * 0.25);
+}
+
+TEST(DeploymentMetrics, NetworkCountersPopulated) {
+  DeploymentConfig config;
+  config.correctClients = 3;
+  config.measure = sim::sec(1);
+  const RunResult result = runScenario(config);
+  EXPECT_GT(result.network.sent, 0u);
+  EXPECT_GT(result.network.delivered, 0u);
+  EXPECT_GT(result.network.bytesSent, result.network.sent)
+      << "every message is at least one byte";
+  EXPECT_GT(result.eventsExecuted, result.network.delivered);
+}
+
+TEST(DeploymentMetrics, ClientLatencyMatchesCompletionRecords) {
+  DeploymentConfig config;
+  config.correctClients = 2;
+  config.warmup = 0;
+  config.measure = sim::sec(1);
+  Deployment deployment(config);
+  const RunResult result = deployment.run();
+
+  double sum = 0;
+  std::uint64_t count = 0;
+  for (std::uint32_t i = 0; i < config.correctClients; ++i) {
+    for (const Client::Completion& completion :
+         deployment.correctClient(i).completions()) {
+      if (completion.when < sim::sec(1)) {
+        sum += sim::toSeconds(completion.latency);
+        ++count;
+      }
+    }
+  }
+  ASSERT_GT(count, 0u);
+  EXPECT_NEAR(result.avgLatencySec, sum / static_cast<double>(count), 1e-9);
+}
+
+TEST(ClientAccounting, RetransmissionsTrackedUnderStall) {
+  // A colluding slow primary starves correct clients: they must retransmit.
+  DeploymentConfig config = fi::makeSlowPrimaryScenario(3, true, false, 6);
+  config.warmup = sim::sec(1);
+  config.measure = sim::sec(10);
+  Deployment deployment(config);
+  deployment.run();
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    EXPECT_GT(deployment.correctClient(i).retransmissions(), 10u)
+        << "client " << i;
+    EXPECT_EQ(deployment.correctClient(i).completed(), 0u);
+    EXPECT_GE(deployment.correctClient(i).issued(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace avd::pbft
+
+namespace avd::core {
+namespace {
+
+TEST(ExecutorMapping, BuildConfigReadsDimensionsByName) {
+  Hyperspace space;
+  space.add(Dimension::grayBitmask("mac_mask", 12));
+  space.add(Dimension::range("correct_clients", 10, 100, 10));
+  space.add(Dimension::choice("malicious_clients", {1, 2}));
+  space.add(Dimension::choice("replica_behavior", {0, 1, 2}));
+  PbftAttackExecutor executor(std::move(space), {});
+
+  const Point point{util::fromGray(0xABC), 4, 1, 2};
+  const pbft::DeploymentConfig config = executor.buildConfig(point);
+  EXPECT_EQ(config.correctClients, 50u);
+  EXPECT_EQ(config.maliciousClients, 2u);
+  ASSERT_NE(config.maliciousClientBehavior.macPolicy, nullptr);
+  EXPECT_TRUE(config.maliciousClientBehavior.broadcastRequests)
+      << "behavior 2 = colluding client";
+  ASSERT_TRUE(config.replicaBehaviors.contains(0));
+  EXPECT_TRUE(config.replicaBehaviors.at(0).slowPrimary);
+  EXPECT_EQ(config.replicaBehaviors.at(0).colludingClient,
+            config.pbft.replicaCount());
+}
+
+TEST(ExecutorMapping, MissingDimensionsUseDefaults) {
+  Hyperspace space;
+  space.add(Dimension::grayBitmask("mac_mask", 12));
+  PbftExecutorOptions options;
+  options.defaultCorrectClients = 33;
+  options.defaultMaliciousClients = 2;
+  PbftAttackExecutor executor(std::move(space), options);
+  const pbft::DeploymentConfig config = executor.buildConfig(Point{0});
+  EXPECT_EQ(config.correctClients, 33u);
+  EXPECT_EQ(config.maliciousClients, 2u);
+  EXPECT_EQ(config.maliciousClientBehavior.macPolicy, nullptr)
+      << "mask 0 installs no policy";
+}
+
+TEST(ExecutorMapping, SeedIsDeterministicPerPoint) {
+  Hyperspace space;
+  space.add(Dimension::grayBitmask("mac_mask", 12));
+  PbftAttackExecutor executor(space, {});
+  PbftAttackExecutor executor2(space, {});
+  EXPECT_EQ(executor.buildConfig(Point{5}).seed,
+            executor2.buildConfig(Point{5}).seed);
+  EXPECT_NE(executor.buildConfig(Point{5}).seed,
+            executor.buildConfig(Point{6}).seed);
+}
+
+TEST(ExecutorOutcome, RepeatedExecutionIsReproducible) {
+  Hyperspace space;
+  space.add(Dimension::grayBitmask("mac_mask", 12));
+  PbftExecutorOptions options;
+  options.measure = sim::msec(800);
+  options.defaultCorrectClients = 5;
+  PbftAttackExecutor executor(std::move(space), options);
+  const Outcome a = executor.execute(Point{100});
+  const Outcome b = executor.execute(Point{100});
+  EXPECT_DOUBLE_EQ(a.throughputRps, b.throughputRps);
+  EXPECT_DOUBLE_EQ(a.impact, b.impact);
+  EXPECT_EQ(executor.executedCount(), 2u);
+}
+
+TEST(AttackerPowerModel, NamesAreStable) {
+  EXPECT_EQ(powerName(AttackerPower::kBlindFuzz), "blind-fuzz");
+  EXPECT_EQ(powerName(AttackerPower::kGrayFeedback), "gray-feedback");
+  EXPECT_EQ(powerName(AttackerPower::kProtocolAware), "protocol-aware");
+}
+
+TEST(AttackerPowerModel, ProtocolAwareFindsFastAndConcentrates) {
+  const PowerMeasurement measurement = measureAttackerPower(
+      AttackerPower::kProtocolAware, 0.95, 30, 11);
+  EXPECT_TRUE(measurement.found);
+  EXPECT_LE(measurement.testsToFind, 15u)
+      << "behaviour synthesis should find a crash-level attack quickly";
+  EXPECT_GT(measurement.strongFraction, 0.3);
+}
+
+}  // namespace
+}  // namespace avd::core

@@ -1,0 +1,205 @@
+// Unit tests for the fault-injection tool suite: mask factories, the
+// reordering tool (with Levenshtein-measured effect), the LFI-style plan
+// machinery, and the network fault adapters.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/gray_code.h"
+#include "common/levenshtein.h"
+#include "faultinject/behaviors.h"
+#include "faultinject/lfi.h"
+#include "faultinject/mac_corruptor.h"
+#include "faultinject/network_faults.h"
+#include "faultinject/reorder.h"
+#include "sim/network.h"
+#include "sim/node.h"
+
+namespace avd::fi {
+namespace {
+
+// --- Mask factories ---------------------------------------------------------------
+
+TEST(Masks, ValidOnlyForCorruptsEveryoneElseEveryRound) {
+  const std::uint64_t mask = bigMacMaskValidOnlyFor(0, 4, 12);
+  EXPECT_EQ(mask, 0xEEEull);
+  for (std::uint32_t bit = 0; bit < 12; ++bit) {
+    const bool corrupts = (mask >> bit) & 1;
+    EXPECT_EQ(corrupts, bit % 4 != 0) << "bit " << bit;
+  }
+}
+
+TEST(Masks, ValidOnlyForOtherReplicas) {
+  EXPECT_EQ(bigMacMaskValidOnlyFor(1, 4, 12), 0xDDDull);
+  EXPECT_EQ(bigMacMaskValidOnlyFor(2, 4, 12), 0xBBBull);
+  EXPECT_EQ(bigMacMaskValidOnlyFor(3, 4, 12), 0x777ull);
+}
+
+TEST(Masks, RotatingMaskGivesEachReplicaOneValidRound) {
+  const std::uint64_t mask = rotatingBigMacMask();
+  // For each replica, at least one round's call must be un-corrupted.
+  for (std::uint32_t replica = 0; replica < 4; ++replica) {
+    bool hasValidRound = false;
+    for (std::uint32_t round = 0; round < 3; ++round) {
+      if (((mask >> (round * 4 + replica)) & 1) == 0) hasValidRound = true;
+    }
+    EXPECT_TRUE(hasValidRound) << "replica " << replica;
+  }
+  // Round 0 (the round in which a fresh request is ordered by primary 0)
+  // corrupts all three backups: first transmissions always stall.
+  int corruptBackupsRoundZero = 0;
+  for (std::uint32_t replica = 1; replica < 4; ++replica) {
+    corruptBackupsRoundZero += static_cast<int>((mask >> replica) & 1);
+  }
+  EXPECT_EQ(corruptBackupsRoundZero, 3);
+}
+
+// --- LFI-style fault plan ------------------------------------------------------------
+
+TEST(FaultPlan, InjectsAtExactCallNumber) {
+  FaultPlan plan;
+  plan.add(FaultSpec{"net::send", 2, -5, false});
+  EXPECT_EQ(plan.shouldFail("net::send"), 0);  // call 0
+  EXPECT_EQ(plan.shouldFail("net::send"), 0);  // call 1
+  EXPECT_EQ(plan.shouldFail("net::send"), -5);  // call 2
+  EXPECT_EQ(plan.shouldFail("net::send"), 0);  // call 3
+  EXPECT_EQ(plan.injectedCount(), 1u);
+  EXPECT_EQ(plan.callCount("net::send"), 4u);
+}
+
+TEST(FaultPlan, PersistentFaultsKeepFiring) {
+  FaultPlan plan;
+  plan.add(FaultSpec{"disk::write", 1, -7, true});
+  EXPECT_EQ(plan.shouldFail("disk::write"), 0);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(plan.shouldFail("disk::write"), -7);
+  EXPECT_EQ(plan.injectedCount(), 5u);
+}
+
+TEST(FaultPlan, PointsAreIndependent) {
+  FaultPlan plan;
+  plan.add(FaultSpec{"a", 0, -1, false});
+  EXPECT_EQ(plan.shouldFail("b"), 0);
+  EXPECT_EQ(plan.shouldFail("a"), -1);
+  EXPECT_EQ(plan.callCount("a"), 1u);
+  EXPECT_EQ(plan.callCount("b"), 1u);
+  EXPECT_EQ(plan.callCount("never-called"), 0u);
+  EXPECT_EQ(plan.specCount(), 1u);
+}
+
+TEST(FaultPlan, ClearRemovesEverything) {
+  FaultPlan plan;
+  plan.add(FaultSpec{"a", 0, -1, true});
+  plan.clear();
+  EXPECT_EQ(plan.shouldFail("a"), 0);
+  EXPECT_EQ(plan.specCount(), 0u);
+}
+
+// --- Network adapters -----------------------------------------------------------------
+
+class SinkNode final : public sim::Node {
+ public:
+  explicit SinkNode(util::NodeId id) : sim::Node(id) {}
+  void receive(util::NodeId, const sim::MessagePtr& message) override {
+    received.push_back(message.get());
+  }
+  std::vector<const sim::Message*> received;
+  using sim::Node::send;
+};
+
+class TaggedMessage final : public sim::Message {
+ public:
+  std::uint32_t kind() const noexcept override { return 0xCAFE; }
+};
+
+TEST(SendFaultAdapter, DropsCallsThePlanFails) {
+  sim::Simulator simulator(1);
+  sim::Network network(&simulator, sim::LinkModel{sim::msec(1), 0});
+  SinkNode sender(0);
+  SinkNode receiver(1);
+  network.registerNode(&sender);
+  network.registerNode(&receiver);
+
+  FaultPlan plan;
+  plan.add(FaultSpec{std::string(SendFaultAdapter::kPoint), 1, -3, false});
+  network.addFault(std::make_shared<SendFaultAdapter>(&plan));
+
+  for (int i = 0; i < 4; ++i) {
+    sender.send(1, std::make_shared<TaggedMessage>());
+  }
+  simulator.run();
+  EXPECT_EQ(receiver.received.size(), 3u) << "exactly call #1 was dropped";
+  EXPECT_EQ(plan.injectedCount(), 1u);
+}
+
+TEST(ReorderFault, ZeroIntensityPreservesOrder) {
+  sim::Simulator simulator(2);
+  sim::Network network(&simulator, sim::LinkModel{sim::msec(1), 0});
+  SinkNode sender(0);
+  SinkNode receiver(1);
+  network.registerNode(&sender);
+  network.registerNode(&receiver);
+  auto tap = std::make_shared<SequenceTap>();
+  network.addFault(tap);
+  network.addFault(std::make_shared<ReorderFault>(0.0, sim::msec(10)));
+
+  for (int i = 0; i < 30; ++i) {
+    sender.send(1, std::make_shared<TaggedMessage>());
+  }
+  simulator.run();
+  ASSERT_EQ(receiver.received.size(), 30u);
+  EXPECT_EQ(util::levenshtein(
+                std::span<const sim::Message* const>(tap->sendOrder()),
+                std::span<const sim::Message* const>(receiver.received)),
+            0u);
+}
+
+TEST(ReorderFault, EditDistanceGrowsWithIntensity) {
+  const auto measure = [](double intensity) {
+    sim::Simulator simulator(3);
+    sim::Network network(&simulator, sim::LinkModel{sim::msec(1), 0});
+    SinkNode sender(0);
+    SinkNode receiver(1);
+    network.registerNode(&sender);
+    network.registerNode(&receiver);
+    auto tap = std::make_shared<SequenceTap>();
+    auto reorder =
+        std::make_shared<ReorderFault>(intensity, sim::msec(20));
+    network.addFault(tap);
+    network.addFault(reorder);
+    for (int i = 0; i < 200; ++i) {
+      simulator.schedule(i * 100, [&sender] {
+        sender.send(1, std::make_shared<TaggedMessage>());
+      });
+    }
+    simulator.run();
+    return util::levenshtein(
+        std::span<const sim::Message* const>(tap->sendOrder()),
+        std::span<const sim::Message* const>(receiver.received));
+  };
+
+  const std::size_t weak = measure(0.1);
+  const std::size_t strong = measure(0.9);
+  EXPECT_GT(weak, 0u);
+  EXPECT_GT(strong, weak)
+      << "the tool's mutateDistance contract: stronger intensity, larger "
+         "edit distance";
+}
+
+TEST(FlowFilter, EmptySetsMatchEverything) {
+  const FlowFilter all;
+  EXPECT_TRUE(all.matches(0, 1));
+  EXPECT_TRUE(all.matches(42, 7));
+
+  const FlowFilter fromOnly{.fromNodes = {1}, .toNodes = {}};
+  EXPECT_TRUE(fromOnly.matches(1, 99));
+  EXPECT_FALSE(fromOnly.matches(2, 99));
+
+  const FlowFilter both{.fromNodes = {1}, .toNodes = {2}};
+  EXPECT_TRUE(both.matches(1, 2));
+  EXPECT_FALSE(both.matches(1, 3));
+  EXPECT_FALSE(both.matches(0, 2));
+}
+
+}  // namespace
+}  // namespace avd::fi

@@ -1,0 +1,137 @@
+// Tests for the genetic-algorithm explorer and the blind tamper tool.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "avd/genetic.h"
+#include "avd/pbft_executor.h"
+#include "faultinject/tamper.h"
+#include "pbft/deployment.h"
+
+namespace avd::core {
+namespace {
+
+/// Same ridge landscape the Controller tests use.
+class RidgeExecutor final : public ScenarioExecutor {
+ public:
+  RidgeExecutor() {
+    space_.add(Dimension::range("x", 0, 99));
+    space_.add(Dimension::range("y", 0, 99));
+  }
+  Outcome execute(const Point& point) override {
+    const double dx = std::abs(static_cast<double>(point[0]) - 70.0);
+    const double dy = std::abs(static_cast<double>(point[1]) - 30.0);
+    Outcome outcome;
+    outcome.impact = std::max(0.0, 1.0 - dx / 10.0) * (1.0 - 0.6 * dy / 99.0);
+    return outcome;
+  }
+  const Hyperspace& space() const noexcept override { return space_; }
+
+ private:
+  Hyperspace space_;
+};
+
+TEST(GeneticExplorer, RunsExactBudgetAndTracksBest) {
+  RidgeExecutor executor;
+  GeneticExplorer ga(executor, defaultPlugins(executor.space()),
+                     GeneticOptions{}, 5);
+  ga.runTests(100);
+  EXPECT_EQ(ga.history().size(), 100u);
+  EXPECT_GT(ga.generation(), 2u) << "several generations should complete";
+
+  double best = 0;
+  for (const TestRecord& record : ga.history()) {
+    best = std::max(best, record.outcome.impact);
+    EXPECT_DOUBLE_EQ(record.bestImpactSoFar, best);
+  }
+  EXPECT_DOUBLE_EQ(ga.maxImpact(), best);
+}
+
+TEST(GeneticExplorer, SelectionPressureClimbsTheRidge) {
+  double totalBest = 0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    RidgeExecutor executor;
+    GeneticExplorer ga(executor, defaultPlugins(executor.space()),
+                       GeneticOptions{}, seed);
+    ga.runTests(120);
+    totalBest += ga.maxImpact();
+  }
+  EXPECT_GT(totalBest / 8.0, 0.85)
+      << "the GA should reliably reach the ridge top region";
+}
+
+TEST(GeneticExplorer, LaterGenerationsOutperformTheSeedGeneration) {
+  RidgeExecutor executor;
+  GeneticOptions options;
+  options.populationSize = 10;
+  GeneticExplorer ga(executor, defaultPlugins(executor.space()), options, 9);
+  ga.runTests(100);
+
+  double seedAvg = 0;
+  double lastAvg = 0;
+  for (std::size_t i = 0; i < 10; ++i) {
+    seedAvg += ga.history()[i].outcome.impact;
+    lastAvg += ga.history()[90 + i].outcome.impact;
+  }
+  EXPECT_GT(lastAvg, seedAvg) << "evolution must improve mean fitness";
+}
+
+}  // namespace
+}  // namespace avd::core
+
+namespace avd::fi {
+namespace {
+
+TEST(TamperFault, BlindBitFlipsAreAbsorbedByAuthentication) {
+  // The §4 baseline: random bit flips on 3% of all traffic. Every flip is
+  // caught by a MAC/digest check, so its effect is bounded by that of an
+  // equivalent drop (each request round trip spans ~20 messages, so even a
+  // few percent hits most requests once) — and safety is never at risk.
+  pbft::DeploymentConfig config;
+  config.pbft.f = 1;
+  config.correctClients = 6;
+  config.warmup = sim::msec(300);
+  config.measure = sim::sec(2);
+  config.seed = 31;
+
+  pbft::Deployment deployment(config);
+  auto tamper = std::make_shared<TamperFault>(0.03);
+  deployment.network().addFault(tamper);
+  const pbft::RunResult result = deployment.run();
+
+  EXPECT_GT(tamper->tampered(), 50u) << "the tool must actually fire";
+  EXPECT_EQ(result.network.tamperedByFaults, tamper->tampered());
+  EXPECT_FALSE(result.safetyViolated);
+  EXPECT_EQ(result.maxView, 0u)
+      << "blind flips never forge anything actionable";
+  EXPECT_GT(result.correctCompleted, 40u)
+      << "the system keeps serving through blind fuzzing";
+}
+
+TEST(TamperFault, EquivalentDropRateBoundsTheDamage) {
+  const auto run = [](double tamperP, double dropP) {
+    pbft::DeploymentConfig config;
+    config.pbft.f = 1;
+    config.correctClients = 6;
+    config.warmup = sim::msec(300);
+    config.measure = sim::sec(2);
+    config.seed = 32;
+    pbft::Deployment deployment(config);
+    if (tamperP > 0) {
+      deployment.network().addFault(std::make_shared<TamperFault>(tamperP));
+    }
+    if (dropP > 0) {
+      deployment.network().addFault(std::make_shared<DropFault>(dropP));
+    }
+    return deployment.run().throughputRps;
+  };
+  const double baseline = run(0, 0);
+  const double tampered = run(0.08, 0);
+  const double dropped = run(0, 0.08);
+  EXPECT_GT(tampered, dropped * 0.5)
+      << "tampering behaves like (at worst) message loss";
+  EXPECT_GT(baseline, tampered) << "but it is not free either";
+}
+
+}  // namespace
+}  // namespace avd::fi

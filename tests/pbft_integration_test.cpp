@@ -1,0 +1,105 @@
+// End-to-end PBFT deployment tests: happy path, batching, checkpoints,
+// view changes on primary failure, and safety under every scenario.
+#include <gtest/gtest.h>
+
+#include "pbft/deployment.h"
+
+namespace avd::pbft {
+namespace {
+
+DeploymentConfig smallConfig() {
+  DeploymentConfig config;
+  config.pbft.f = 1;
+  config.pbft.requestTimeout = sim::msec(500);
+  config.pbft.viewChangeTimeout = sim::msec(500);
+  config.correctClients = 5;
+  config.warmup = sim::msec(500);
+  config.measure = sim::sec(2);
+  config.seed = 42;
+  return config;
+}
+
+TEST(PbftHappyPath, AllClientsMakeProgress) {
+  Deployment deployment(smallConfig());
+  const RunResult result = deployment.run();
+
+  EXPECT_GT(result.throughputRps, 100.0);
+  EXPECT_FALSE(result.safetyViolated);
+  EXPECT_EQ(result.maxView, 0u) << "no view change expected on happy path";
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    EXPECT_GT(deployment.correctClient(i).completed(), 0u);
+  }
+}
+
+TEST(PbftHappyPath, RepliesAreTimely) {
+  Deployment deployment(smallConfig());
+  const RunResult result = deployment.run();
+  // Round trip is a handful of sub-millisecond hops; anything near the
+  // retransmission timeout means the pipeline is broken.
+  EXPECT_LT(result.avgLatencySec, 0.05);
+  EXPECT_GT(result.avgLatencySec, 0.0);
+}
+
+TEST(PbftHappyPath, ReplicasExecuteInAgreement) {
+  Deployment deployment(smallConfig());
+  deployment.run();
+  const auto& trace0 = deployment.replica(0).executionTrace();
+  ASSERT_FALSE(trace0.empty());
+  for (std::uint32_t r = 1; r < deployment.replicaCount(); ++r) {
+    const auto& trace = deployment.replica(r).executionTrace();
+    for (const auto& [seq, digest] : trace) {
+      const auto it = trace0.find(seq);
+      if (it != trace0.end()) EXPECT_EQ(it->second, digest) << "seq " << seq;
+    }
+  }
+}
+
+TEST(PbftCheckpoints, LogIsGarbageCollected) {
+  DeploymentConfig config = smallConfig();
+  config.pbft.checkpointInterval = 16;
+  config.pbft.watermarkWindow = 64;
+  Deployment deployment(config);
+  const RunResult result = deployment.run();
+  EXPECT_FALSE(result.safetyViolated);
+  EXPECT_GT(deployment.replica(0).stableCheckpoint(), 0u);
+  EXPECT_GT(deployment.replica(0).stats().checkpointsTaken, 1u);
+}
+
+TEST(PbftViewChange, PrimaryCrashTriggersRecovery) {
+  DeploymentConfig config = smallConfig();
+  Deployment deployment(config);
+
+  deployment.runFor(sim::msec(500));
+  const std::uint64_t beforeCrash = deployment.collect().correctCompleted;
+  (void)beforeCrash;
+  deployment.replica(0).setAlive(false);  // primary of view 0 fails
+  deployment.runFor(sim::sec(4));
+
+  // Correct replicas must have rotated to a new primary and resumed.
+  for (std::uint32_t r = 1; r < deployment.replicaCount(); ++r) {
+    EXPECT_GE(deployment.replica(r).view(), 1u) << "replica " << r;
+    EXPECT_FALSE(deployment.replica(r).inViewChange()) << "replica " << r;
+  }
+  const RunResult result = deployment.collect();
+  EXPECT_FALSE(result.safetyViolated);
+  EXPECT_GT(result.correctCompleted, 0u);
+
+  // Clients keep completing requests in the new view.
+  std::uint64_t completedAfter = 0;
+  for (std::uint32_t i = 0; i < config.correctClients; ++i) {
+    completedAfter += deployment.correctClient(i).completed();
+  }
+  EXPECT_GT(completedAfter, 0u);
+}
+
+TEST(PbftKvService, OperationsRoundTrip) {
+  DeploymentConfig config = smallConfig();
+  config.service = ServiceKind::kKv;
+  Deployment deployment(config);
+  const RunResult result = deployment.run();
+  EXPECT_GT(result.throughputRps, 0.0);
+  EXPECT_FALSE(result.safetyViolated);
+}
+
+}  // namespace
+}  // namespace avd::pbft

@@ -1,0 +1,287 @@
+// Protocol-level integration tests: batching, reply cache, larger f,
+// repeated view changes, loss recovery (status/sync), state transfer after
+// a long partition, malicious-replica behaviours, and a seed-swept safety
+// property under adversarial network conditions.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "faultinject/network_faults.h"
+#include "faultinject/reorder.h"
+#include "pbft/deployment.h"
+
+namespace avd::pbft {
+namespace {
+
+DeploymentConfig baseConfig() {
+  DeploymentConfig config;
+  config.pbft.f = 1;
+  config.pbft.requestTimeout = sim::msec(500);
+  config.pbft.viewChangeTimeout = sim::msec(500);
+  config.correctClients = 8;
+  config.warmup = sim::msec(300);
+  config.measure = sim::sec(2);
+  config.seed = 1234;
+  return config;
+}
+
+std::uint64_t totalBatches(Deployment& deployment) {
+  std::uint64_t batches = 0;
+  for (std::uint32_t r = 0; r < deployment.replicaCount(); ++r) {
+    batches += deployment.replica(r).stats().batchesOrdered;
+  }
+  return batches;
+}
+
+TEST(Batching, PrimaryAggregatesRequests) {
+  DeploymentConfig config = baseConfig();
+  config.correctClients = 30;
+  config.pbft.maxBatch = 64;
+  Deployment deployment(config);
+  const RunResult result = deployment.run();
+  const std::uint64_t executed =
+      deployment.replica(0).stats().requestsExecuted;
+  EXPECT_GT(executed, totalBatches(deployment) * 2)
+      << "with 30 closed-loop clients, average batch size must exceed 2";
+  EXPECT_FALSE(result.safetyViolated);
+}
+
+TEST(Batching, MaxBatchOneDegeneratesToPerRequestOrdering) {
+  DeploymentConfig config = baseConfig();
+  config.pbft.maxBatch = 1;
+  config.measure = sim::sec(1);
+  Deployment deployment(config);
+  deployment.run();
+  const std::uint64_t ordered = deployment.replica(0).stats().batchesOrdered;
+  const std::uint64_t executed = deployment.replica(0).executionTrace().size();
+  EXPECT_GE(ordered, executed);
+  EXPECT_LE(ordered - executed, 16u) << "only in-flight batches may differ";
+  EXPECT_EQ(deployment.replica(0).stats().requestsExecuted, executed)
+      << "every ordered batch holds exactly one request";
+}
+
+TEST(ReplyCache, RetransmittedExecutedRequestsGetCachedReplies) {
+  DeploymentConfig config = baseConfig();
+  config.correctClients = 3;
+  Deployment deployment(config);
+
+  // Cut all replica->client reply traffic for a while: clients will
+  // retransmit already-executed requests and replicas must answer from the
+  // last-reply cache rather than re-executing.
+  std::set<util::NodeId> replicas;
+  std::set<util::NodeId> clients;
+  for (util::NodeId r = 0; r < deployment.replicaCount(); ++r) {
+    replicas.insert(r);
+  }
+  for (std::uint32_t i = 0; i < config.correctClients; ++i) {
+    clients.insert(deployment.correctClientId(i));
+  }
+  auto partition = std::make_shared<fi::PartitionFault>(replicas, clients);
+  deployment.runFor(sim::msec(300));  // let some requests execute first
+  deployment.network().addFault(partition);
+  deployment.runFor(sim::msec(600));  // requests execute; replies vanish
+  partition->heal();
+  deployment.runFor(sim::sec(1));
+
+  std::uint64_t resent = 0;
+  std::uint64_t executed = 0;
+  for (std::uint32_t r = 0; r < deployment.replicaCount(); ++r) {
+    resent += deployment.replica(r).stats().repliesResent;
+    executed += deployment.replica(r).stats().requestsExecuted;
+  }
+  EXPECT_GT(resent, 0u) << "cached replies must serve retransmissions";
+  EXPECT_FALSE(deployment.collect().safetyViolated);
+  EXPECT_GT(executed, 0u);
+}
+
+class LargerF : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(LargerF, ToleratesFCrashedReplicas) {
+  DeploymentConfig config = baseConfig();
+  config.pbft.f = GetParam();
+  Deployment deployment(config);
+  deployment.runFor(sim::msec(300));
+  // Crash f backups (not the primary): the system must keep going without
+  // any view change.
+  for (std::uint32_t i = 0; i < config.pbft.f; ++i) {
+    deployment.replica(deployment.replicaCount() - 1 - i).setAlive(false);
+  }
+  deployment.runFor(sim::sec(2));
+  const RunResult result = deployment.collect();
+  EXPECT_FALSE(result.safetyViolated);
+  EXPECT_EQ(deployment.replica(0).view(), 0u);
+  EXPECT_GT(result.correctCompleted, 100u);
+}
+
+INSTANTIATE_TEST_SUITE_P(FaultBudget, LargerF, ::testing::Values(1, 2, 3));
+
+TEST(ViewChange, SurvivesTwoConsecutivePrimaryFailures) {
+  // Two crashes need f = 2 (seven replicas) to stay within the fault
+  // budget; view changes require 2f+1 live voters.
+  DeploymentConfig config = baseConfig();
+  config.pbft.f = 2;
+  Deployment deployment(config);
+  deployment.runFor(sim::msec(300));
+  deployment.replica(0).setAlive(false);
+  deployment.runFor(sim::sec(3));
+  deployment.replica(1).setAlive(false);
+  deployment.runFor(sim::sec(4));
+
+  for (std::uint32_t r = 2; r < deployment.replicaCount(); ++r) {
+    EXPECT_GE(deployment.replica(r).view(), 2u) << "replica " << r;
+    EXPECT_FALSE(deployment.replica(r).inViewChange());
+  }
+  std::uint64_t late = 0;
+  for (std::uint32_t i = 0; i < config.correctClients; ++i) {
+    late += deployment.correctClient(i).completed();
+  }
+  EXPECT_GT(late, 0u);
+  EXPECT_FALSE(deployment.collect().safetyViolated);
+}
+
+TEST(LossRecovery, SyncSubprotocolHealsDroppedAgreementMessages) {
+  DeploymentConfig config = baseConfig();
+  config.measure = sim::sec(3);
+  Deployment deployment(config);
+  // 10% of ALL traffic dropped: without the status/sync subprotocol the
+  // deployment wedges; with it every replica keeps converging.
+  deployment.network().addFault(std::make_shared<fi::DropFault>(0.10));
+  const RunResult result = deployment.run();
+
+  EXPECT_FALSE(result.safetyViolated);
+  EXPECT_GT(result.correctCompleted, 10u);
+  std::uint64_t synced = 0;
+  for (std::uint32_t r = 0; r < deployment.replicaCount(); ++r) {
+    synced += deployment.replica(r).stats().sequencesSynced;
+  }
+  EXPECT_GT(synced, 0u) << "recovery must have actually been exercised";
+}
+
+TEST(LossRecovery, ReplicasConvergeAfterLossStops) {
+  DeploymentConfig config = baseConfig();
+  Deployment deployment(config);
+  auto drop = std::make_shared<fi::DropFault>(0.15);
+  deployment.network().addFault(drop);
+  deployment.runFor(sim::sec(2));
+  deployment.network().clearFaults();
+  deployment.runFor(sim::sec(2));
+
+  const util::SeqNum reference = deployment.replica(0).lastExecuted();
+  EXPECT_GT(reference, 0u);
+  for (std::uint32_t r = 1; r < deployment.replicaCount(); ++r) {
+    EXPECT_NEAR(static_cast<double>(deployment.replica(r).lastExecuted()),
+                static_cast<double>(reference), 64.0)
+        << "replica " << r;
+  }
+}
+
+TEST(StateTransfer, PartitionedReplicaCatchesUpViaCheckpoint) {
+  DeploymentConfig config = baseConfig();
+  config.pbft.checkpointInterval = 16;
+  config.pbft.watermarkWindow = 64;
+  config.correctClients = 10;
+  Deployment deployment(config);
+
+  // Isolate replica 3 long enough that the others GC the log past its
+  // horizon; after healing it must catch up through state transfer (the
+  // sync subprotocol cannot serve GC'd sequences).
+  std::set<util::NodeId> everyoneElse;
+  for (util::NodeId id = 0;
+       id < deployment.replicaCount() + config.correctClients; ++id) {
+    if (id != 3) everyoneElse.insert(id);
+  }
+  auto partition =
+      std::make_shared<fi::PartitionFault>(std::set<util::NodeId>{3},
+                                           everyoneElse);
+  deployment.network().addFault(partition);
+  deployment.runFor(sim::sec(2));
+  const util::SeqNum othersProgress = deployment.replica(0).lastExecuted();
+  ASSERT_GT(othersProgress, 128u) << "need enough progress to force GC";
+  ASSERT_EQ(deployment.replica(3).lastExecuted(), 0u);
+
+  partition->heal();
+  deployment.runFor(sim::sec(3));
+  EXPECT_GT(deployment.replica(3).lastExecuted(), othersProgress / 2)
+      << "replica 3 must adopt a recent checkpoint and resume";
+  EXPECT_FALSE(deployment.collect().safetyViolated);
+}
+
+TEST(MaliciousReplica, SilentPreparesAreToleratedAtFOne) {
+  DeploymentConfig config = baseConfig();
+  ReplicaBehavior silent;
+  silent.silentPrepares = true;
+  silent.silentCommits = true;
+  config.replicaBehaviors[3] = silent;
+  const RunResult result = runScenario(config);
+  EXPECT_GT(result.throughputRps, 100.0)
+      << "one silent replica is within the fault budget";
+  EXPECT_EQ(result.maxView, 0u);
+  EXPECT_FALSE(result.safetyViolated);
+}
+
+TEST(MaliciousReplica, LoneSpuriousViewChangerIsIgnored) {
+  DeploymentConfig config = baseConfig();
+  ReplicaBehavior spurious;
+  spurious.spuriousViewChangeInterval = sim::msec(200);
+  config.replicaBehaviors[2] = spurious;
+  Deployment deployment(config);
+  const RunResult result = deployment.run();
+  // f+1 = 2 votes are needed to co-opt correct replicas: one liar changes
+  // nothing.
+  EXPECT_EQ(deployment.replica(0).view(), 0u);
+  EXPECT_EQ(deployment.replica(1).view(), 0u);
+  EXPECT_GT(result.throughputRps, 100.0);
+}
+
+/// Safety property sweep: under random drops + reordering (and the crash
+/// bug disabled so view changes complete), no two replicas may ever execute
+/// different batches at the same sequence number, across seeds.
+class SafetyUnderChaos : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SafetyUnderChaos, NoDivergentExecution) {
+  DeploymentConfig config = baseConfig();
+  config.seed = GetParam();
+  config.pbft.viewChangeCrashBug = false;
+  config.measure = sim::sec(3);
+  Deployment deployment(config);
+  deployment.network().addFault(std::make_shared<fi::DropFault>(0.08));
+  deployment.network().addFault(
+      std::make_shared<fi::ReorderFault>(0.3, sim::msec(15)));
+  const RunResult result = deployment.run();
+  EXPECT_FALSE(result.safetyViolated);
+  EXPECT_GT(result.correctCompleted, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SafetyUnderChaos,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+TEST(Determinism, IdenticalSeedsProduceIdenticalRuns) {
+  const RunResult a = runScenario(baseConfig());
+  const RunResult b = runScenario(baseConfig());
+  EXPECT_EQ(a.correctCompleted, b.correctCompleted);
+  EXPECT_EQ(a.eventsExecuted, b.eventsExecuted);
+  EXPECT_DOUBLE_EQ(a.avgLatencySec, b.avgLatencySec);
+
+  DeploymentConfig different = baseConfig();
+  different.seed = 4321;
+  const RunResult c = runScenario(different);
+  EXPECT_NE(a.eventsExecuted, c.eventsExecuted);
+}
+
+TEST(Checkpoints, WatermarkNeverExceedsWindowAheadOfStable) {
+  DeploymentConfig config = baseConfig();
+  config.pbft.checkpointInterval = 16;
+  config.pbft.watermarkWindow = 64;
+  config.correctClients = 20;
+  Deployment deployment(config);
+  deployment.run();
+  for (std::uint32_t r = 0; r < deployment.replicaCount(); ++r) {
+    const Replica& replica = deployment.replica(r);
+    EXPECT_LE(replica.lastExecuted(),
+              replica.stableCheckpoint() + config.pbft.watermarkWindow);
+    EXPECT_GT(replica.stableCheckpoint(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace avd::pbft

@@ -1,0 +1,156 @@
+// Tests for the quorum KV store (the second target system) and the AVD
+// executor that assesses its API.
+#include <gtest/gtest.h>
+
+#include "avd/controller.h"
+#include "avd/quorum_executor.h"
+#include "faultinject/network_faults.h"
+#include "quorum/deployment.h"
+
+namespace avd::quorum {
+namespace {
+
+QuorumConfig smallConfig() {
+  QuorumConfig config;
+  config.replicas = 5;
+  config.readQuorum = 3;
+  config.writeQuorum = 3;
+  config.honestClients = 6;
+  config.warmup = sim::msec(300);
+  config.measure = sim::sec(2);
+  config.seed = 77;
+  return config;
+}
+
+TEST(QuorumStore, HonestWorkloadReadsItsOwnWrites) {
+  const QuorumResult result = runQuorumScenario(smallConfig());
+  EXPECT_GT(result.opsPerSec, 500.0);
+  EXPECT_EQ(result.staleReads, 0u)
+      << "read quorums must always see the latest acknowledged write";
+  EXPECT_GT(result.honestReads, 100u);
+  EXPECT_LT(result.avgLatencySec, 0.02);
+}
+
+TEST(QuorumStore, QuorumOverlapSurvivesMessageLoss) {
+  QuorumConfig config = smallConfig();
+  QuorumDeployment deployment(config);
+  deployment.network().addFault(std::make_shared<fi::DropFault>(0.05));
+  const QuorumResult result = deployment.run();
+  EXPECT_EQ(result.staleReads, 0u)
+      << "loss slows operations but never breaks read-your-writes";
+  EXPECT_GT(result.opsPerSec, 100.0);
+}
+
+TEST(QuorumStore, OneSilentReplicaIsInsideTheSlack) {
+  QuorumConfig config = smallConfig();
+  QReplicaBehavior silent;
+  silent.silent = true;
+  config.replicaBehaviors[4] = silent;
+  const QuorumResult result = runQuorumScenario(config);
+  EXPECT_GT(result.opsPerSec, 500.0) << "N - W = 2 replicas may vanish";
+  EXPECT_EQ(result.staleReads, 0u);
+}
+
+TEST(QuorumStore, QuorumStarvationHaltsProgress) {
+  QuorumConfig config = smallConfig();
+  QReplicaBehavior silent;
+  silent.silent = true;
+  // N - W + 1 = 3 silent replicas: write quorums can never assemble.
+  config.replicaBehaviors[2] = silent;
+  config.replicaBehaviors[3] = silent;
+  config.replicaBehaviors[4] = silent;
+  const QuorumResult result = runQuorumScenario(config);
+  EXPECT_LT(result.opsPerSec, 10.0);
+}
+
+TEST(QuorumStore, TimestampInflationShadowsHonestWrites) {
+  // The API flaw: one malicious CLIENT writes with far-future versions;
+  // last-write-wins then hides every honest write to the poisoned keys.
+  QuorumConfig config = smallConfig();
+  config.maliciousClients = 1;
+  config.maliciousBehavior.timestampInflation = sim::sec(1u << 20);
+  config.maliciousBehavior.victimKeys = config.honestClients;
+  config.maliciousBehavior.poisonInterval = sim::msec(30);
+  const QuorumResult result = runQuorumScenario(config);
+  EXPECT_GT(result.staleFraction, 0.9)
+      << "nearly every verified read must observe poisoned data";
+  EXPECT_GT(result.opsPerSec, 100.0)
+      << "the attack is silent: throughput looks perfectly healthy";
+}
+
+TEST(QuorumStore, SmallInflationOnlyPoisonsTransiently) {
+  // Inflation below the write-read turnaround time loses LWW against the
+  // client's next honest write: damage needs real lead.
+  QuorumConfig config = smallConfig();
+  config.maliciousClients = 1;
+  config.maliciousBehavior.timestampInflation = sim::usec(1);
+  config.maliciousBehavior.victimKeys = config.honestClients;
+  const QuorumResult result = runQuorumScenario(config);
+  EXPECT_LT(result.staleFraction, 0.2);
+}
+
+TEST(QuorumStore, FabricatingReplicaPoisonsReadsWithoutAuth) {
+  QuorumConfig config = smallConfig();
+  QReplicaBehavior fabricator;
+  fabricator.fabricateReads = true;
+  config.replicaBehaviors[0] = fabricator;
+  const QuorumResult result = runQuorumScenario(config);
+  // The fabricator sits in many read quorums; its far-future version wins
+  // reconciliation every time it does.
+  EXPECT_GT(result.staleFraction, 0.3);
+}
+
+TEST(QuorumStore, VictimSelectionLimitsTheBlastRadius) {
+  QuorumConfig config = smallConfig();
+  config.maliciousClients = 1;
+  config.maliciousBehavior.timestampInflation = sim::sec(1u << 20);
+  config.maliciousBehavior.victimKeys = 1;  // only the first honest client
+  QuorumDeployment deployment(config);
+  deployment.run();
+  EXPECT_GT(deployment.honestClient(0).stats().staleReads, 10u);
+  for (std::uint32_t i = 1; i < config.honestClients; ++i) {
+    EXPECT_EQ(deployment.honestClient(i).stats().staleReads, 0u)
+        << "client " << i;
+  }
+}
+
+}  // namespace
+}  // namespace avd::quorum
+
+namespace avd::core {
+namespace {
+
+TEST(QuorumExecutor, HonestPointHasZeroImpact) {
+  QuorumApiExecutor executor(makeQuorumApiHyperspace(), {});
+  const Outcome outcome = executor.execute(Point{0, 0, 0});
+  EXPECT_LT(outcome.impact, 0.1);
+}
+
+TEST(QuorumExecutor, InflationPointScoresCorrectnessDamage) {
+  QuorumApiExecutor executor(makeQuorumApiHyperspace(), {});
+  // 2^30 us ~ 18 minutes of lead, all 8 victim keys.
+  const Outcome outcome = executor.execute(Point{30, 7, 0});
+  EXPECT_GT(outcome.impact, 0.9);
+  EXPECT_GT(outcome.throughputRps, 100.0)
+      << "impact must come from staleness, not throughput";
+}
+
+TEST(QuorumExecutor, StarvationPointScoresAvailabilityDamage) {
+  QuorumApiExecutor executor(makeQuorumApiHyperspace(), {});
+  const Outcome outcome = executor.execute(Point{0, 0, 2});
+  EXPECT_GT(outcome.impact, 0.9);
+}
+
+TEST(QuorumExecutor, AvdDiscoversTheTimestampApiFlaw) {
+  // The §2 API-assessment story end-to-end: the controller, knowing only
+  // the knobs, finds that client-supplied timestamps enable total data
+  // poisoning.
+  QuorumApiExecutor executor(makeQuorumApiHyperspace(), {});
+  Controller controller(executor, defaultPlugins(executor.space()),
+                        ControllerOptions{}, 17);
+  controller.runTests(25);
+  EXPECT_GT(controller.maxImpact(), 0.9);
+}
+
+}  // namespace
+}  // namespace avd::core

@@ -1,0 +1,100 @@
+// Tests for the CSV/JSON result export.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "avd/report.h"
+
+namespace avd::core {
+namespace {
+
+Hyperspace twoDims() {
+  Hyperspace space;
+  space.add(Dimension::grayBitmask("mask", 4));
+  space.add(Dimension::range("clients", 10, 30, 10));
+  return space;
+}
+
+std::vector<TestRecord> sampleHistory() {
+  std::vector<TestRecord> history;
+  TestRecord first;
+  first.point = {3, 1};  // mask index 3 -> gray 0b10; clients 20
+  first.outcome.impact = 0.25;
+  first.outcome.throughputRps = 1500;
+  first.outcome.avgLatencySec = 0.01;
+  first.generatedBy = "random";
+  first.bestImpactSoFar = 0.25;
+  history.push_back(first);
+
+  TestRecord second;
+  second.point = {0, 2};
+  second.outcome.impact = 0.95;
+  second.outcome.throughputRps = 50;
+  second.outcome.viewChanges = 4;
+  second.generatedBy = "step:mask";
+  second.bestImpactSoFar = 0.95;
+  history.push_back(second);
+  return history;
+}
+
+TEST(Report, CsvHasHeaderAndOneRowPerTest) {
+  const Hyperspace space = twoDims();
+  const std::string csv = historyCsv(space, sampleHistory());
+  std::stringstream stream(csv);
+  std::string line;
+
+  ASSERT_TRUE(std::getline(stream, line));
+  EXPECT_EQ(line,
+            "test,generatedBy,mask,clients,impact,bestImpact,throughputRps,"
+            "avgLatencySec,viewChanges,safetyViolated");
+  ASSERT_TRUE(std::getline(stream, line));
+  EXPECT_EQ(line, "1,random,2,20,0.25,0.25,1500,0.01,0,0");
+  ASSERT_TRUE(std::getline(stream, line));
+  EXPECT_EQ(line, "2,step:mask,0,30,0.95,0.95,50,0,4,0");
+  EXPECT_FALSE(std::getline(stream, line));
+}
+
+TEST(Report, CsvDecodesGrayDimensionValues) {
+  const Hyperspace space = twoDims();
+  const std::string csv = historyCsv(space, sampleHistory());
+  // Point index 3 on a gray dimension is mask value toGray(3) = 2.
+  EXPECT_NE(csv.find("1,random,2,20"), std::string::npos);
+}
+
+TEST(Report, SummaryJsonReportsBestAndCrossing) {
+  const Hyperspace space = twoDims();
+  const std::string json = summaryJson(space, sampleHistory(), 0.9);
+  EXPECT_NE(json.find("\"tests\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"maxImpact\": 0.95"), std::string::npos);
+  EXPECT_NE(json.find("\"strongTests\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"firstStrongTest\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"generatedBy\": \"step:mask\""), std::string::npos);
+  EXPECT_NE(json.find("\"clients\": 30"), std::string::npos);
+}
+
+TEST(Report, SummaryJsonOnEmptyHistory) {
+  const Hyperspace space = twoDims();
+  const std::string json = summaryJson(space, {}, 0.9);
+  EXPECT_NE(json.find("\"tests\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"best\": null"), std::string::npos);
+  EXPECT_NE(json.find("\"firstStrongTest\": null"), std::string::npos);
+}
+
+TEST(Report, WriteFileRoundTrips) {
+  const std::string path = "/tmp/avd_report_test.txt";
+  ASSERT_TRUE(writeFile(path, "hello\nworld\n"));
+  std::ifstream file(path);
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  EXPECT_EQ(buffer.str(), "hello\nworld\n");
+  std::remove(path.c_str());
+}
+
+TEST(Report, WriteFileFailsOnBadPath) {
+  EXPECT_FALSE(writeFile("/nonexistent-dir/x/y/z.txt", "data"));
+}
+
+}  // namespace
+}  // namespace avd::core

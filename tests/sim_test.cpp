@@ -1,0 +1,286 @@
+// Unit tests for the discrete-event simulation engine and network fabric.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "faultinject/network_faults.h"
+#include "sim/network.h"
+#include "sim/node.h"
+#include "sim/simulator.h"
+
+namespace avd::sim {
+namespace {
+
+// --- Simulator ------------------------------------------------------------------
+
+TEST(Simulator, ExecutesInTimestampOrder) {
+  Simulator simulator;
+  std::vector<int> order;
+  simulator.schedule(30, [&] { order.push_back(3); });
+  simulator.schedule(10, [&] { order.push_back(1); });
+  simulator.schedule(20, [&] { order.push_back(2); });
+  simulator.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(simulator.now(), 30);
+}
+
+TEST(Simulator, TiesBreakByInsertionOrder) {
+  Simulator simulator;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    simulator.schedule(5, [&order, i] { order.push_back(i); });
+  }
+  simulator.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, CancelledEventsDoNotFire) {
+  Simulator simulator;
+  bool fired = false;
+  const TimerId id = simulator.schedule(10, [&] { fired = true; });
+  simulator.cancel(id);
+  simulator.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(simulator.pendingEvents(), 0u);
+}
+
+TEST(Simulator, CancelIsIdempotentAndTolerant) {
+  Simulator simulator;
+  const TimerId id = simulator.schedule(1, [] {});
+  simulator.cancel(id);
+  simulator.cancel(id);       // double cancel: no-op
+  simulator.cancel(0);        // invalid id: no-op
+  simulator.cancel(99999);    // never-issued id: no-op
+  simulator.run();
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator simulator;
+  std::vector<Time> fired;
+  for (Time t : {5, 10, 15, 20}) {
+    simulator.schedule(t, [&fired, &simulator] {
+      fired.push_back(simulator.now());
+    });
+  }
+  simulator.runUntil(12);
+  EXPECT_EQ(fired, (std::vector<Time>{5, 10}));
+  EXPECT_EQ(simulator.now(), 12);
+  simulator.runUntil(100);
+  EXPECT_EQ(fired.size(), 4u);
+  EXPECT_EQ(simulator.now(), 100);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator simulator;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) simulator.schedule(10, chain);
+  };
+  simulator.schedule(0, chain);
+  simulator.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(simulator.now(), 40);
+}
+
+TEST(Simulator, RunHonorsMaxEvents) {
+  Simulator simulator;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) simulator.schedule(i, [&] { ++count; });
+  EXPECT_EQ(simulator.run(4), 4u);
+  EXPECT_EQ(count, 4);
+}
+
+TEST(Simulator, DeterministicRngStream) {
+  Simulator a(77);
+  Simulator b(77);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.rng().next(), b.rng().next());
+}
+
+// --- Network -------------------------------------------------------------------
+
+/// Records every delivery for assertions.
+class ProbeNode final : public Node {
+ public:
+  explicit ProbeNode(util::NodeId id) : Node(id) {}
+
+  void receive(util::NodeId from, const MessagePtr& message) override {
+    deliveries.push_back({from, message, now()});
+  }
+
+  struct Delivery {
+    util::NodeId from;
+    MessagePtr message;
+    Time when;
+  };
+  std::vector<Delivery> deliveries;
+
+  using Node::send;      // expose for tests
+  using Node::setTimer;  // expose for tests
+};
+
+class TestPayload final : public Message {
+ public:
+  explicit TestPayload(int tag) : tag_(tag) {}
+  std::uint32_t kind() const noexcept override { return 0xBEEF; }
+  int tag() const noexcept { return tag_; }
+
+ private:
+  int tag_;
+};
+
+struct NetFixture : ::testing::Test {
+  NetFixture() : simulator(1), network(&simulator, LinkModel{msec(2), 0}) {
+    for (util::NodeId id = 0; id < 3; ++id) {
+      nodes.push_back(std::make_unique<ProbeNode>(id));
+      network.registerNode(nodes.back().get());
+    }
+  }
+
+  Simulator simulator;
+  Network network;
+  std::vector<std::unique_ptr<ProbeNode>> nodes;
+};
+
+TEST_F(NetFixture, DeliversAfterBaseLatency) {
+  nodes[0]->send(1, std::make_shared<TestPayload>(7));
+  simulator.run();
+  ASSERT_EQ(nodes[1]->deliveries.size(), 1u);
+  EXPECT_EQ(nodes[1]->deliveries[0].from, 0u);
+  EXPECT_EQ(nodes[1]->deliveries[0].when, msec(2));
+  EXPECT_EQ(nodes[2]->deliveries.size(), 0u);
+}
+
+TEST_F(NetFixture, FifoPerLinkWithoutJitter) {
+  for (int i = 0; i < 5; ++i) {
+    nodes[0]->send(1, std::make_shared<TestPayload>(i));
+  }
+  simulator.run();
+  ASSERT_EQ(nodes[1]->deliveries.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    const auto* payload = static_cast<const TestPayload*>(
+        nodes[1]->deliveries[i].message.get());
+    EXPECT_EQ(payload->tag(), i);
+  }
+}
+
+TEST_F(NetFixture, CountersTrackTraffic) {
+  nodes[0]->send(1, std::make_shared<TestPayload>(0));
+  nodes[1]->send(2, std::make_shared<TestPayload>(1));
+  simulator.run();
+  EXPECT_EQ(network.counters().sent, 2u);
+  EXPECT_EQ(network.counters().delivered, 2u);
+  EXPECT_EQ(network.counters().droppedByFaults, 0u);
+  EXPECT_GT(network.counters().bytesSent, 0u);
+}
+
+TEST_F(NetFixture, DeadReceiverDropsDelivery) {
+  nodes[1]->setAlive(false);
+  nodes[0]->send(1, std::make_shared<TestPayload>(0));
+  simulator.run();
+  EXPECT_EQ(nodes[1]->deliveries.size(), 0u);
+  EXPECT_EQ(network.counters().droppedDeadNode, 1u);
+}
+
+TEST_F(NetFixture, DeadSenderCannotSend) {
+  nodes[0]->setAlive(false);
+  nodes[0]->send(1, std::make_shared<TestPayload>(0));
+  simulator.run();
+  EXPECT_EQ(nodes[1]->deliveries.size(), 0u);
+}
+
+TEST_F(NetFixture, CrashBetweenSendAndDeliveryDrops) {
+  nodes[0]->send(1, std::make_shared<TestPayload>(0));
+  simulator.schedule(msec(1), [&] { nodes[1]->setAlive(false); });
+  simulator.run();
+  EXPECT_EQ(nodes[1]->deliveries.size(), 0u);
+}
+
+TEST_F(NetFixture, TimersSuppressedOnDeadNode) {
+  bool fired = false;
+  nodes[0]->setTimer(msec(5), [&] { fired = true; });
+  simulator.schedule(msec(1), [&] { nodes[0]->setAlive(false); });
+  simulator.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST_F(NetFixture, DropFaultFiltersFlows) {
+  auto drop = std::make_shared<fi::DropFault>(
+      1.0, fi::FlowFilter{.fromNodes = {0}, .toNodes = {}});
+  network.addFault(drop);
+  nodes[0]->send(1, std::make_shared<TestPayload>(0));  // dropped
+  nodes[1]->send(0, std::make_shared<TestPayload>(1));  // delivered
+  simulator.run();
+  EXPECT_EQ(nodes[1]->deliveries.size(), 0u);
+  EXPECT_EQ(nodes[0]->deliveries.size(), 1u);
+  EXPECT_EQ(drop->dropped(), 1u);
+  EXPECT_EQ(network.counters().droppedByFaults, 1u);
+}
+
+TEST_F(NetFixture, DelayFaultAddsLatency) {
+  network.addFault(std::make_shared<fi::DelayFault>(msec(10)));
+  nodes[0]->send(1, std::make_shared<TestPayload>(0));
+  simulator.run();
+  ASSERT_EQ(nodes[1]->deliveries.size(), 1u);
+  EXPECT_EQ(nodes[1]->deliveries[0].when, msec(12));
+}
+
+TEST_F(NetFixture, PartitionCutsBothDirectionsAndHeals) {
+  auto partition = std::make_shared<fi::PartitionFault>(
+      std::set<util::NodeId>{0}, std::set<util::NodeId>{1});
+  network.addFault(partition);
+  nodes[0]->send(1, std::make_shared<TestPayload>(0));
+  nodes[1]->send(0, std::make_shared<TestPayload>(1));
+  nodes[0]->send(2, std::make_shared<TestPayload>(2));  // outside partition
+  simulator.run();
+  EXPECT_EQ(nodes[0]->deliveries.size(), 0u);
+  EXPECT_EQ(nodes[1]->deliveries.size(), 0u);
+  EXPECT_EQ(nodes[2]->deliveries.size(), 1u);
+
+  partition->heal();
+  nodes[0]->send(1, std::make_shared<TestPayload>(3));
+  simulator.run();
+  EXPECT_EQ(nodes[1]->deliveries.size(), 1u);
+}
+
+TEST(NetworkJitter, JitterBoundsDeliveryTime) {
+  Simulator simulator(3);
+  Network network(&simulator, LinkModel{msec(2), msec(1)});
+  ProbeNode sender(0);
+  ProbeNode receiver(1);
+  network.registerNode(&sender);
+  network.registerNode(&receiver);
+  for (int i = 0; i < 100; ++i) {
+    sender.send(1, std::make_shared<TestPayload>(i));
+  }
+  simulator.run();
+  ASSERT_EQ(receiver.deliveries.size(), 100u);
+  for (const auto& delivery : receiver.deliveries) {
+    EXPECT_GE(delivery.when, msec(2));
+    EXPECT_LE(delivery.when, msec(3));
+  }
+}
+
+TEST(NetworkDeterminism, SameSeedSameDeliverySchedule) {
+  const auto run = [](std::uint64_t seed) {
+    Simulator simulator(seed);
+    Network network(&simulator, LinkModel{msec(1), msec(2)});
+    ProbeNode sender(0);
+    ProbeNode receiver(1);
+    network.registerNode(&sender);
+    network.registerNode(&receiver);
+    for (int i = 0; i < 50; ++i) {
+      sender.send(1, std::make_shared<TestPayload>(i));
+    }
+    simulator.run();
+    std::vector<Time> times;
+    for (const auto& delivery : receiver.deliveries) {
+      times.push_back(delivery.when);
+    }
+    return times;
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+}  // namespace
+}  // namespace avd::sim
