@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attacker_power.dir/attacker_power.cpp.o"
+  "CMakeFiles/attacker_power.dir/attacker_power.cpp.o.d"
+  "attacker_power"
+  "attacker_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attacker_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/big_mac_attack.dir/big_mac_attack.cpp.o"
+  "CMakeFiles/big_mac_attack.dir/big_mac_attack.cpp.o.d"
+  "big_mac_attack"
+  "big_mac_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/big_mac_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_exploration.dir/fig2_exploration.cpp.o"
+  "CMakeFiles/fig2_exploration.dir/fig2_exploration.cpp.o.d"
+  "fig2_exploration"
+  "fig2_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

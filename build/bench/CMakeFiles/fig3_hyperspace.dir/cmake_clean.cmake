@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_hyperspace.dir/fig3_hyperspace.cpp.o"
+  "CMakeFiles/fig3_hyperspace.dir/fig3_hyperspace.cpp.o.d"
+  "fig3_hyperspace"
+  "fig3_hyperspace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_hyperspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quorum_api.dir/quorum_api.cpp.o"
+  "CMakeFiles/quorum_api.dir/quorum_api.cpp.o.d"
+  "quorum_api"
+  "quorum_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quorum_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scale_attack.dir/scale_attack.cpp.o"
+  "CMakeFiles/scale_attack.dir/scale_attack.cpp.o.d"
+  "scale_attack"
+  "scale_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scale_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slow_primary.dir/slow_primary.cpp.o"
+  "CMakeFiles/slow_primary.dir/slow_primary.cpp.o.d"
+  "slow_primary"
+  "slow_primary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slow_primary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

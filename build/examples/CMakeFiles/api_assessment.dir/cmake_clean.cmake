@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/api_assessment.dir/api_assessment.cpp.o"
+  "CMakeFiles/api_assessment.dir/api_assessment.cpp.o.d"
+  "api_assessment"
+  "api_assessment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/api_assessment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

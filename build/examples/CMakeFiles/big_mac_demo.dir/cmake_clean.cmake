@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/big_mac_demo.dir/big_mac_demo.cpp.o"
+  "CMakeFiles/big_mac_demo.dir/big_mac_demo.cpp.o.d"
+  "big_mac_demo"
+  "big_mac_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/big_mac_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slow_primary_demo.dir/slow_primary_demo.cpp.o"
+  "CMakeFiles/slow_primary_demo.dir/slow_primary_demo.cpp.o.d"
+  "slow_primary_demo"
+  "slow_primary_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slow_primary_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

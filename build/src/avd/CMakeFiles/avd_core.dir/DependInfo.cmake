@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/avd/attacker_power.cpp" "src/avd/CMakeFiles/avd_core.dir/attacker_power.cpp.o" "gcc" "src/avd/CMakeFiles/avd_core.dir/attacker_power.cpp.o.d"
+  "/root/repo/src/avd/controller.cpp" "src/avd/CMakeFiles/avd_core.dir/controller.cpp.o" "gcc" "src/avd/CMakeFiles/avd_core.dir/controller.cpp.o.d"
+  "/root/repo/src/avd/explorers.cpp" "src/avd/CMakeFiles/avd_core.dir/explorers.cpp.o" "gcc" "src/avd/CMakeFiles/avd_core.dir/explorers.cpp.o.d"
+  "/root/repo/src/avd/genetic.cpp" "src/avd/CMakeFiles/avd_core.dir/genetic.cpp.o" "gcc" "src/avd/CMakeFiles/avd_core.dir/genetic.cpp.o.d"
+  "/root/repo/src/avd/hyperspace.cpp" "src/avd/CMakeFiles/avd_core.dir/hyperspace.cpp.o" "gcc" "src/avd/CMakeFiles/avd_core.dir/hyperspace.cpp.o.d"
+  "/root/repo/src/avd/pbft_executor.cpp" "src/avd/CMakeFiles/avd_core.dir/pbft_executor.cpp.o" "gcc" "src/avd/CMakeFiles/avd_core.dir/pbft_executor.cpp.o.d"
+  "/root/repo/src/avd/plugin.cpp" "src/avd/CMakeFiles/avd_core.dir/plugin.cpp.o" "gcc" "src/avd/CMakeFiles/avd_core.dir/plugin.cpp.o.d"
+  "/root/repo/src/avd/quorum_executor.cpp" "src/avd/CMakeFiles/avd_core.dir/quorum_executor.cpp.o" "gcc" "src/avd/CMakeFiles/avd_core.dir/quorum_executor.cpp.o.d"
+  "/root/repo/src/avd/report.cpp" "src/avd/CMakeFiles/avd_core.dir/report.cpp.o" "gcc" "src/avd/CMakeFiles/avd_core.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/avd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/avd_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/avd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pbft/CMakeFiles/avd_pbft.dir/DependInfo.cmake"
+  "/root/repo/build/src/quorum/CMakeFiles/avd_quorum.dir/DependInfo.cmake"
+  "/root/repo/build/src/faultinject/CMakeFiles/avd_faultinject.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avd_core.dir/attacker_power.cpp.o"
+  "CMakeFiles/avd_core.dir/attacker_power.cpp.o.d"
+  "CMakeFiles/avd_core.dir/controller.cpp.o"
+  "CMakeFiles/avd_core.dir/controller.cpp.o.d"
+  "CMakeFiles/avd_core.dir/explorers.cpp.o"
+  "CMakeFiles/avd_core.dir/explorers.cpp.o.d"
+  "CMakeFiles/avd_core.dir/genetic.cpp.o"
+  "CMakeFiles/avd_core.dir/genetic.cpp.o.d"
+  "CMakeFiles/avd_core.dir/hyperspace.cpp.o"
+  "CMakeFiles/avd_core.dir/hyperspace.cpp.o.d"
+  "CMakeFiles/avd_core.dir/pbft_executor.cpp.o"
+  "CMakeFiles/avd_core.dir/pbft_executor.cpp.o.d"
+  "CMakeFiles/avd_core.dir/plugin.cpp.o"
+  "CMakeFiles/avd_core.dir/plugin.cpp.o.d"
+  "CMakeFiles/avd_core.dir/quorum_executor.cpp.o"
+  "CMakeFiles/avd_core.dir/quorum_executor.cpp.o.d"
+  "CMakeFiles/avd_core.dir/report.cpp.o"
+  "CMakeFiles/avd_core.dir/report.cpp.o.d"
+  "libavd_core.a"
+  "libavd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avd_common.dir/bytes.cpp.o"
+  "CMakeFiles/avd_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/avd_common.dir/gray_code.cpp.o"
+  "CMakeFiles/avd_common.dir/gray_code.cpp.o.d"
+  "CMakeFiles/avd_common.dir/hash.cpp.o"
+  "CMakeFiles/avd_common.dir/hash.cpp.o.d"
+  "CMakeFiles/avd_common.dir/levenshtein.cpp.o"
+  "CMakeFiles/avd_common.dir/levenshtein.cpp.o.d"
+  "CMakeFiles/avd_common.dir/logging.cpp.o"
+  "CMakeFiles/avd_common.dir/logging.cpp.o.d"
+  "CMakeFiles/avd_common.dir/rng.cpp.o"
+  "CMakeFiles/avd_common.dir/rng.cpp.o.d"
+  "CMakeFiles/avd_common.dir/stats.cpp.o"
+  "CMakeFiles/avd_common.dir/stats.cpp.o.d"
+  "CMakeFiles/avd_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/avd_common.dir/thread_pool.cpp.o.d"
+  "libavd_common.a"
+  "libavd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avd_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

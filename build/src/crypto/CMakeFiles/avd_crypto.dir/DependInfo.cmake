@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/authenticator.cpp" "src/crypto/CMakeFiles/avd_crypto.dir/authenticator.cpp.o" "gcc" "src/crypto/CMakeFiles/avd_crypto.dir/authenticator.cpp.o.d"
+  "/root/repo/src/crypto/keychain.cpp" "src/crypto/CMakeFiles/avd_crypto.dir/keychain.cpp.o" "gcc" "src/crypto/CMakeFiles/avd_crypto.dir/keychain.cpp.o.d"
+  "/root/repo/src/crypto/mac.cpp" "src/crypto/CMakeFiles/avd_crypto.dir/mac.cpp.o" "gcc" "src/crypto/CMakeFiles/avd_crypto.dir/mac.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/avd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avd_crypto.dir/authenticator.cpp.o"
+  "CMakeFiles/avd_crypto.dir/authenticator.cpp.o.d"
+  "CMakeFiles/avd_crypto.dir/keychain.cpp.o"
+  "CMakeFiles/avd_crypto.dir/keychain.cpp.o.d"
+  "CMakeFiles/avd_crypto.dir/mac.cpp.o"
+  "CMakeFiles/avd_crypto.dir/mac.cpp.o.d"
+  "libavd_crypto.a"
+  "libavd_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avd_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

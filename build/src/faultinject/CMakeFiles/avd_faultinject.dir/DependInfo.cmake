@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/faultinject/behaviors.cpp" "src/faultinject/CMakeFiles/avd_faultinject.dir/behaviors.cpp.o" "gcc" "src/faultinject/CMakeFiles/avd_faultinject.dir/behaviors.cpp.o.d"
+  "/root/repo/src/faultinject/lfi.cpp" "src/faultinject/CMakeFiles/avd_faultinject.dir/lfi.cpp.o" "gcc" "src/faultinject/CMakeFiles/avd_faultinject.dir/lfi.cpp.o.d"
+  "/root/repo/src/faultinject/mac_corruptor.cpp" "src/faultinject/CMakeFiles/avd_faultinject.dir/mac_corruptor.cpp.o" "gcc" "src/faultinject/CMakeFiles/avd_faultinject.dir/mac_corruptor.cpp.o.d"
+  "/root/repo/src/faultinject/network_faults.cpp" "src/faultinject/CMakeFiles/avd_faultinject.dir/network_faults.cpp.o" "gcc" "src/faultinject/CMakeFiles/avd_faultinject.dir/network_faults.cpp.o.d"
+  "/root/repo/src/faultinject/reorder.cpp" "src/faultinject/CMakeFiles/avd_faultinject.dir/reorder.cpp.o" "gcc" "src/faultinject/CMakeFiles/avd_faultinject.dir/reorder.cpp.o.d"
+  "/root/repo/src/faultinject/tamper.cpp" "src/faultinject/CMakeFiles/avd_faultinject.dir/tamper.cpp.o" "gcc" "src/faultinject/CMakeFiles/avd_faultinject.dir/tamper.cpp.o.d"
+  "/root/repo/src/faultinject/wire_fuzz.cpp" "src/faultinject/CMakeFiles/avd_faultinject.dir/wire_fuzz.cpp.o" "gcc" "src/faultinject/CMakeFiles/avd_faultinject.dir/wire_fuzz.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/avd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/avd_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/avd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pbft/CMakeFiles/avd_pbft.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

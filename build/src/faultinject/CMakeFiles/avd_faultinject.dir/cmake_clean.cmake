@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avd_faultinject.dir/behaviors.cpp.o"
+  "CMakeFiles/avd_faultinject.dir/behaviors.cpp.o.d"
+  "CMakeFiles/avd_faultinject.dir/lfi.cpp.o"
+  "CMakeFiles/avd_faultinject.dir/lfi.cpp.o.d"
+  "CMakeFiles/avd_faultinject.dir/mac_corruptor.cpp.o"
+  "CMakeFiles/avd_faultinject.dir/mac_corruptor.cpp.o.d"
+  "CMakeFiles/avd_faultinject.dir/network_faults.cpp.o"
+  "CMakeFiles/avd_faultinject.dir/network_faults.cpp.o.d"
+  "CMakeFiles/avd_faultinject.dir/reorder.cpp.o"
+  "CMakeFiles/avd_faultinject.dir/reorder.cpp.o.d"
+  "CMakeFiles/avd_faultinject.dir/tamper.cpp.o"
+  "CMakeFiles/avd_faultinject.dir/tamper.cpp.o.d"
+  "CMakeFiles/avd_faultinject.dir/wire_fuzz.cpp.o"
+  "CMakeFiles/avd_faultinject.dir/wire_fuzz.cpp.o.d"
+  "libavd_faultinject.a"
+  "libavd_faultinject.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avd_faultinject.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pbft/client.cpp" "src/pbft/CMakeFiles/avd_pbft.dir/client.cpp.o" "gcc" "src/pbft/CMakeFiles/avd_pbft.dir/client.cpp.o.d"
+  "/root/repo/src/pbft/deployment.cpp" "src/pbft/CMakeFiles/avd_pbft.dir/deployment.cpp.o" "gcc" "src/pbft/CMakeFiles/avd_pbft.dir/deployment.cpp.o.d"
+  "/root/repo/src/pbft/log.cpp" "src/pbft/CMakeFiles/avd_pbft.dir/log.cpp.o" "gcc" "src/pbft/CMakeFiles/avd_pbft.dir/log.cpp.o.d"
+  "/root/repo/src/pbft/message.cpp" "src/pbft/CMakeFiles/avd_pbft.dir/message.cpp.o" "gcc" "src/pbft/CMakeFiles/avd_pbft.dir/message.cpp.o.d"
+  "/root/repo/src/pbft/replica.cpp" "src/pbft/CMakeFiles/avd_pbft.dir/replica.cpp.o" "gcc" "src/pbft/CMakeFiles/avd_pbft.dir/replica.cpp.o.d"
+  "/root/repo/src/pbft/service.cpp" "src/pbft/CMakeFiles/avd_pbft.dir/service.cpp.o" "gcc" "src/pbft/CMakeFiles/avd_pbft.dir/service.cpp.o.d"
+  "/root/repo/src/pbft/wire.cpp" "src/pbft/CMakeFiles/avd_pbft.dir/wire.cpp.o" "gcc" "src/pbft/CMakeFiles/avd_pbft.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/avd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/avd_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/avd_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

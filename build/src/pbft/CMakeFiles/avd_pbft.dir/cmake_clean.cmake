@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avd_pbft.dir/client.cpp.o"
+  "CMakeFiles/avd_pbft.dir/client.cpp.o.d"
+  "CMakeFiles/avd_pbft.dir/deployment.cpp.o"
+  "CMakeFiles/avd_pbft.dir/deployment.cpp.o.d"
+  "CMakeFiles/avd_pbft.dir/log.cpp.o"
+  "CMakeFiles/avd_pbft.dir/log.cpp.o.d"
+  "CMakeFiles/avd_pbft.dir/message.cpp.o"
+  "CMakeFiles/avd_pbft.dir/message.cpp.o.d"
+  "CMakeFiles/avd_pbft.dir/replica.cpp.o"
+  "CMakeFiles/avd_pbft.dir/replica.cpp.o.d"
+  "CMakeFiles/avd_pbft.dir/service.cpp.o"
+  "CMakeFiles/avd_pbft.dir/service.cpp.o.d"
+  "CMakeFiles/avd_pbft.dir/wire.cpp.o"
+  "CMakeFiles/avd_pbft.dir/wire.cpp.o.d"
+  "libavd_pbft.a"
+  "libavd_pbft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avd_pbft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

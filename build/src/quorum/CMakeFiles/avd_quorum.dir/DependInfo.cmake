@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quorum/client.cpp" "src/quorum/CMakeFiles/avd_quorum.dir/client.cpp.o" "gcc" "src/quorum/CMakeFiles/avd_quorum.dir/client.cpp.o.d"
+  "/root/repo/src/quorum/deployment.cpp" "src/quorum/CMakeFiles/avd_quorum.dir/deployment.cpp.o" "gcc" "src/quorum/CMakeFiles/avd_quorum.dir/deployment.cpp.o.d"
+  "/root/repo/src/quorum/replica.cpp" "src/quorum/CMakeFiles/avd_quorum.dir/replica.cpp.o" "gcc" "src/quorum/CMakeFiles/avd_quorum.dir/replica.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/avd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/avd_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

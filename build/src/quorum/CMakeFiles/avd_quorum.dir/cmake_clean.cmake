@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avd_quorum.dir/client.cpp.o"
+  "CMakeFiles/avd_quorum.dir/client.cpp.o.d"
+  "CMakeFiles/avd_quorum.dir/deployment.cpp.o"
+  "CMakeFiles/avd_quorum.dir/deployment.cpp.o.d"
+  "CMakeFiles/avd_quorum.dir/replica.cpp.o"
+  "CMakeFiles/avd_quorum.dir/replica.cpp.o.d"
+  "libavd_quorum.a"
+  "libavd_quorum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avd_quorum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avd_sim.dir/network.cpp.o"
+  "CMakeFiles/avd_sim.dir/network.cpp.o.d"
+  "CMakeFiles/avd_sim.dir/node.cpp.o"
+  "CMakeFiles/avd_sim.dir/node.cpp.o.d"
+  "CMakeFiles/avd_sim.dir/simulator.cpp.o"
+  "CMakeFiles/avd_sim.dir/simulator.cpp.o.d"
+  "libavd_sim.a"
+  "libavd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkpoint_conformance_test.dir/checkpoint_conformance_test.cpp.o"
+  "CMakeFiles/checkpoint_conformance_test.dir/checkpoint_conformance_test.cpp.o.d"
+  "checkpoint_conformance_test"
+  "checkpoint_conformance_test.pdb"
+  "checkpoint_conformance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpoint_conformance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/client_conformance_test.cpp" "tests/CMakeFiles/client_conformance_test.dir/client_conformance_test.cpp.o" "gcc" "tests/CMakeFiles/client_conformance_test.dir/client_conformance_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/avd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/avd_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/avd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pbft/CMakeFiles/avd_pbft.dir/DependInfo.cmake"
+  "/root/repo/build/src/quorum/CMakeFiles/avd_quorum.dir/DependInfo.cmake"
+  "/root/repo/build/src/faultinject/CMakeFiles/avd_faultinject.dir/DependInfo.cmake"
+  "/root/repo/build/src/avd/CMakeFiles/avd_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

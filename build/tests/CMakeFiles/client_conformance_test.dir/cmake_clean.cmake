@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/client_conformance_test.dir/client_conformance_test.cpp.o"
+  "CMakeFiles/client_conformance_test.dir/client_conformance_test.cpp.o.d"
+  "client_conformance_test"
+  "client_conformance_test.pdb"
+  "client_conformance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/client_conformance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperspace_test.dir/hyperspace_test.cpp.o"
+  "CMakeFiles/hyperspace_test.dir/hyperspace_test.cpp.o.d"
+  "hyperspace_test"
+  "hyperspace_test.pdb"
+  "hyperspace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperspace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbft_integration_test.dir/pbft_integration_test.cpp.o"
+  "CMakeFiles/pbft_integration_test.dir/pbft_integration_test.cpp.o.d"
+  "pbft_integration_test"
+  "pbft_integration_test.pdb"
+  "pbft_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbft_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbft_protocol_test.dir/pbft_protocol_test.cpp.o"
+  "CMakeFiles/pbft_protocol_test.dir/pbft_protocol_test.cpp.o.d"
+  "pbft_protocol_test"
+  "pbft_protocol_test.pdb"
+  "pbft_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbft_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

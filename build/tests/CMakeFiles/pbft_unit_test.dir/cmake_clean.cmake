@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbft_unit_test.dir/pbft_unit_test.cpp.o"
+  "CMakeFiles/pbft_unit_test.dir/pbft_unit_test.cpp.o.d"
+  "pbft_unit_test"
+  "pbft_unit_test.pdb"
+  "pbft_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbft_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

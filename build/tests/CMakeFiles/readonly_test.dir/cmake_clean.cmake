@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/readonly_test.dir/readonly_test.cpp.o"
+  "CMakeFiles/readonly_test.dir/readonly_test.cpp.o.d"
+  "readonly_test"
+  "readonly_test.pdb"
+  "readonly_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/readonly_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avd_cli.dir/avd_cli.cpp.o"
+  "CMakeFiles/avd_cli.dir/avd_cli.cpp.o.d"
+  "avd_cli"
+  "avd_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avd_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
