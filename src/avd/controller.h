@@ -70,13 +70,13 @@ class Controller {
   const std::vector<TestRecord>& history() const noexcept { return history_; }
   double maxImpact() const noexcept { return maxImpact_; }
   /// Best scenario so far (nullopt before any test ran).
-  std::optional<TestRecord> best() const;
+  [[nodiscard]] std::optional<TestRecord> best() const;
   const std::vector<PluginStats>& pluginStats() const noexcept {
     return pluginStats_;
   }
   std::size_t executedTests() const noexcept { return history_.size(); }
   /// Tests executed until impact first reached `threshold`; nullopt if never.
-  std::optional<std::size_t> testsToReach(double threshold) const;
+  [[nodiscard]] std::optional<std::size_t> testsToReach(double threshold) const;
 
  private:
   struct TopScenario {

@@ -44,7 +44,7 @@ class GeneticExplorer {
 
   const std::vector<TestRecord>& history() const noexcept { return history_; }
   double maxImpact() const noexcept { return maxImpact_; }
-  std::optional<std::size_t> testsToReach(double threshold) const;
+  [[nodiscard]] std::optional<std::size_t> testsToReach(double threshold) const;
   std::size_t generation() const noexcept { return generation_; }
 
  private:

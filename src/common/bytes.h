@@ -55,20 +55,20 @@ class ByteReader {
   explicit ByteReader(std::span<const std::uint8_t> data) noexcept
       : data_(data) {}
 
-  std::optional<std::uint8_t> u8() noexcept;
-  std::optional<std::uint16_t> u16() noexcept;
-  std::optional<std::uint32_t> u32() noexcept;
-  std::optional<std::uint64_t> u64() noexcept;
-  std::optional<std::int64_t> i64() noexcept;
-  std::optional<Bytes> blob();
-  std::optional<std::string> str();
+  [[nodiscard]] std::optional<std::uint8_t> u8() noexcept;
+  [[nodiscard]] std::optional<std::uint16_t> u16() noexcept;
+  [[nodiscard]] std::optional<std::uint32_t> u32() noexcept;
+  [[nodiscard]] std::optional<std::uint64_t> u64() noexcept;
+  [[nodiscard]] std::optional<std::int64_t> i64() noexcept;
+  [[nodiscard]] std::optional<Bytes> blob();
+  [[nodiscard]] std::optional<std::string> str();
 
   std::size_t remaining() const noexcept { return data_.size() - pos_; }
   bool exhausted() const noexcept { return remaining() == 0; }
 
  private:
   template <typename T>
-  std::optional<T> readLe() noexcept {
+  [[nodiscard]] std::optional<T> readLe() noexcept {
     if (remaining() < sizeof(T)) return std::nullopt;
     T v = 0;
     for (std::size_t i = 0; i < sizeof(T); ++i) {

@@ -40,7 +40,7 @@ class Service {
   /// `operation` against the current state WITHOUT mutating it, or return
   /// nullopt when the operation is not answerable read-only (it then goes
   /// through ordering like any write).
-  virtual std::optional<util::Bytes> query(util::NodeId /*client*/,
+  [[nodiscard]] virtual std::optional<util::Bytes> query(util::NodeId /*client*/,
                                            const util::Bytes& /*operation*/)
       const {
     return std::nullopt;
@@ -80,7 +80,7 @@ class KvService final : public Service {
   util::Bytes snapshot() const override;
   void restore(const util::Bytes& snapshot) override;
   /// GETs are answerable read-only; PUT/DEL are not.
-  std::optional<util::Bytes> query(util::NodeId client,
+  [[nodiscard]] std::optional<util::Bytes> query(util::NodeId client,
                                    const util::Bytes& operation) const override;
 
   std::size_t size() const noexcept { return table_.size(); }

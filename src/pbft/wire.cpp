@@ -1,5 +1,6 @@
 #include "pbft/wire.h"
 
+#include <algorithm>
 #include <limits>
 
 namespace avd::pbft::wire {
@@ -12,17 +13,23 @@ constexpr std::uint32_t kMaxBatch = 4096;
 constexpr std::uint32_t kMaxAuthTags = 1024;
 constexpr std::uint32_t kMaxProofs = 4096;
 constexpr std::uint32_t kMaxClientEntries = 1 << 20;
+// Pre-parse reserve() clamp: container counts are validated against the
+// kMax* bounds above, but the count itself is attacker-controlled bytes,
+// so speculative allocation ahead of element validation stays tiny and
+// vectors grow geometrically only as real elements actually parse.
+constexpr std::uint32_t kPreparseReserveCap = 64;
 
 void putAuth(util::ByteWriter& writer, const crypto::Authenticator& auth) {
   writer.u32(static_cast<std::uint32_t>(auth.tags.size()));
   for (const crypto::MacTag tag : auth.tags) writer.u64(tag);
 }
 
-bool getAuth(util::ByteReader& reader, crypto::Authenticator& auth) {
+[[nodiscard]] bool getAuth(util::ByteReader& reader,
+                           crypto::Authenticator& auth) {
   const auto count = reader.u32();
   if (!count || *count > kMaxAuthTags) return false;
   auth.tags.clear();
-  auth.tags.reserve(*count);
+  auth.tags.reserve(std::min(*count, kPreparseReserveCap));
   for (std::uint32_t i = 0; i < *count; ++i) {
     const auto tag = reader.u64();
     if (!tag) return false;
@@ -40,7 +47,7 @@ void putRequest(util::ByteWriter& writer, const RequestMessage& request) {
   putAuth(writer, request.auth);
 }
 
-RequestPtr getRequest(util::ByteReader& reader) {
+[[nodiscard]] RequestPtr getRequest(util::ByteReader& reader) {
   auto request = std::make_shared<RequestMessage>();
   const auto client = reader.u32();
   const auto timestamp = reader.u64();
@@ -65,11 +72,12 @@ void putBatch(util::ByteWriter& writer, const std::vector<RequestPtr>& batch) {
   for (const RequestPtr& request : batch) putRequest(writer, *request);
 }
 
-bool getBatch(util::ByteReader& reader, std::vector<RequestPtr>& batch) {
+[[nodiscard]] bool getBatch(util::ByteReader& reader,
+                            std::vector<RequestPtr>& batch) {
   const auto count = reader.u32();
   if (!count || *count > kMaxBatch) return false;
   batch.clear();
-  batch.reserve(*count);
+  batch.reserve(std::min(*count, kPreparseReserveCap));
   for (std::uint32_t i = 0; i < *count; ++i) {
     RequestPtr request = getRequest(reader);
     if (request == nullptr) return false;
@@ -88,7 +96,7 @@ void putPrePrepareBody(util::ByteWriter& writer,
   putAuth(writer, prePrepare.auth);
 }
 
-PrePreparePtr getPrePrepareBody(util::ByteReader& reader) {
+[[nodiscard]] PrePreparePtr getPrePrepareBody(util::ByteReader& reader) {
   auto prePrepare = std::make_shared<PrePrepareMessage>();
   const auto view = reader.u64();
   const auto seq = reader.u64();
@@ -115,7 +123,7 @@ void putPhase(util::ByteWriter& writer, const M& message) {
 }
 
 template <typename M>
-std::shared_ptr<M> getPhase(util::ByteReader& reader) {
+[[nodiscard]] std::shared_ptr<M> getPhase(util::ByteReader& reader) {
   auto message = std::make_shared<M>();
   const auto view = reader.u64();
   const auto seq = reader.u64();
@@ -141,11 +149,12 @@ void putProofs(util::ByteWriter& writer,
   }
 }
 
-bool getProofs(util::ByteReader& reader, std::vector<PreparedProof>& proofs) {
+[[nodiscard]] bool getProofs(util::ByteReader& reader,
+                             std::vector<PreparedProof>& proofs) {
   const auto count = reader.u32();
   if (!count || *count > kMaxProofs) return false;
   proofs.clear();
-  proofs.reserve(*count);
+  proofs.reserve(std::min(*count, kPreparseReserveCap));
   for (std::uint32_t i = 0; i < *count; ++i) {
     PreparedProof proof;
     const auto seq = reader.u64();
@@ -265,7 +274,7 @@ util::Bytes encode(const sim::Message& message) {
   return writer.take();
 }
 
-sim::MessagePtr decode(std::span<const std::uint8_t> buffer) {
+[[nodiscard]] sim::MessagePtr decode(std::span<const std::uint8_t> buffer) {
   util::ByteReader reader(buffer);
   const auto kind = reader.u32();
   if (!kind) return nullptr;
@@ -339,7 +348,7 @@ sim::MessagePtr decode(std::span<const std::uint8_t> buffer) {
       const auto count = reader.u32();
       if (!view || !count || *count > kMaxProofs) return nullptr;
       newView->view = *view;
-      newView->prePrepares.reserve(*count);
+      newView->prePrepares.reserve(std::min(*count, kPreparseReserveCap));
       for (std::uint32_t i = 0; i < *count; ++i) {
         PrePreparePtr prePrepare = getPrePrepareBody(reader);
         if (prePrepare == nullptr) return nullptr;
@@ -374,7 +383,8 @@ sim::MessagePtr decode(std::span<const std::uint8_t> buffer) {
       response->snapshot = std::move(*snapshot);
       const auto count = reader.u32();
       if (!count || *count > kMaxClientEntries) return nullptr;
-      response->clientTimestamps.reserve(*count);
+      response->clientTimestamps.reserve(
+          std::min(*count, kPreparseReserveCap));
       for (std::uint32_t i = 0; i < *count; ++i) {
         const auto client = reader.u32();
         const auto timestamp = reader.u64();

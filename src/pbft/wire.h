@@ -18,13 +18,13 @@ namespace avd::pbft::wire {
 
 /// Serializes any PBFT message. Returns an empty buffer for non-PBFT
 /// payload kinds.
-util::Bytes encode(const sim::Message& message);
+[[nodiscard]] util::Bytes encode(const sim::Message& message);
 
 /// Parses a buffer produced by encode() (or an arbitrary/corrupted one).
 /// Returns nullptr when the buffer is not a well-formed message.
-sim::MessagePtr decode(std::span<const std::uint8_t> buffer);
+[[nodiscard]] sim::MessagePtr decode(std::span<const std::uint8_t> buffer);
 
 /// Exact encoded size; useful for byte accounting in tests.
-std::size_t encodedSize(const sim::Message& message);
+[[nodiscard]] std::size_t encodedSize(const sim::Message& message);
 
 }  // namespace avd::pbft::wire

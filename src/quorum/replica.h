@@ -43,7 +43,7 @@ class QReplica final : public sim::Node {
 
   const QReplicaStats& stats() const noexcept { return stats_; }
   /// Current stored version for a key (for tests); nullopt if absent.
-  std::optional<Version> versionOf(Key key) const;
+  [[nodiscard]] std::optional<Version> versionOf(Key key) const;
   std::size_t size() const noexcept { return table_.size(); }
 
  private:

@@ -185,7 +185,9 @@ TEST_P(LevenshteinMetric, SatisfiesMetricAxioms) {
     EXPECT_EQ(ab, ba) << "symmetry";
     EXPECT_EQ(levenshtein(a, a), 0u) << "identity";
     EXPECT_LE(ab, ac + cb) << "triangle inequality";
-    if (a != b) EXPECT_GT(ab, 0u) << "positivity";
+    if (a != b) {
+      EXPECT_GT(ab, 0u) << "positivity";
+    }
   }
 }
 

@@ -1,0 +1,58 @@
+// Negative fixture: idiomatic AVD code that must produce ZERO findings.
+// NOT compiled — linted by lint_test.cpp under the pretend path
+// src/pbft/replica.cpp (the strictest rule scope).
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+
+namespace fixture {
+
+constexpr std::uint32_t kMaxEntries = 256;
+
+class CleanReplica {
+ public:
+  [[nodiscard]] std::optional<std::uint64_t> nextDelay() {
+    return rng_.below(50);  // seeded Rng is the sanctioned randomness
+  }
+
+  bool parseEntries(avd::util::ByteReader& reader) {
+    const auto count = reader.u32();
+    if (!count || *count > kMaxEntries) return false;
+    entries_.clear();
+    entries_.reserve(std::min(*count, kMaxEntries));
+    for (std::uint32_t i = 0; i < *count; ++i) {
+      const auto value = reader.u64();
+      if (!value) return false;
+      entries_.push_back(*value);
+    }
+    return true;
+  }
+
+  void record(std::uint64_t digest, std::uint64_t seq) {
+    const std::lock_guard<std::mutex> guard(mutex_);
+    byDigest_[digest] = seq;  // point insert: no iteration-order dependence
+    ordered_[seq] = digest;
+  }
+
+  [[nodiscard]] std::uint64_t replayDigest() const {
+    std::uint64_t acc = 0;
+    for (const auto& [seq, digest] : ordered_) acc ^= digest + seq;
+    return acc;
+  }
+
+ private:
+  avd::util::Rng rng_{42};
+  std::vector<std::uint64_t> entries_;
+  std::unordered_map<std::uint64_t, std::uint64_t> byDigest_;
+  std::map<std::uint64_t, std::uint64_t> ordered_;
+  std::mutex mutex_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,33 @@
+// Seeded violations for R4 `naked-lock`. NOT compiled — linted by
+// lint_test.cpp.
+#include <mutex>
+
+namespace fixture {
+
+class Queue {
+ public:
+  void pushBad(int v) {
+    mutex_.lock();  // VIOLATION: manual lock
+    value_ = v;
+    mutex_.unlock();  // VIOLATION: manual unlock
+  }
+
+  bool tryPushBad(int v) {
+    if (!mtx().try_lock()) return false;  // VIOLATION: manual try_lock
+    value_ = v;
+    mtx().unlock();  // VIOLATION: manual unlock via accessor
+    return true;
+  }
+
+  void pushGood(int v) {
+    const std::lock_guard<std::mutex> guard(mutex_);  // ok: RAII
+    value_ = v;
+  }
+
+ private:
+  std::mutex& mtx() { return mutex_; }
+  std::mutex mutex_;
+  int value_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,35 @@
+// Suppression-syntax fixture: every violation here carries an allow()
+// directive, so the file must produce findings but zero UNSUPPRESSED
+// findings. NOT compiled — linted by lint_test.cpp.
+#include <cstdlib>
+#include <mutex>
+
+namespace fixture {
+
+// Trailing same-line suppression.
+int jitter() {
+  return rand() % 10;  // avd-lint: allow(nondeterminism)
+}
+
+class Guarded {
+ public:
+  void touch() {
+    // Standalone directive on the line above the violation.
+    // avd-lint: allow(naked-lock)
+    mutex_.lock();
+    ++value_;
+    mutex_.unlock();  // avd-lint: allow(naked-lock)
+  }
+
+  void wildcard() {
+    mutex_.lock();  // avd-lint: allow(*)
+    --value_;
+    mutex_.unlock();  // avd-lint: allow(*)
+  }
+
+ private:
+  std::mutex mutex_;
+  int value_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Seeded violations for R3 `uncapped-reserve`. NOT compiled — linted by
+// lint_test.cpp.
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace fixture {
+
+constexpr std::uint32_t kFixtureCap = 64;
+
+void parseList(const std::optional<std::uint32_t>& count,
+               std::vector<int>& items, std::vector<int>& capped) {
+  items.reserve(*count);  // VIOLATION: attacker-controlled count, no cap
+  capped.reserve(std::min(*count, kFixtureCap));  // ok: clamped to kFixtureCap
+  items.resize(*count);   // VIOLATION: resize is just as bad
+}
+
+void benignSizes(std::vector<int>& items, const std::vector<int>& other) {
+  items.reserve(other.size() * 2);  // ok: binary multiply, not a deref
+  items.reserve(16);                // ok: literal
+}
+
+}  // namespace fixture

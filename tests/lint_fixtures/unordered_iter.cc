@@ -1,0 +1,44 @@
+// Seeded violations for R5 `unordered-iter`. NOT compiled — linted by
+// lint_test.cpp under the pretend path src/pbft/replica.cpp, where
+// iteration order feeds consensus decisions.
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+class Replica {
+ public:
+  std::uint64_t sumPending() const {
+    std::uint64_t total = 0;
+    for (const auto& [digest, seq] : pendingByDigest_) {  // VIOLATION
+      total += seq + digest;
+    }
+    return total;
+  }
+
+  std::uint64_t firstSeen() const {
+    const auto it = seenDigests_.begin();  // VIOLATION: iterator walk
+    return it == seenDigests_.end() ? 0 : *it;
+  }
+
+  std::uint64_t sumOrdered() const {
+    std::uint64_t total = 0;
+    for (const auto& [seq, digest] : orderedLog_) {  // ok: std::map
+      total += seq + digest;
+    }
+    return total;
+  }
+
+  bool contains(std::uint64_t digest) const {
+    return seenDigests_.contains(digest);  // ok: point lookup, no iteration
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, std::uint64_t> pendingByDigest_;
+  std::unordered_set<std::uint64_t> seenDigests_;
+  std::map<std::uint64_t, std::uint64_t> orderedLog_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,259 @@
+// avd_lint rule-engine tests.
+//
+// Every rule class is demonstrated twice: against an on-disk fixture under
+// tests/lint_fixtures/ with seeded violations (the "would the gate have
+// caught this" proof), and against inline snippets pinning down edge cases
+// of the tokenizer, the suppression syntax, and the reports.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace avd::lint {
+namespace {
+
+std::string readFixture(const std::string& name) {
+  const std::string path = std::string(AVD_LINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Lints one fixture under a pretend repo path (path scoping is part of
+/// several rules).
+std::vector<Finding> lintFixture(const std::string& name,
+                                 const std::string& pretendPath,
+                                 const Options& options = {}) {
+  return lintSource(pretendPath, readFixture(name), options);
+}
+
+std::size_t countRule(const std::vector<Finding>& findings,
+                      std::string_view rule) {
+  return static_cast<std::size_t>(
+      std::count_if(findings.begin(), findings.end(),
+                    [&](const Finding& f) { return f.rule == rule; }));
+}
+
+// --- Registry ---------------------------------------------------------------
+
+TEST(LintRegistry, ContainsTheFiveRulesPlusMeta) {
+  const auto& rules = ruleRegistry();
+  ASSERT_EQ(rules.size(), 6u);
+  EXPECT_TRUE(isKnownRule("nondeterminism"));
+  EXPECT_TRUE(isKnownRule("unchecked-parse"));
+  EXPECT_TRUE(isKnownRule("uncapped-reserve"));
+  EXPECT_TRUE(isKnownRule("naked-lock"));
+  EXPECT_TRUE(isKnownRule("unordered-iter"));
+  EXPECT_TRUE(isKnownRule("bad-suppression"));
+  EXPECT_FALSE(isKnownRule("no-such-rule"));
+}
+
+// --- R1 nondeterminism -------------------------------------------------------
+
+TEST(LintR1, FixtureSeedsThreeViolationsAndNoFalsePositives) {
+  const auto findings =
+      lintFixture("nondeterminism.cc", "src/avd/fixture.cpp");
+  EXPECT_EQ(countRule(findings, "nondeterminism"), 4u)
+      << "rand, srand, time, random_device";
+  EXPECT_EQ(findings.size(), countRule(findings, "nondeterminism"))
+      << "no other rule fires on this fixture";
+}
+
+TEST(LintR1, CommonRngIsExempt) {
+  const auto findings = lintSource(
+      "src/common/rng.cpp", "void f() { auto x = rand(); (void)x; }");
+  EXPECT_EQ(countRule(findings, "nondeterminism"), 0u);
+}
+
+TEST(LintR1, QualifiedNamesOutsideStdAreNotFlagged) {
+  const auto findings = lintSource(
+      "src/avd/a.cpp", "int f() { return sim::time(3) + obj.rand(); }");
+  EXPECT_EQ(countRule(findings, "nondeterminism"), 0u);
+  const auto flagged =
+      lintSource("src/avd/a.cpp", "int g() { return std::rand(); }");
+  EXPECT_EQ(countRule(flagged, "nondeterminism"), 1u);
+}
+
+// --- R2 unchecked-parse ------------------------------------------------------
+
+TEST(LintR2, FixtureSeedsDeclAndDiscardViolations) {
+  const auto findings =
+      lintFixture("unchecked_parse.cc", "src/pbft/wire_fixture.cpp");
+  EXPECT_EQ(countRule(findings, "unchecked-parse"), 3u)
+      << "optional decl without nodiscard, get* decl, dropped reader.u32()";
+}
+
+TEST(LintR2, NodiscardDeclarationsPass) {
+  const auto findings = lintSource(
+      "src/x/a.h",
+      "[[nodiscard]] std::optional<int> parse();\n"
+      "std::optional<int> alsoParse();\n");
+  EXPECT_EQ(countRule(findings, "unchecked-parse"), 1u);
+}
+
+TEST(LintR2, OutOfLineDefinitionsAreNotReflagged) {
+  const auto findings = lintSource(
+      "src/x/a.cpp",
+      "std::optional<int> Parser::field() { return value_; }\n");
+  EXPECT_EQ(countRule(findings, "unchecked-parse"), 0u);
+}
+
+TEST(LintR2, CheckedReaderResultIsNotFlagged) {
+  const auto findings = lintSource(
+      "src/x/a.cpp",
+      "bool f(util::ByteReader& reader) {\n"
+      "  const auto v = reader.u32();\n"
+      "  return v.has_value();\n"
+      "}\n");
+  EXPECT_EQ(countRule(findings, "unchecked-parse"), 0u);
+}
+
+// --- R3 uncapped-reserve -----------------------------------------------------
+
+TEST(LintR3, FixtureSeedsReserveAndResizeViolations) {
+  const auto findings =
+      lintFixture("uncapped_reserve.cc", "src/pbft/fixture.cpp");
+  EXPECT_EQ(countRule(findings, "uncapped-reserve"), 2u)
+      << "uncapped reserve + uncapped resize; the clamped and literal "
+         "variants pass";
+}
+
+TEST(LintR3, BinaryMultiplyIsNotADeref) {
+  const auto findings = lintSource(
+      "src/x/a.cpp", "void f() { out.reserve(data.size() * 2); }");
+  EXPECT_EQ(countRule(findings, "uncapped-reserve"), 0u);
+}
+
+// --- R4 naked-lock -----------------------------------------------------------
+
+TEST(LintR4, FixtureSeedsFourViolationsRaiiPasses) {
+  const auto findings = lintFixture("naked_lock.cc", "src/common/fixture.cpp");
+  EXPECT_EQ(countRule(findings, "naked-lock"), 4u)
+      << "lock, unlock, try_lock, unlock-via-accessor";
+}
+
+TEST(LintR4, LockGuardOnNonMutexNameIsNotFlagged) {
+  const auto findings = lintSource(
+      "src/x/a.cpp",
+      "void f() { std::unique_lock<std::mutex> lock(m_); lock.unlock(); }");
+  EXPECT_EQ(countRule(findings, "naked-lock"), 0u)
+      << "unlocking a unique_lock handle is RAII-safe";
+}
+
+// --- R5 unordered-iter -------------------------------------------------------
+
+TEST(LintR5, FixtureSeedsRangeForAndIteratorViolations) {
+  const auto findings =
+      lintFixture("unordered_iter.cc", "src/pbft/replica.cpp");
+  EXPECT_EQ(countRule(findings, "unordered-iter"), 2u)
+      << "range-for over unordered_map + .begin() on unordered_set; the "
+         "std::map loop and the point lookup pass";
+}
+
+TEST(LintR5, SameCodeOutsideTheScopedFilesIsAllowed) {
+  const auto findings =
+      lintFixture("unordered_iter.cc", "src/avd/somewhere_else.cpp");
+  EXPECT_EQ(countRule(findings, "unordered-iter"), 0u);
+}
+
+TEST(LintR5, DeclarationInHeaderIsTrackedAcrossFiles) {
+  const std::vector<SourceFile> files = {
+      {"src/pbft/replica.h",
+       "class R { std::unordered_map<int, int> votes_; };"},
+      {"src/pbft/replica.cpp",
+       "int R::f() { int s = 0; for (auto& [k, v] : votes_) s += v; "
+       "return s; }"},
+  };
+  const auto findings = lintFiles(files);
+  EXPECT_EQ(countRule(findings, "unordered-iter"), 1u);
+}
+
+// --- Suppressions ------------------------------------------------------------
+
+TEST(LintSuppression, FixtureHasFindingsButAllSuppressed) {
+  Options options;
+  options.includeSuppressed = true;
+  const auto all =
+      lintFixture("suppressed.cc", "src/common/fixture.cpp", options);
+  EXPECT_GE(all.size(), 5u) << "violations are still detected";
+  EXPECT_EQ(unsuppressedCount(all), 0u) << "but every one is allowed";
+
+  const auto visible = lintFixture("suppressed.cc", "src/common/fixture.cpp");
+  EXPECT_TRUE(visible.empty())
+      << "default report hides suppressed findings entirely";
+}
+
+TEST(LintSuppression, UnknownRuleNameInAllowIsItselfAFinding) {
+  const auto findings = lintSource(
+      "src/x/a.cpp", "void f() { }  // avd-lint: allow(nacked-lock)\n");
+  EXPECT_EQ(countRule(findings, "bad-suppression"), 1u)
+      << "typo'd suppressions must not silently pass";
+}
+
+TEST(LintSuppression, DirectiveOnlyCoversItsOwnLine) {
+  const auto findings = lintSource(
+      "src/x/a.cpp",
+      "void f() {\n"
+      "  mutex_.lock();  // avd-lint: allow(naked-lock)\n"
+      "  mutex_.unlock();\n"
+      "}\n");
+  EXPECT_EQ(unsuppressedCount(findings), 1u) << "second line still fires";
+}
+
+// --- Clean fixture and machine-readable report -------------------------------
+
+TEST(LintClean, IdiomaticCodeProducesZeroFindings) {
+  const auto findings = lintFixture("clean.cc", "src/pbft/replica.cpp");
+  EXPECT_TRUE(findings.empty())
+      << (findings.empty() ? "" : findings.front().message);
+}
+
+TEST(LintReport, JsonContainsFileLineRuleAndMessage) {
+  const auto findings = lintSource(
+      "src/x/a.cpp", "void f() { mutex_.lock(); }");
+  ASSERT_EQ(findings.size(), 1u);
+  const std::string json = toJson(findings);
+  EXPECT_NE(json.find("\"file\": \"src/x/a.cpp\""), std::string::npos);
+  EXPECT_NE(json.find("\"rule\": \"naked-lock\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"suppressed\": false"), std::string::npos);
+}
+
+TEST(LintReport, JsonEscapesQuotesAndBackslashes) {
+  std::vector<Finding> findings = {
+      {"a\"b\\c.cpp", 3, "naked-lock", "msg with \"quotes\"", false}};
+  const std::string json = toJson(findings);
+  EXPECT_NE(json.find("a\\\"b\\\\c.cpp"), std::string::npos);
+}
+
+// --- Tokenizer robustness ----------------------------------------------------
+
+TEST(LintTokenizer, ViolationsInsideStringsAndCommentsAreIgnored) {
+  const auto findings = lintSource(
+      "src/x/a.cpp",
+      "const char* kDoc = \"call rand() then mutex_.lock()\";\n"
+      "// rand() in a comment\n"
+      "/* mutex_.lock() in a block comment */\n"
+      "const char* kRaw = R\"(time(nullptr))\";\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintTokenizer, RawStringWithDelimiterIsSkipped) {
+  const auto findings = lintSource(
+      "src/x/a.cpp",
+      "const char* kRaw = R\"x(rand() \")\" still inside)x\";\n"
+      "void f() { mutex_.lock(); }\n");
+  EXPECT_EQ(countRule(findings, "naked-lock"), 1u)
+      << "lexer resynchronizes after the raw string";
+  EXPECT_EQ(countRule(findings, "nondeterminism"), 0u);
+}
+
+}  // namespace
+}  // namespace avd::lint

@@ -49,7 +49,9 @@ TEST(PbftHappyPath, ReplicasExecuteInAgreement) {
     const auto& trace = deployment.replica(r).executionTrace();
     for (const auto& [seq, digest] : trace) {
       const auto it = trace0.find(seq);
-      if (it != trace0.end()) EXPECT_EQ(it->second, digest) << "seq " << seq;
+      if (it != trace0.end()) {
+        EXPECT_EQ(it->second, digest) << "seq " << seq;
+      }
     }
   }
 }

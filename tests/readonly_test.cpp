@@ -57,7 +57,7 @@ TEST(ReadOnly, ReadsBypassTheSequenceLog) {
   // consume sequence numbers, so ordered executions per completed request
   // drop to ~1/4 (absolute counts rise — reads got faster — hence ratios).
   const auto orderedPerCompletion = [](Deployment& deployment) {
-    const RunResult result = deployment.collect();
+    (void)deployment.collect();  // drain the run; only stats are compared
     std::uint64_t completed = 0;
     for (std::uint32_t i = 0; i < 6; ++i) {
       completed += deployment.correctClient(i).completed();

@@ -1,0 +1,694 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+namespace avd::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+//
+// A C++-aware lexer that is just rich enough for the rules: it strips
+// comments (harvesting suppression directives as it goes), understands
+// string/char/raw-string literals so byte content can never fake a token,
+// and keeps line numbers for diagnostics. Multi-char operators are only
+// fused where a rule needs to see them as one unit (`::`, `->`, `[[`, `]]`).
+
+enum class TokKind { kIdent, kNumber, kPunct, kString, kChar };
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  std::size_t line;
+};
+
+struct Suppressions {
+  // line -> rules allowed on that line ("*" = all rules).
+  std::map<std::size_t, std::set<std::string>> byLine;
+  // Malformed or unknown allow() directives found while lexing.
+  std::vector<Finding> errors;
+};
+
+bool identStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool identChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Parses an `avd-lint: allow(naked-lock, unordered-iter)` directive out of
+/// one comment's text and records it for `line` (and `line + 1` when the
+/// comment stands alone on its line, so a directive can annotate the
+/// statement below it).
+void parseDirective(std::string_view comment, std::size_t line,
+                    bool commentOwnsLine, const std::string& path,
+                    Suppressions& out) {
+  const auto tagPos = comment.find("avd-lint:");
+  if (tagPos == std::string_view::npos) return;
+  const auto allowPos = comment.find("allow(", tagPos);
+  if (allowPos == std::string_view::npos) {
+    out.errors.push_back({path, line, "bad-suppression",
+                          "avd-lint directive without allow(...) clause",
+                          false});
+    return;
+  }
+  const auto close = comment.find(')', allowPos);
+  if (close == std::string_view::npos) {
+    out.errors.push_back({path, line, "bad-suppression",
+                          "unterminated avd-lint allow(...) clause", false});
+    return;
+  }
+  std::string_view list =
+      comment.substr(allowPos + 6, close - (allowPos + 6));
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    auto end = list.find(',', start);
+    if (end == std::string_view::npos) end = list.size();
+    std::string_view rule = list.substr(start, end - start);
+    while (!rule.empty() && std::isspace(static_cast<unsigned char>(rule.front()))) {
+      rule.remove_prefix(1);
+    }
+    while (!rule.empty() && std::isspace(static_cast<unsigned char>(rule.back()))) {
+      rule.remove_suffix(1);
+    }
+    if (!rule.empty()) {
+      if (rule != "*" && !isKnownRule(rule)) {
+        out.errors.push_back({path, line, "bad-suppression",
+                              "unknown rule '" + std::string(rule) +
+                                  "' in avd-lint allow()",
+                              false});
+      } else {
+        out.byLine[line].insert(std::string(rule));
+        if (commentOwnsLine) out.byLine[line + 1].insert(std::string(rule));
+      }
+    }
+    start = end + 1;
+  }
+}
+
+struct LexResult {
+  std::vector<Token> tokens;
+  Suppressions suppressions;
+};
+
+LexResult lex(const std::string& path, std::string_view src) {
+  LexResult out;
+  std::size_t line = 1;
+  bool lineHasCode = false;  // any token before a comment on this line?
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+
+  auto push = [&](TokKind kind, std::string text) {
+    out.tokens.push_back({kind, std::move(text), line});
+    lineHasCode = true;
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      lineHasCode = false;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      const std::size_t start = i;
+      while (i < n && src[i] != '\n') ++i;
+      parseDirective(src.substr(start, i - start), line, !lineHasCode, path,
+                     out.suppressions);
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const std::size_t start = i;
+      const std::size_t startLine = line;
+      const bool ownsLine = !lineHasCode;
+      i += 2;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      i = std::min(n, i + 2);
+      parseDirective(src.substr(start, i - start), startLine, ownsLine, path,
+                     out.suppressions);
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && src[j] != '(') delim.push_back(src[j++]);
+      const std::string closer = ")" + delim + "\"";
+      const std::size_t end = src.find(closer, j);
+      const std::size_t stop = end == std::string_view::npos ? n : end + closer.size();
+      line += static_cast<std::size_t>(
+          std::count(src.begin() + static_cast<std::ptrdiff_t>(i),
+                     src.begin() + static_cast<std::ptrdiff_t>(stop), '\n'));
+      push(TokKind::kString, "<raw-string>");
+      i = stop;
+      continue;
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      while (j < n && src[j] != quote) {
+        if (src[j] == '\\' && j + 1 < n) ++j;
+        if (src[j] == '\n') ++line;
+        ++j;
+      }
+      push(quote == '"' ? TokKind::kString : TokKind::kChar, "<literal>");
+      i = std::min(n, j + 1);
+      continue;
+    }
+    if (identStart(c)) {
+      std::size_t j = i;
+      while (j < n && identChar(src[j])) ++j;
+      push(TokKind::kIdent, std::string(src.substr(i, j - i)));
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      while (j < n && (identChar(src[j]) || src[j] == '.' || src[j] == '\'' ||
+                       ((src[j] == '+' || src[j] == '-') && j > i &&
+                        (src[j - 1] == 'e' || src[j - 1] == 'E' ||
+                         src[j - 1] == 'p' || src[j - 1] == 'P')))) {
+      ++j;
+      }
+      push(TokKind::kNumber, std::string(src.substr(i, j - i)));
+      i = j;
+      continue;
+    }
+    // Fused operators the rules pattern-match on.
+    if (c == ':' && i + 1 < n && src[i + 1] == ':') {
+      push(TokKind::kPunct, "::");
+      i += 2;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && src[i + 1] == '>') {
+      push(TokKind::kPunct, "->");
+      i += 2;
+      continue;
+    }
+    if (c == '[' && i + 1 < n && src[i + 1] == '[') {
+      push(TokKind::kPunct, "[[");
+      i += 2;
+      continue;
+    }
+    if (c == ']' && i + 1 < n && src[i + 1] == ']') {
+      push(TokKind::kPunct, "]]");
+      i += 2;
+      continue;
+    }
+    push(TokKind::kPunct, std::string(1, c));
+    ++i;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream helpers
+
+const std::string kEmpty;
+
+const std::string& text(const std::vector<Token>& toks, std::size_t i) {
+  return i < toks.size() ? toks[i].text : kEmpty;
+}
+
+bool isIdent(const std::vector<Token>& toks, std::size_t i) {
+  return i < toks.size() && toks[i].kind == TokKind::kIdent;
+}
+
+/// Index one past the matching closer, starting at the opener index.
+std::size_t skipBalanced(const std::vector<Token>& toks, std::size_t open,
+                         const std::string& opener, const std::string& closer) {
+  std::size_t depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].text == opener) {
+      ++depth;
+    } else if (toks[i].text == closer) {
+      if (--depth == 0) return i + 1;
+    }
+  }
+  return toks.size();
+}
+
+/// True when the identifier at `i` is unqualified or qualified by one of
+/// `namespaces` (e.g. `std::rand` yes, `sim::time` no, `obj.rand` no).
+bool plainOrQualifiedBy(const std::vector<Token>& toks, std::size_t i,
+                        const std::unordered_set<std::string>& namespaces) {
+  if (i == 0) return true;
+  const std::string& prev = toks[i - 1].text;
+  if (prev == "." || prev == "->") return false;
+  if (prev == "::") {
+    return i >= 2 && namespaces.contains(toks[i - 2].text);
+  }
+  return true;
+}
+
+bool isCapConstant(const std::string& name) {
+  return name.size() >= 2 && name[0] == 'k' &&
+         std::isupper(static_cast<unsigned char>(name[1]));
+}
+
+std::string lowered(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+bool pathEndsWith(const std::string& path, std::string_view suffix) {
+  return path.size() >= suffix.size() &&
+         path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+struct Ctx {
+  const std::string& path;
+  const std::vector<Token>& toks;
+  std::vector<Finding>& findings;
+
+  void report(std::size_t tokenIndex, std::string rule, std::string message) {
+    findings.push_back({path, toks[tokenIndex].line, std::move(rule),
+                        std::move(message), false});
+  }
+};
+
+// ---------------------------------------------------------------------------
+// R1 `nondeterminism` — consensus and controller paths must be replayable
+// from an explicit seed; wall clocks and libc RNGs make a scenario
+// irreproducible. common/rng is the one sanctioned randomness source.
+
+void ruleNondeterminism(Ctx& ctx) {
+  if (ctx.path.find("common/rng") != std::string::npos) return;
+  static const std::unordered_set<std::string> kBannedCalls = {
+      "rand",    "srand",   "rand_r", "drand48", "lrand48",
+      "mrand48", "random",  "time",   "clock",   "gettimeofday",
+      "clock_gettime"};
+  static const std::unordered_set<std::string> kBannedTypes = {
+      "random_device", "system_clock", "steady_clock",
+      "high_resolution_clock"};
+  static const std::unordered_set<std::string> kStdish = {"std", "chrono"};
+  const auto& toks = ctx.toks;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!isIdent(toks, i)) continue;
+    const std::string& name = toks[i].text;
+    if (kBannedTypes.contains(name)) {
+      if (plainOrQualifiedBy(toks, i, kStdish)) {
+        ctx.report(i, "nondeterminism",
+                   "'" + name +
+                       "' is a nondeterministic source; draw from "
+                       "common/rng (avd::util::Rng) instead");
+      }
+      continue;
+    }
+    if (kBannedCalls.contains(name) && text(toks, i + 1) == "(" &&
+        plainOrQualifiedBy(toks, i, kStdish)) {
+      ctx.report(i, "nondeterminism",
+                 "call to '" + name +
+                     "' makes this path nondeterministic; use the seeded "
+                     "avd::util::Rng from common/rng");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R2 `unchecked-parse` — wire parsing must be total and its results must be
+// impossible to ignore. Two checks:
+//   (a) any function declaration returning std::optional must carry
+//       [[nodiscard]] (declaration-site enforcement);
+//   (b) a statement that calls a ByteReader accessor and drops the result
+//       (`reader.u32();`) silently desynchronizes the cursor;
+//   (c) in pbft wire codec files, every `get*` / `decode` parse function
+//       must be declared [[nodiscard]].
+
+const std::unordered_set<std::string>& readerAccessors() {
+  static const std::unordered_set<std::string> kAccessors = {
+      "u8", "u16", "u32", "u64", "i64", "blob", "str"};
+  return kAccessors;
+}
+
+/// Whether `nodiscard` appears between the previous declaration boundary
+/// and token `i` (exclusive). Boundaries: ; { } ) — enough to isolate the
+/// specifier/attribute run in front of a return type.
+bool nodiscardBefore(const std::vector<Token>& toks, std::size_t i) {
+  while (i-- > 0) {
+    const std::string& t = toks[i].text;
+    if (t == ";" || t == "{" || t == "}" || t == ")") return false;
+    if (t == "nodiscard") return true;
+  }
+  return false;
+}
+
+void ruleUncheckedParse(Ctx& ctx) {
+  const auto& toks = ctx.toks;
+  const bool wireFile = ctx.path.find("pbft/wire") != std::string::npos;
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!isIdent(toks, i)) continue;
+    const std::string& name = toks[i].text;
+
+    // (a) std::optional<...> funcName( ... — declaration without nodiscard.
+    if (name == "optional" && text(toks, i + 1) == "<") {
+      const std::size_t afterArgs = skipBalanced(toks, i + 1, "<", ">");
+      // Unqualified declarator name only: out-of-line definitions
+      // (`std::optional<T> Class::fn()`) inherit from their declaration.
+      if (isIdent(toks, afterArgs) && text(toks, afterArgs + 1) == "(" &&
+          !nodiscardBefore(toks, i)) {
+        ctx.report(afterArgs, "unchecked-parse",
+                   "function '" + toks[afterArgs].text +
+                       "' returns std::optional but is not [[nodiscard]]; "
+                       "a dropped parse result hides truncation");
+      }
+      continue;
+    }
+
+    // (b) `<reader-ish>.u32();` as a full statement discards the result and
+    // still advances the read cursor.
+    if (readerAccessors().contains(name) && i >= 2 &&
+        (text(toks, i - 1) == "." || text(toks, i - 1) == "->") &&
+        isIdent(toks, i - 2) &&
+        lowered(toks[i - 2].text).find("reader") != std::string::npos &&
+        text(toks, i + 1) == "(") {
+      const std::string& stmtPrev = i >= 3 ? toks[i - 3].text : kEmpty;
+      const bool statementStart = i < 3 || stmtPrev == ";" ||
+                                  stmtPrev == "{" || stmtPrev == "}" ||
+                                  stmtPrev == ")";
+      const std::size_t afterCall = skipBalanced(toks, i + 1, "(", ")");
+      if (statementStart && text(toks, afterCall) == ";") {
+        ctx.report(i, "unchecked-parse",
+                   "result of " + toks[i - 2].text + "." + name +
+                       "() is discarded; every ByteReader read must be "
+                       "checked before use");
+      }
+      continue;
+    }
+
+    // (c) wire codec parse functions must be [[nodiscard]] at declaration.
+    if (wireFile &&
+        (name == "decode" || (name.size() > 3 && name.compare(0, 3, "get") == 0 &&
+                              std::isupper(static_cast<unsigned char>(name[3])))) &&
+        text(toks, i + 1) == "(" && i > 0 &&
+        (toks[i - 1].kind == TokKind::kIdent || toks[i - 1].text == ">" ||
+         toks[i - 1].text == "&" || toks[i - 1].text == "*")) {
+      const std::size_t afterParams = skipBalanced(toks, i + 1, "(", ")");
+      const std::string& next = text(toks, afterParams);
+      if ((next == "{" || next == ";") && !nodiscardBefore(toks, i)) {
+        ctx.report(i, "unchecked-parse",
+                   "wire parse function '" + name +
+                       "' must be [[nodiscard]]: ignoring a parse result "
+                       "accepts malformed input");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R3 `uncapped-reserve` — reserve()/resize() fed by a value parsed off the
+// wire (a dereferenced optional) is an attacker-controlled allocation. The
+// expression must clamp with a compile-time `kFoo` cap constant
+// (e.g. `reserve(std::min<std::size_t>(*count, kWireReserveCap))`).
+
+void ruleUncappedReserve(Ctx& ctx) {
+  const auto& toks = ctx.toks;
+  for (std::size_t i = 1; i + 1 < toks.size(); ++i) {
+    if (!isIdent(toks, i)) continue;
+    const std::string& name = toks[i].text;
+    if (name != "reserve" && name != "resize") continue;
+    const std::string& prev = toks[i - 1].text;
+    if (prev != "." && prev != "->") continue;
+    if (text(toks, i + 1) != "(") continue;
+    const std::size_t end = skipBalanced(toks, i + 1, "(", ")");
+
+    bool derefArg = false;
+    bool hasCap = false;
+    for (std::size_t j = i + 2; j + 1 < end; ++j) {
+      const std::string& t = toks[j].text;
+      if (toks[j].kind == TokKind::kIdent && isCapConstant(t)) hasCap = true;
+      if (t == "*" && isIdent(toks, j + 1)) {
+        // Unary deref iff no value expression ends right before the `*`.
+        const std::string& before = toks[j - 1].text;
+        const bool binary = toks[j - 1].kind == TokKind::kIdent ||
+                            toks[j - 1].kind == TokKind::kNumber ||
+                            before == ")" || before == "]";
+        if (!binary) derefArg = true;
+      }
+    }
+    if (derefArg && !hasCap) {
+      ctx.report(i, "uncapped-reserve",
+                 "reserve/resize sized by a parsed wire count without a "
+                 "compile-time cap constant; clamp with std::min(..., kCap) "
+                 "before allocating");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R4 `naked-lock` — manual mutex lock()/unlock() cannot survive exceptions
+// or early returns; scoped RAII guards (lock_guard / unique_lock /
+// scoped_lock) are mandatory.
+
+void ruleNakedLock(Ctx& ctx) {
+  const auto& toks = ctx.toks;
+  static const std::unordered_set<std::string> kLockCalls = {"lock", "unlock",
+                                                             "try_lock"};
+  for (std::size_t i = 0; i + 3 < toks.size(); ++i) {
+    if (!isIdent(toks, i)) continue;
+    const std::string receiver = lowered(toks[i].text);
+    if (receiver.find("mutex") == std::string::npos &&
+        receiver.find("mtx") == std::string::npos) {
+      continue;
+    }
+    // Member form `mutex_.lock()` or accessor form `mtx().lock()`.
+    std::size_t dot = i + 1;
+    if (text(toks, dot) == "(" && text(toks, dot + 1) == ")") dot += 2;
+    if (text(toks, dot) != "." && text(toks, dot) != "->") continue;
+    if (!kLockCalls.contains(text(toks, dot + 1))) continue;
+    if (text(toks, dot + 2) != "(") continue;
+    ctx.report(dot + 1, "naked-lock",
+               "naked " + toks[i].text + "." + toks[dot + 1].text +
+                   "(); use std::lock_guard/std::unique_lock so the mutex "
+                   "is released on every path");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R5 `unordered-iter` — replica and controller decision loops must not
+// iterate hash containers: iteration order varies across standard library
+// implementations, which silently breaks run-for-run replay of consensus
+// decisions. Declarations are harvested across the whole file set so a
+// member declared in replica.h is tracked inside replica.cpp.
+
+bool unorderedIterScope(const std::string& path) {
+  return pathEndsWith(path, "pbft/replica.cpp") ||
+         pathEndsWith(path, "avd/controller.cpp");
+}
+
+bool unorderedDeclScope(const std::string& path) {
+  return unorderedIterScope(path) || pathEndsWith(path, "pbft/replica.h") ||
+         pathEndsWith(path, "avd/controller.h");
+}
+
+std::set<std::string> collectUnorderedDecls(const std::vector<Token>& toks) {
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!isIdent(toks, i)) continue;
+    if (toks[i].text != "unordered_map" && toks[i].text != "unordered_set") {
+      continue;
+    }
+    if (text(toks, i + 1) != "<") continue;
+    const std::size_t afterArgs = skipBalanced(toks, i + 1, "<", ">");
+    if (isIdent(toks, afterArgs) && text(toks, afterArgs + 1) != "(") {
+      names.insert(toks[afterArgs].text);
+    }
+  }
+  return names;
+}
+
+void ruleUnorderedIter(Ctx& ctx, const std::set<std::string>& unordered) {
+  if (!unorderedIterScope(ctx.path) || unordered.empty()) return;
+  const auto& toks = ctx.toks;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    // Range-for whose range expression names an unordered container.
+    if (isIdent(toks, i) && toks[i].text == "for" &&
+        text(toks, i + 1) == "(") {
+      const std::size_t end = skipBalanced(toks, i + 1, "(", ")");
+      std::size_t depth = 0;
+      std::size_t colon = 0;
+      for (std::size_t j = i + 1; j < end; ++j) {
+        if (toks[j].text == "(") ++depth;
+        if (toks[j].text == ")") --depth;
+        if (toks[j].text == ":" && depth == 1) {
+          colon = j;
+          break;
+        }
+      }
+      if (colon != 0) {
+        for (std::size_t j = colon + 1; j + 1 < end; ++j) {
+          if (isIdent(toks, j) && unordered.contains(toks[j].text)) {
+            ctx.report(j, "unordered-iter",
+                       "iteration over hash container '" + toks[j].text +
+                           "' in an ordering-sensitive path; use std::map / "
+                           "std::set or sort the keys first");
+            break;
+          }
+        }
+      }
+      continue;
+    }
+    // Explicit iterator walk: container.begin() / cbegin() / rbegin().
+    if (isIdent(toks, i) && unordered.contains(toks[i].text) &&
+        (text(toks, i + 1) == "." || text(toks, i + 1) == "->")) {
+      const std::string& member = text(toks, i + 2);
+      if ((member == "begin" || member == "cbegin" || member == "rbegin") &&
+          text(toks, i + 3) == "(") {
+        ctx.report(i, "unordered-iter",
+                   "iterator walk over hash container '" + toks[i].text +
+                       "' in an ordering-sensitive path; iteration order is "
+                       "implementation-defined");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public interface
+
+const std::vector<RuleInfo>& ruleRegistry() {
+  static const std::vector<RuleInfo> kRules = {
+      {"nondeterminism",
+       "R1: no libc/chrono randomness or wall clocks outside common/rng; "
+       "consensus paths must replay from a seed"},
+      {"unchecked-parse",
+       "R2: std::optional-returning and wire parse functions are "
+       "[[nodiscard]]; ByteReader results must not be dropped"},
+      {"uncapped-reserve",
+       "R3: no reserve()/resize() on a parsed wire count without a "
+       "compile-time kCap clamp"},
+      {"naked-lock",
+       "R4: no manual mutex lock()/unlock(); RAII guards only"},
+      {"unordered-iter",
+       "R5: no hash-container iteration in pbft/replica.cpp or "
+       "avd/controller.cpp ordering-sensitive loops"},
+      {"bad-suppression",
+       "meta: avd-lint allow() directives must name known rules"},
+  };
+  return kRules;
+}
+
+bool isKnownRule(std::string_view rule) {
+  const auto& rules = ruleRegistry();
+  return std::any_of(rules.begin(), rules.end(),
+                     [&](const RuleInfo& info) { return info.id == rule; });
+}
+
+std::vector<Finding> lintFiles(const std::vector<SourceFile>& files,
+                               const Options& options) {
+  std::vector<LexResult> lexed;
+  lexed.reserve(files.size());
+  std::set<std::string> unorderedNames;
+  for (const SourceFile& file : files) {
+    lexed.push_back(lex(file.path, file.text));
+    if (unorderedDeclScope(file.path)) {
+      const auto declared = collectUnorderedDecls(lexed.back().tokens);
+      unorderedNames.insert(declared.begin(), declared.end());
+    }
+  }
+
+  std::vector<Finding> findings;
+  for (std::size_t f = 0; f < files.size(); ++f) {
+    std::vector<Finding> local;
+    Ctx ctx{files[f].path, lexed[f].tokens, local};
+    ruleNondeterminism(ctx);
+    ruleUncheckedParse(ctx);
+    ruleUncappedReserve(ctx);
+    ruleNakedLock(ctx);
+    ruleUnorderedIter(ctx, unorderedNames);
+
+    const auto& allowed = lexed[f].suppressions.byLine;
+    for (Finding& finding : local) {
+      if (const auto it = allowed.find(finding.line); it != allowed.end()) {
+        finding.suppressed =
+            it->second.contains("*") || it->second.contains(finding.rule);
+      }
+    }
+    // Directive errors are never suppressible.
+    local.insert(local.end(), lexed[f].suppressions.errors.begin(),
+                 lexed[f].suppressions.errors.end());
+
+    for (Finding& finding : local) {
+      if (!finding.suppressed || options.includeSuppressed) {
+        findings.push_back(std::move(finding));
+      }
+    }
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return findings;
+}
+
+std::vector<Finding> lintSource(std::string_view path, std::string_view text,
+                                const Options& options) {
+  return lintFiles({{std::string(path), std::string(text)}}, options);
+}
+
+std::string toJson(const std::vector<Finding>& findings) {
+  const auto escape = [](const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            static constexpr char kHex[] = "0123456789abcdef";
+            out += "\\u00";
+            out.push_back(kHex[(c >> 4) & 0xF]);
+            out.push_back(kHex[c & 0xF]);
+          } else {
+            out.push_back(c);
+          }
+      }
+    }
+    return out;
+  };
+  std::string json = "[";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    if (i != 0) json += ",";
+    json += "\n  {\"file\": \"" + escape(f.file) + "\", \"line\": " +
+            std::to_string(f.line) + ", \"rule\": \"" + escape(f.rule) +
+            "\", \"suppressed\": " + (f.suppressed ? "true" : "false") +
+            ", \"message\": \"" + escape(f.message) + "\"}";
+  }
+  json += findings.empty() ? "]" : "\n]";
+  json += "\n";
+  return json;
+}
+
+std::size_t unsuppressedCount(const std::vector<Finding>& findings) {
+  return static_cast<std::size_t>(
+      std::count_if(findings.begin(), findings.end(),
+                    [](const Finding& f) { return !f.suppressed; }));
+}
+
+}  // namespace avd::lint

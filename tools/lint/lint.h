@@ -1,0 +1,73 @@
+// avd_lint — repo-specific static analysis for the AVD codebase.
+//
+// A deliberately small, dependency-free C++ linter that tokenizes source
+// files and enforces rules general-purpose tools cannot know about:
+// determinism of consensus paths, totality of wire parsing, allocation
+// bounds on attacker-controlled counts, RAII locking, and iteration-order
+// stability. The rule set is documented in docs/STATIC_ANALYSIS.md; each
+// rule can be suppressed per line with an `avd-lint: allow(naked-lock)`
+// style comment naming the rule id.
+//
+// The analysis lives in a library so tests can seed violations through the
+// same entry points the CLI uses (tools/lint/main.cpp).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace avd::lint {
+
+/// One diagnostic produced by a rule.
+struct Finding {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;     // registry id, e.g. "nondeterminism"
+  std::string message;  // human-readable explanation
+  bool suppressed = false;
+};
+
+/// Static description of a rule, surfaced by `avd_lint --list-rules`.
+struct RuleInfo {
+  std::string_view id;
+  std::string_view summary;
+};
+
+/// All rules this build knows about, in diagnostic order R1..R5.
+const std::vector<RuleInfo>& ruleRegistry();
+
+/// True iff `rule` names a registered rule (used to reject typos in
+/// suppression comments — a misspelled allow() must not silently pass).
+bool isKnownRule(std::string_view rule);
+
+/// An in-memory source file. `path` drives the path-scoped rules
+/// (e.g. the common/rng exemption for R1 and the R5 file scope), so tests
+/// can pretend a fixture lives anywhere in the tree.
+struct SourceFile {
+  std::string path;
+  std::string text;
+};
+
+struct Options {
+  /// Report suppressed findings too (flagged `suppressed: true`).
+  bool includeSuppressed = false;
+};
+
+/// Lints a set of files as one unit. Cross-file state (unordered-container
+/// declarations for R5) is gathered across the whole set, so a .cpp file
+/// iterating a member declared in its header is still caught.
+std::vector<Finding> lintFiles(const std::vector<SourceFile>& files,
+                               const Options& options = {});
+
+/// Convenience wrapper for a single in-memory file.
+std::vector<Finding> lintSource(std::string_view path, std::string_view text,
+                                const Options& options = {});
+
+/// Serializes findings as a JSON array (machine-readable report).
+std::string toJson(const std::vector<Finding>& findings);
+
+/// Count of findings that are not suppressed.
+std::size_t unsuppressedCount(const std::vector<Finding>& findings);
+
+}  // namespace avd::lint
