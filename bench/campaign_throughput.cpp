@@ -1,0 +1,110 @@
+// Campaign throughput bench: scenarios/sec for the serial driver vs the
+// executor pool at W = 2, 4, 8 on the quorum API assessment target, plus
+// the dedup triage summary. Emits BENCH_campaign.json for CI trend
+// tracking.
+//
+// Honesty note: speedup is bounded by the host. The JSON records
+// hardware_concurrency so a 1-core container's speedup of ~1.0x is
+// interpretable rather than alarming; the acceptance target (>= 2.5x at
+// W=4) applies to hosts with >= 4 cores.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "avd/quorum_executor.h"
+#include "campaign/runner.h"
+
+using namespace avd;
+
+namespace {
+
+struct Row {
+  std::size_t workers = 1;
+  double seconds = 0.0;
+  double scenariosPerSec = 0.0;
+  double speedup = 1.0;
+  double maxImpact = 0.0;
+  std::size_t classes = 0;
+};
+
+Row runOnce(std::size_t workers, std::size_t tests) {
+  campaign::CampaignOptions options;
+  options.seed = 2011;
+  options.totalTests = tests;
+  options.workers = workers;
+  campaign::CampaignRunner runner(
+      [] {
+        return std::make_unique<core::QuorumApiExecutor>(
+            core::makeQuorumApiHyperspace());
+      },
+      options);
+
+  const auto start = std::chrono::steady_clock::now();
+  const campaign::CampaignResult result = runner.run();
+  const auto stop = std::chrono::steady_clock::now();
+
+  Row row;
+  row.workers = workers;
+  row.seconds = std::chrono::duration<double>(stop - start).count();
+  row.scenariosPerSec =
+      row.seconds > 0.0 ? static_cast<double>(result.executed) / row.seconds
+                        : 0.0;
+  row.maxImpact = result.maxImpact;
+  row.classes = result.classes.size();
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t tests =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 160;
+  const unsigned cores = std::thread::hardware_concurrency();
+
+  std::printf("=== campaign throughput (quorum target, %zu scenarios) ===\n",
+              tests);
+  std::printf("host: hardware_concurrency = %u\n\n", cores);
+  std::printf("%8s %10s %14s %9s %10s %8s\n", "workers", "seconds",
+              "scenarios/s", "speedup", "maxImpact", "classes");
+
+  std::vector<Row> rows;
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}, std::size_t{8}}) {
+    Row row = runOnce(workers, tests);
+    if (!rows.empty() && row.scenariosPerSec > 0.0) {
+      row.speedup = row.scenariosPerSec / rows.front().scenariosPerSec;
+    }
+    std::printf("%8zu %10.3f %14.1f %8.2fx %10.3f %8zu\n", row.workers,
+                row.seconds, row.scenariosPerSec, row.speedup, row.maxImpact,
+                row.classes);
+    rows.push_back(row);
+  }
+
+  std::string json = "{\n  \"bench\": \"campaign_throughput\",\n";
+  json += "  \"scenarios\": " + std::to_string(tests) + ",\n";
+  json += "  \"hardware_concurrency\": " + std::to_string(cores) + ",\n";
+  json += "  \"rows\": [\n";
+  char buffer[256];
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::snprintf(buffer, sizeof(buffer),
+                  "    {\"workers\": %zu, \"seconds\": %.6f, "
+                  "\"scenarios_per_sec\": %.3f, \"speedup\": %.3f, "
+                  "\"max_impact\": %.6f, \"dedup_classes\": %zu}%s\n",
+                  row.workers, row.seconds, row.scenariosPerSec, row.speedup,
+                  row.maxImpact, row.classes,
+                  i + 1 < rows.size() ? "," : "");
+    json += buffer;
+  }
+  json += "  ]\n}\n";
+
+  std::ofstream out("BENCH_campaign.json", std::ios::trunc);
+  out << json;
+  std::printf("\nwrote BENCH_campaign.json\n");
+  return 0;
+}

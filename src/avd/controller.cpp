@@ -18,19 +18,33 @@ Controller::Controller(ScenarioExecutor& executor,
 
 void Controller::runTests(std::size_t count) {
   for (std::size_t i = 0; i < count; ++i) {
-    if (queue_.empty()) generateScenario();
-    assert(!queue_.empty());
-    Pending pending = std::move(queue_.front());
-    queue_.pop_front();
-    executeOne(std::move(pending.point), pending.generatedBy,
-               pending.parentImpact, pending.pluginIndex);
+    GeneratedScenario scenario = acquireScenario();
+    const Outcome outcome = executor_.execute(scenario.point);
+    reportOutcome(std::move(scenario), outcome);
   }
+}
+
+GeneratedScenario Controller::acquireScenario() {
+  if (queue_.empty()) generateScenario();
+  assert(!queue_.empty());
+  Pending pending = std::move(queue_.front());
+  queue_.pop_front();
+  // Normally already in Ω ∪ Ψ from generation; the insert matters for the
+  // space-exhaustion fallback, which hands out a deliberate duplicate.
+  seen_.insert(executor_.space().pointHash(pending.point));
+  ++inFlight_;
+  return GeneratedScenario{std::move(pending.point),
+                           std::move(pending.generatedBy),
+                           pending.parentImpact, pending.pluginIndex};
 }
 
 std::string Controller::generateScenario() {
   // Battleships opening: seed the landscape with random shots, and fall
-  // back to random whenever Π is still empty.
-  if (history_.size() + queue_.size() < options_.initialRandomTests ||
+  // back to random whenever Π is still empty. In-flight scenarios count
+  // toward the opening budget so a W-wide batch driver still fires exactly
+  // `initialRandomTests` opening shots.
+  if (history_.size() + queue_.size() + inFlight_ <
+          options_.initialRandomTests ||
       top_.empty()) {
     queue_.push_back(Pending{randomNovelPoint(), "random", 0.0, -1});
     return "random";
@@ -81,24 +95,25 @@ Point Controller::randomNovelPoint() {
   return executor_.space().samplePoint(rng_);
 }
 
-void Controller::executeOne(Point point, const std::string& generatedBy,
-                            double parentImpact, std::ptrdiff_t pluginIndex) {
-  seen_.insert(executor_.space().pointHash(point));
-  const Outcome outcome = executor_.execute(point);
+void Controller::reportOutcome(GeneratedScenario scenario,
+                               const Outcome& outcome) {
+  assert(inFlight_ > 0);
+  --inFlight_;
 
-  if (pluginIndex >= 0) {
-    PluginStats& stats = pluginStats_[static_cast<std::size_t>(pluginIndex)];
+  if (scenario.pluginIndex >= 0) {
+    PluginStats& stats =
+        pluginStats_[static_cast<std::size_t>(scenario.pluginIndex)];
     ++stats.timesChosen;
-    stats.gainSum += outcome.impact - parentImpact;
+    stats.gainSum += outcome.impact - scenario.parentImpact;
   }
 
   maxImpact_ = std::max(maxImpact_, outcome.impact);
-  insertTop(point, outcome.impact);
+  insertTop(scenario.point, outcome.impact);
 
   TestRecord record;
-  record.point = std::move(point);
+  record.point = std::move(scenario.point);
   record.outcome = outcome;
-  record.generatedBy = generatedBy;
+  record.generatedBy = std::move(scenario.generatedBy);
   record.bestImpactSoFar = maxImpact_;
   history_.push_back(std::move(record));
 }

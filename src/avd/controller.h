@@ -48,6 +48,17 @@ struct TestRecord {
   double bestImpactSoFar = 0.0;  // µ after this test
 };
 
+/// A scenario handed out by acquireScenario() and not yet reported back.
+/// Opaque to callers except for `point` (what to execute) and `generatedBy`
+/// (provenance for journals); the remaining fields carry the Algorithm 1
+/// bookkeeping that reportOutcome() needs to credit the generating plugin.
+struct GeneratedScenario {
+  Point point;
+  std::string generatedBy;
+  double parentImpact = 0.0;
+  std::ptrdiff_t pluginIndex = -1;
+};
+
 /// Cumulative per-plugin sampling statistics (the "historical benefit").
 struct PluginStats {
   std::uint64_t timesChosen = 0;
@@ -66,6 +77,20 @@ class Controller {
 
   /// Runs `count` additional tests (generate -> enqueue -> execute -> learn).
   void runTests(std::size_t count);
+
+  /// Batch-asynchronous interface (the campaign engine's view of Algorithm
+  /// 1): acquireScenario() generates (or dequeues) the next scenario and
+  /// marks it in flight; the caller executes it — possibly concurrently with
+  /// other acquired scenarios — and hands the measurement back through
+  /// reportOutcome(), which performs the learning step (µ, Π, plugin
+  /// fitness, history). Outcomes may be reported in any order relative to
+  /// their acquisition. runTests() is exactly acquire -> execute -> report
+  /// in a loop, so a serial driver of this interface is bit-identical to
+  /// runTests() for the same seed.
+  [[nodiscard]] GeneratedScenario acquireScenario();
+  void reportOutcome(GeneratedScenario scenario, const Outcome& outcome);
+  /// Scenarios acquired but not yet reported.
+  std::size_t inFlight() const noexcept { return inFlight_; }
 
   const std::vector<TestRecord>& history() const noexcept { return history_; }
   double maxImpact() const noexcept { return maxImpact_; }
@@ -87,8 +112,6 @@ class Controller {
   /// Lines 1-5 of Algorithm 1; returns the plugin used, or "random".
   std::string generateScenario();
   Point randomNovelPoint();
-  void executeOne(Point point, const std::string& generatedBy,
-                  double parentImpact, std::ptrdiff_t pluginIndex);
   const TopScenario& sampleParent();
   std::size_t samplePlugin();
   void insertTop(const Point& point, double impact);
@@ -107,6 +130,7 @@ class Controller {
     std::ptrdiff_t pluginIndex;
   };
   std::deque<Pending> queue_;  // Ψ
+  std::size_t inFlight_ = 0;   // acquired, not yet reported
   double maxImpact_ = 0.0;     // µ
   std::vector<TestRecord> history_;
   std::vector<PluginStats> pluginStats_;

@@ -1,0 +1,132 @@
+#include "campaign/dedup.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+namespace avd::campaign {
+
+namespace {
+
+int impactBandOf(double impact) {
+  const int band = static_cast<int>(std::floor(impact * 10.0));
+  return std::clamp(band, 0, 10);
+}
+
+int viewChangeBandOf(std::uint64_t viewChanges) {
+  if (viewChanges == 0) return 0;
+  if (viewChanges <= 3) return 1;
+  if (viewChanges <= 10) return 2;
+  return 3;
+}
+
+void appendDouble(std::string& out, double value) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  out += buffer;
+}
+
+}  // namespace
+
+VulnSignature signatureOf(const core::Hyperspace& space,
+                          const core::TestRecord& record) {
+  VulnSignature signature;
+  signature.impactBand = impactBandOf(record.outcome.impact);
+  signature.viewChangeBand = viewChangeBandOf(record.outcome.viewChanges);
+  signature.safetyViolated = record.outcome.safetyViolated;
+  signature.activeDims.reserve(space.dimensionCount());
+  for (std::size_t d = 0; d < space.dimensionCount(); ++d) {
+    const core::Dimension& dimension = space.dimension(d);
+    const bool active = dimension.value(record.point[d]) != dimension.value(0);
+    signature.activeDims.push_back(active ? 1 : 0);
+  }
+  return signature;
+}
+
+std::string signatureLabel(const core::Hyperspace& space,
+                           const VulnSignature& signature) {
+  std::string out = "impact ";
+  if (signature.impactBand >= 10) {
+    out += "1.0";
+  } else {
+    out += "0." + std::to_string(signature.impactBand) + "-";
+    out += signature.impactBand == 9
+               ? "1.0"
+               : "0." + std::to_string(signature.impactBand + 1);
+  }
+  static const char* kViewBands[] = {"none", "1-3", "4-10", ">10"};
+  out += ", view changes ";
+  out += kViewBands[std::clamp(signature.viewChangeBand, 0, 3)];
+  if (signature.safetyViolated) out += ", SAFETY VIOLATED";
+  out += ", dims {";
+  bool first = true;
+  for (std::size_t d = 0; d < signature.activeDims.size(); ++d) {
+    if (!signature.activeDims[d]) continue;
+    if (!first) out += ", ";
+    first = false;
+    out += d < space.dimensionCount() ? space.dimension(d).name()
+                                      : "dim" + std::to_string(d);
+  }
+  out += "}";
+  return out;
+}
+
+std::vector<VulnClass> dedupVulnerabilities(
+    const core::Hyperspace& space,
+    const std::vector<core::TestRecord>& history, double minImpact) {
+  std::map<VulnSignature, VulnClass> classes;
+  for (std::size_t i = 0; i < history.size(); ++i) {
+    const core::TestRecord& record = history[i];
+    if (record.outcome.impact < minImpact) continue;
+    const VulnSignature signature = signatureOf(space, record);
+    auto [it, inserted] = classes.try_emplace(signature);
+    VulnClass& cls = it->second;
+    if (inserted) {
+      cls.signature = signature;
+      cls.exemplarTest = i + 1;
+      cls.exemplar = record;
+    } else if (record.outcome.impact > cls.exemplar.outcome.impact) {
+      cls.exemplarTest = i + 1;
+      cls.exemplar = record;
+    }
+    ++cls.count;
+  }
+
+  std::vector<VulnClass> out;
+  out.reserve(classes.size());
+  for (auto& [signature, cls] : classes) out.push_back(std::move(cls));
+  std::sort(out.begin(), out.end(), [](const VulnClass& a, const VulnClass& b) {
+    if (a.exemplar.outcome.impact != b.exemplar.outcome.impact) {
+      return a.exemplar.outcome.impact > b.exemplar.outcome.impact;
+    }
+    return a.signature < b.signature;
+  });
+  return out;
+}
+
+std::string vulnClassesJson(const core::Hyperspace& space,
+                            const std::vector<VulnClass>& classes) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    const VulnClass& cls = classes[i];
+    if (i != 0) out += ",";
+    out += "\n  {\"label\": \"" + signatureLabel(space, cls.signature) +
+           "\", \"count\": " + std::to_string(cls.count) +
+           ", \"exemplarTest\": " + std::to_string(cls.exemplarTest) +
+           ", \"impact\": ";
+    appendDouble(out, cls.exemplar.outcome.impact);
+    out += ", \"point\": {";
+    for (std::size_t d = 0; d < space.dimensionCount(); ++d) {
+      if (d != 0) out += ", ";
+      out += "\"" + space.dimension(d).name() + "\": " +
+             std::to_string(space.dimension(d).value(cls.exemplar.point[d]));
+    }
+    out += "}}";
+  }
+  out += classes.empty() ? "]" : "\n]";
+  out += "\n";
+  return out;
+}
+
+}  // namespace avd::campaign

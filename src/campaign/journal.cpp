@@ -1,0 +1,465 @@
+#include "campaign/journal.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <system_error>
+
+namespace avd::campaign {
+
+namespace {
+
+// --- encoding ---------------------------------------------------------------
+
+/// %.17g survives a text round trip bit-exactly for every finite double, so
+/// a replayed journal reconstructs µ and the plugin gain sums to the bit.
+void appendDouble(std::string& out, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  out += buffer;
+}
+
+void appendEscaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out.push_back(kHex[(c >> 4) & 0xF]);
+          out.push_back(kHex[c & 0xF]);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out += '"';
+}
+
+void appendKey(std::string& out, std::string_view key) {
+  out += '"';
+  out += key;
+  out += "\":";
+}
+
+void appendBool(std::string& out, bool value) {
+  out += value ? "true" : "false";
+}
+
+// --- decoding ---------------------------------------------------------------
+//
+// A minimal extractor for the fixed single-line schema this file writes.
+// Keys are matched as the literal byte pattern `"key":`; quotes inside
+// string *values* are always written escaped (`\"`), so the pattern can
+// only match at a real key.
+
+std::size_t findKey(std::string_view line, std::string_view key) {
+  std::string pattern;
+  pattern.reserve(key.size() + 3);
+  pattern += '"';
+  pattern += key;
+  pattern += "\":";
+  const std::size_t at = line.find(pattern);
+  return at == std::string_view::npos ? std::string_view::npos
+                                      : at + pattern.size();
+}
+
+[[nodiscard]] std::optional<double> getDouble(std::string_view line,
+                                              std::string_view key) {
+  const std::size_t at = findKey(line, key);
+  if (at == std::string_view::npos) return std::nullopt;
+  const std::string value(line.substr(at, 64));
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (end == value.c_str()) return std::nullopt;
+  return parsed;
+}
+
+[[nodiscard]] std::optional<std::uint64_t> getU64(std::string_view line,
+                                                  std::string_view key) {
+  const std::size_t at = findKey(line, key);
+  if (at == std::string_view::npos) return std::nullopt;
+  const std::string value(line.substr(at, 32));
+  char* end = nullptr;
+  const std::uint64_t parsed = std::strtoull(value.c_str(), &end, 10);
+  if (end == value.c_str()) return std::nullopt;
+  return parsed;
+}
+
+[[nodiscard]] std::optional<std::int64_t> getI64(std::string_view line,
+                                                 std::string_view key) {
+  const std::size_t at = findKey(line, key);
+  if (at == std::string_view::npos) return std::nullopt;
+  const std::string value(line.substr(at, 32));
+  char* end = nullptr;
+  const std::int64_t parsed = std::strtoll(value.c_str(), &end, 10);
+  if (end == value.c_str()) return std::nullopt;
+  return parsed;
+}
+
+[[nodiscard]] std::optional<bool> getBool(std::string_view line,
+                                          std::string_view key) {
+  const std::size_t at = findKey(line, key);
+  if (at == std::string_view::npos) return std::nullopt;
+  if (line.substr(at, 4) == "true") return true;
+  if (line.substr(at, 5) == "false") return false;
+  return std::nullopt;
+}
+
+[[nodiscard]] std::optional<std::string> getString(std::string_view line,
+                                                   std::string_view key) {
+  std::size_t at = findKey(line, key);
+  if (at == std::string_view::npos || at >= line.size() || line[at] != '"') {
+    return std::nullopt;
+  }
+  ++at;
+  std::string out;
+  while (at < line.size() && line[at] != '"') {
+    char c = line[at];
+    if (c == '\\' && at + 1 < line.size()) {
+      const char next = line[at + 1];
+      at += 2;
+      switch (next) {
+        case '"': c = '"'; break;
+        case '\\': c = '\\'; break;
+        case 'n': c = '\n'; break;
+        case 't': c = '\t'; break;
+        case 'u': {
+          if (at + 4 > line.size()) return std::nullopt;
+          const std::string hex(line.substr(at, 4));
+          at += 4;
+          c = static_cast<char>(std::strtoul(hex.c_str(), nullptr, 16));
+          break;
+        }
+        default: return std::nullopt;
+      }
+      out.push_back(c);
+      continue;
+    }
+    out.push_back(c);
+    ++at;
+  }
+  if (at >= line.size()) return std::nullopt;  // unterminated string
+  return out;
+}
+
+[[nodiscard]] std::optional<core::Point> getPoint(std::string_view line,
+                                                  std::string_view key) {
+  std::size_t at = findKey(line, key);
+  if (at == std::string_view::npos || at >= line.size() || line[at] != '[') {
+    return std::nullopt;
+  }
+  ++at;
+  core::Point point;
+  while (at < line.size() && line[at] != ']') {
+    const std::string value(line.substr(at, 32));
+    char* end = nullptr;
+    const std::uint64_t parsed = std::strtoull(value.c_str(), &end, 10);
+    if (end == value.c_str()) return std::nullopt;
+    point.push_back(parsed);
+    at += static_cast<std::size_t>(end - value.c_str());
+    if (at < line.size() && line[at] == ',') ++at;
+  }
+  if (at >= line.size()) return std::nullopt;  // unterminated array
+  return point;
+}
+
+bool writeFileAtomic(const std::string& path, const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+    out.flush();
+    if (!out) return false;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  return !ec;
+}
+
+[[nodiscard]] std::optional<std::string> readFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  return contents;
+}
+
+}  // namespace
+
+// --- events -----------------------------------------------------------------
+
+std::string encodeGen(const GenEvent& event) {
+  std::string out = "{\"event\":\"gen\",";
+  appendKey(out, "test");
+  out += std::to_string(event.test);
+  out += ',';
+  appendKey(out, "point");
+  out += '[';
+  for (std::size_t i = 0; i < event.point.size(); ++i) {
+    if (i != 0) out += ',';
+    out += std::to_string(event.point[i]);
+  }
+  out += "],";
+  appendKey(out, "generatedBy");
+  appendEscaped(out, event.generatedBy);
+  out += ',';
+  appendKey(out, "parentImpact");
+  appendDouble(out, event.parentImpact);
+  out += ',';
+  appendKey(out, "pluginIndex");
+  out += std::to_string(event.pluginIndex);
+  out += '}';
+  return out;
+}
+
+std::string encodeDone(const DoneEvent& event) {
+  std::string out = "{\"event\":\"done\",";
+  appendKey(out, "test");
+  out += std::to_string(event.test);
+  out += ',';
+  appendKey(out, "impact");
+  appendDouble(out, event.outcome.impact);
+  out += ',';
+  appendKey(out, "bestImpact");
+  appendDouble(out, event.bestImpact);
+  out += ',';
+  appendKey(out, "throughputRps");
+  appendDouble(out, event.outcome.throughputRps);
+  out += ',';
+  appendKey(out, "avgLatencySec");
+  appendDouble(out, event.outcome.avgLatencySec);
+  out += ',';
+  appendKey(out, "viewChanges");
+  out += std::to_string(event.outcome.viewChanges);
+  out += ',';
+  appendKey(out, "safetyViolated");
+  appendBool(out, event.outcome.safetyViolated);
+  out += ',';
+  appendKey(out, "failed");
+  appendBool(out, event.failed);
+  out += ',';
+  appendKey(out, "timedOut");
+  appendBool(out, event.timedOut);
+  out += ',';
+  appendKey(out, "error");
+  appendEscaped(out, event.error);
+  out += '}';
+  return out;
+}
+
+[[nodiscard]] std::optional<JournalEvent> decodeLine(std::string_view line) {
+  const auto event = getString(line, "event");
+  if (!event) return std::nullopt;
+
+  if (*event == "gen") {
+    GenEvent gen;
+    const auto test = getU64(line, "test");
+    const auto point = getPoint(line, "point");
+    const auto generatedBy = getString(line, "generatedBy");
+    const auto parentImpact = getDouble(line, "parentImpact");
+    const auto pluginIndex = getI64(line, "pluginIndex");
+    if (!test || !point || !generatedBy || !parentImpact || !pluginIndex) {
+      return std::nullopt;
+    }
+    gen.test = *test;
+    gen.point = *point;
+    gen.generatedBy = *generatedBy;
+    gen.parentImpact = *parentImpact;
+    gen.pluginIndex = *pluginIndex;
+    JournalEvent out;
+    out.kind = JournalEvent::Kind::kGen;
+    out.gen = std::move(gen);
+    return out;
+  }
+
+  if (*event == "done") {
+    DoneEvent done;
+    const auto test = getU64(line, "test");
+    const auto impact = getDouble(line, "impact");
+    const auto bestImpact = getDouble(line, "bestImpact");
+    const auto throughputRps = getDouble(line, "throughputRps");
+    const auto avgLatencySec = getDouble(line, "avgLatencySec");
+    const auto viewChanges = getU64(line, "viewChanges");
+    const auto safetyViolated = getBool(line, "safetyViolated");
+    const auto failed = getBool(line, "failed");
+    const auto timedOut = getBool(line, "timedOut");
+    const auto error = getString(line, "error");
+    if (!test || !impact || !bestImpact || !throughputRps || !avgLatencySec ||
+        !viewChanges || !safetyViolated || !failed || !timedOut || !error) {
+      return std::nullopt;
+    }
+    done.test = *test;
+    done.outcome.impact = *impact;
+    done.outcome.throughputRps = *throughputRps;
+    done.outcome.avgLatencySec = *avgLatencySec;
+    done.outcome.viewChanges = *viewChanges;
+    done.outcome.safetyViolated = *safetyViolated;
+    done.bestImpact = *bestImpact;
+    done.failed = *failed;
+    done.timedOut = *timedOut;
+    done.error = *error;
+    JournalEvent out;
+    out.kind = JournalEvent::Kind::kDone;
+    out.done = std::move(done);
+    return out;
+  }
+
+  return std::nullopt;
+}
+
+[[nodiscard]] std::optional<LoadedJournal> loadJournal(const std::string& path) {
+  const auto contents = readFile(path);
+  if (!contents) return std::nullopt;
+
+  LoadedJournal loaded;
+  std::size_t pos = 0;
+  while (pos < contents->size()) {
+    const std::size_t nl = contents->find('\n', pos);
+    if (nl == std::string::npos) {
+      // No terminator: the classic torn tail of a killed writer.
+      loaded.truncatedTail = true;
+      break;
+    }
+    const std::string_view line(contents->data() + pos, nl - pos);
+    const auto event = decodeLine(line);
+    if (!event) {
+      // A malformed *final* line is a torn tail (a buffered write can carry
+      // its newline but not its whole payload); malformed earlier lines
+      // mean the journal is corrupt and unsafe to resume from.
+      if (contents->find('\n', nl + 1) != std::string::npos) {
+        return std::nullopt;
+      }
+      loaded.truncatedTail = true;
+      break;
+    }
+    loaded.events.push_back(std::move(*event));
+    pos = nl + 1;
+    loaded.validBytes = pos;
+  }
+  return loaded;
+}
+
+// --- writer -----------------------------------------------------------------
+
+bool JournalWriter::openFresh(const std::string& path) {
+  out_.open(path, std::ios::binary | std::ios::trunc);
+  return static_cast<bool>(out_);
+}
+
+bool JournalWriter::openResume(const std::string& path,
+                               std::uint64_t keepBytes) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (ec) return false;
+  if (keepBytes < size) {
+    std::filesystem::resize_file(path, keepBytes, ec);
+    if (ec) return false;
+  }
+  out_.open(path, std::ios::binary | std::ios::app);
+  return static_cast<bool>(out_);
+}
+
+bool JournalWriter::append(const std::string& line) {
+  if (!out_) return false;
+  out_.write(line.data(), static_cast<std::streamsize>(line.size()));
+  out_.put('\n');
+  out_.flush();
+  return static_cast<bool>(out_);
+}
+
+// --- manifest / checkpoint --------------------------------------------------
+
+std::string journalPath(const std::string& dir) {
+  return dir + "/journal.jsonl";
+}
+std::string manifestPath(const std::string& dir) {
+  return dir + "/manifest.json";
+}
+std::string checkpointPath(const std::string& dir) {
+  return dir + "/checkpoint.json";
+}
+
+bool writeManifest(const std::string& dir, const Manifest& manifest) {
+  std::string out = "{\"version\":" + std::to_string(manifest.version) + ",";
+  appendKey(out, "system");
+  appendEscaped(out, manifest.system);
+  out += ',';
+  appendKey(out, "seed");
+  out += std::to_string(manifest.seed);
+  out += ',';
+  appendKey(out, "totalTests");
+  out += std::to_string(manifest.totalTests);
+  out += ',';
+  appendKey(out, "workers");
+  out += std::to_string(manifest.workers);
+  out += ',';
+  appendKey(out, "checkpointEvery");
+  out += std::to_string(manifest.checkpointEvery);
+  out += ',';
+  appendKey(out, "scenarioTimeoutMs");
+  out += std::to_string(manifest.scenarioTimeoutMs);
+  out += "}\n";
+  return writeFileAtomic(manifestPath(dir), out);
+}
+
+[[nodiscard]] std::optional<Manifest> loadManifest(const std::string& dir) {
+  const auto contents = readFile(manifestPath(dir));
+  if (!contents) return std::nullopt;
+  Manifest manifest;
+  const auto version = getU64(*contents, "version");
+  const auto system = getString(*contents, "system");
+  const auto seed = getU64(*contents, "seed");
+  const auto totalTests = getU64(*contents, "totalTests");
+  const auto workers = getU64(*contents, "workers");
+  const auto checkpointEvery = getU64(*contents, "checkpointEvery");
+  const auto scenarioTimeoutMs = getU64(*contents, "scenarioTimeoutMs");
+  if (!version || !system || !seed || !totalTests || !workers ||
+      !checkpointEvery || !scenarioTimeoutMs) {
+    return std::nullopt;
+  }
+  manifest.version = *version;
+  manifest.system = *system;
+  manifest.seed = *seed;
+  manifest.totalTests = *totalTests;
+  manifest.workers = *workers;
+  manifest.checkpointEvery = *checkpointEvery;
+  manifest.scenarioTimeoutMs = *scenarioTimeoutMs;
+  return manifest;
+}
+
+bool writeCheckpoint(const std::string& dir, const Checkpoint& checkpoint) {
+  std::string out = "{";
+  appendKey(out, "generated");
+  out += std::to_string(checkpoint.generated);
+  out += ',';
+  appendKey(out, "completed");
+  out += std::to_string(checkpoint.completed);
+  out += ',';
+  appendKey(out, "maxImpact");
+  appendDouble(out, checkpoint.maxImpact);
+  out += "}\n";
+  return writeFileAtomic(checkpointPath(dir), out);
+}
+
+[[nodiscard]] std::optional<Checkpoint> loadCheckpoint(const std::string& dir) {
+  const auto contents = readFile(checkpointPath(dir));
+  if (!contents) return std::nullopt;
+  Checkpoint checkpoint;
+  const auto generated = getU64(*contents, "generated");
+  const auto completed = getU64(*contents, "completed");
+  const auto maxImpact = getDouble(*contents, "maxImpact");
+  if (!generated || !completed || !maxImpact) return std::nullopt;
+  checkpoint.generated = *generated;
+  checkpoint.completed = *completed;
+  checkpoint.maxImpact = *maxImpact;
+  return checkpoint;
+}
+
+}  // namespace avd::campaign

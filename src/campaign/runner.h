@@ -1,0 +1,121 @@
+// Campaign engine: AVD exploration as a resumable, parallel, long-lived
+// campaign (docs/campaign.md).
+//
+// The paper's controller explores one scenario at a time; each scenario
+// re-initializes a full deployment, so test *execution* is embarrassingly
+// parallel while test *generation* is a cheap sequential learning step. The
+// runner exploits exactly that split: one Controller drives Algorithm 1
+// through its batch-asynchronous acquire/report interface, while up to W
+// ScenarioExecutor instances — one per worker, each owning its own fresh
+// deployments, no shared mutable state — execute acquired scenarios on a
+// thread pool. Outcomes are folded back into the controller in completion
+// order.
+//
+// Reliability properties:
+//  * every acquire and report is journaled (campaign/journal.h), so a
+//    killed campaign resumes exactly where it stopped;
+//  * a worker that throws produces a failed zero-impact outcome, not a dead
+//    campaign;
+//  * an optional watchdog declares scenarios that exceed a wall-clock
+//    budget timed out and retires their worker slot, so one wedged scenario
+//    cannot stall the whole campaign (a campaign whose every worker wedges
+//    aborts with partial results).
+//
+// With workers == 1 and no watchdog the runner executes inline on the
+// calling thread in acquire -> execute -> report order, which makes a
+// serial campaign bit-identical to Controller::runTests for the same seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "avd/controller.h"
+#include "avd/executor.h"
+#include "campaign/dedup.h"
+#include "campaign/journal.h"
+
+namespace avd::campaign {
+
+/// Builds one executor instance. Called once per worker; each instance is
+/// owned by exactly one worker thread at a time. Instances must be
+/// behaviorally identical (same options/seeds) so an outcome is a pure
+/// function of the point regardless of which worker runs it.
+using ExecutorFactory =
+    std::function<std::unique_ptr<core::ScenarioExecutor>()>;
+
+/// Optional plugin-set override; defaults to core::defaultPlugins.
+using PluginFactory =
+    std::function<std::vector<core::PluginPtr>(const core::Hyperspace&)>;
+
+struct CampaignOptions {
+  std::uint64_t seed = 2011;
+  std::size_t totalTests = 100;
+  /// Executor-pool width W. 1 = serial (bit-identical to runTests).
+  std::size_t workers = 1;
+  /// Campaign directory for journal/manifest/checkpoint; empty = in-memory.
+  std::string outDir;
+  /// Free-form executor label recorded in the manifest (e.g. "quorum") so a
+  /// resuming process knows which factory to rebuild.
+  std::string system = "custom";
+  /// Checkpoint refresh cadence, in completed scenarios.
+  std::size_t checkpointEvery = 16;
+  /// Per-scenario wall-clock budget; 0 disables the watchdog.
+  std::uint64_t scenarioTimeoutMs = 0;
+  /// Minimum impact for a scenario to enter vulnerability triage.
+  double dedupMinImpact = 0.5;
+  core::ControllerOptions controller;
+};
+
+struct CampaignResult {
+  /// Completion-order history (the controller's view).
+  std::vector<core::TestRecord> history;
+  double maxImpact = 0.0;
+  std::size_t executed = 0;
+  std::size_t failed = 0;    // executor threw
+  std::size_t timedOut = 0;  // watchdog retired the scenario
+  /// True when every worker slot wedged and the campaign gave up early;
+  /// history holds the completed prefix.
+  bool aborted = false;
+  /// Deduplicated vulnerability classes (impact >= dedupMinImpact).
+  std::vector<VulnClass> classes;
+};
+
+class CampaignRunner {
+ public:
+  CampaignRunner(ExecutorFactory factory, CampaignOptions options,
+                 PluginFactory plugins = {});
+
+  /// Fresh campaign. Creates/truncates the campaign directory files when
+  /// options.outDir is set. Throws std::runtime_error on I/O failure.
+  CampaignResult run();
+
+  /// Continues the campaign stored in options.outDir: replays the journal
+  /// against a fresh controller (no re-execution), re-executes scenarios
+  /// that were in flight at the kill, then keeps exploring to the
+  /// manifest's totalTests. The manifest's seed/workers/budget override the
+  /// constructor options. Throws std::runtime_error when the directory is
+  /// missing, corrupt, or diverges from deterministic replay.
+  CampaignResult resume();
+
+ private:
+  CampaignResult drive(core::Controller& controller,
+                       std::vector<std::unique_ptr<core::ScenarioExecutor>>&
+                           executors,
+                       JournalWriter* journal,
+                       std::map<std::uint64_t, core::GeneratedScenario>
+                           pendingReplay,
+                       std::uint64_t nextTest, std::size_t replayedFailed,
+                       std::size_t replayedTimedOut);
+
+  std::vector<std::unique_ptr<core::ScenarioExecutor>> makeExecutors() const;
+
+  ExecutorFactory factory_;
+  CampaignOptions options_;
+  PluginFactory plugins_;
+};
+
+}  // namespace avd::campaign

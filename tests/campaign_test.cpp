@@ -1,0 +1,620 @@
+// Campaign engine tests: serial bit-identity with Controller::runTests,
+// journal round-trips and byte-identical reruns, kill/resume equivalence,
+// worker failure/timeout isolation, and vulnerability dedup.
+//
+// The CampaignSmoke suite is deliberately fast and hermetic — CI's lint leg
+// runs it alongside the lint tests as a cheap cross-config sanity check.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "avd/controller.h"
+#include "avd/plugin.h"
+#include "avd/quorum_executor.h"
+#include "campaign/dedup.h"
+#include "campaign/journal.h"
+#include "campaign/runner.h"
+
+namespace avd::campaign {
+namespace {
+
+// --- helpers -----------------------------------------------------------------
+
+/// Same synthetic ridge landscape as controller_test.cpp: deterministic,
+/// instant, and structured enough for the controller to climb.
+class RidgeExecutor final : public core::ScenarioExecutor {
+ public:
+  RidgeExecutor() {
+    space_.add(core::Dimension::range("x", 0, 99));
+    space_.add(core::Dimension::range("y", 0, 99));
+  }
+
+  core::Outcome execute(const core::Point& point) override {
+    const double dx = std::abs(static_cast<double>(point[0]) - 70.0);
+    const double dy = std::abs(static_cast<double>(point[1]) - 30.0);
+    core::Outcome outcome;
+    const double ridge = std::max(0.0, 1.0 - dx / 10.0);
+    const double along = 1.0 - 0.6 * dy / 99.0;
+    outcome.impact = ridge * along;
+    outcome.throughputRps = 1000.0 * (1.0 - outcome.impact);
+    return outcome;
+  }
+
+  const core::Hyperspace& space() const noexcept override { return space_; }
+
+ private:
+  core::Hyperspace space_;
+};
+
+/// Throws on a deterministic subset of points (the "deployment crashed"
+/// case): the campaign must absorb these as failed scenarios, not die.
+class FaultyExecutor final : public core::ScenarioExecutor {
+ public:
+  core::Outcome execute(const core::Point& point) override {
+    if ((point[0] + point[1]) % 3 == 0) {
+      throw std::runtime_error("deployment wedged");
+    }
+    return inner_.execute(point);
+  }
+  const core::Hyperspace& space() const noexcept override {
+    return inner_.space();
+  }
+
+ private:
+  RidgeExecutor inner_;
+};
+
+/// Sleeps long enough to trip the campaign watchdog on every execute when
+/// constructed sleepy; instant otherwise.
+class SleepyExecutor final : public core::ScenarioExecutor {
+ public:
+  explicit SleepyExecutor(bool sleepy) : sleepy_(sleepy) {}
+
+  core::Outcome execute(const core::Point& point) override {
+    if (sleepy_) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1200));
+    }
+    return inner_.execute(point);
+  }
+  const core::Hyperspace& space() const noexcept override {
+    return inner_.space();
+  }
+
+ private:
+  RidgeExecutor inner_;
+  bool sleepy_;
+};
+
+ExecutorFactory ridgeFactory() {
+  return [] { return std::make_unique<RidgeExecutor>(); };
+}
+
+ExecutorFactory quorumFactory() {
+  return [] {
+    return std::make_unique<core::QuorumApiExecutor>(
+        core::makeQuorumApiHyperspace());
+  };
+}
+
+/// Fresh scratch directory under the test temp root.
+std::string scratchDir(const std::string& name) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "avd_campaign_test" / name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+std::string readAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void writeAll(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(contents.data(),
+            static_cast<std::streamsize>(contents.size()));
+  ASSERT_TRUE(out.good());
+}
+
+/// Byte offset one past the `n`-th newline (simulating a kill that landed
+/// right at a line boundary), or mid-line when `extra` > 0.
+std::size_t cutOffset(const std::string& journal, std::size_t lines,
+                      std::size_t extra) {
+  std::size_t at = 0;
+  for (std::size_t i = 0; i < lines; ++i) {
+    at = journal.find('\n', at);
+    EXPECT_NE(at, std::string::npos);
+    ++at;
+  }
+  return std::min(journal.size(), at + extra);
+}
+
+// --- CampaignSmoke (runs in every CI config, including the lint leg) ---------
+
+TEST(CampaignSmoke, SerialInMemoryCampaignCompletesItsBudget) {
+  CampaignOptions options;
+  options.totalTests = 40;
+  options.workers = 1;
+  CampaignRunner runner(ridgeFactory(), options);
+  const CampaignResult result = runner.run();
+  EXPECT_EQ(result.executed, 40u);
+  EXPECT_EQ(result.history.size(), 40u);
+  EXPECT_EQ(result.failed, 0u);
+  EXPECT_EQ(result.timedOut, 0u);
+  EXPECT_FALSE(result.aborted);
+  EXPECT_GT(result.maxImpact, 0.0);
+  for (std::size_t i = 1; i < result.classes.size(); ++i) {
+    EXPECT_LE(result.classes[i].exemplar.outcome.impact,
+              result.classes[i - 1].exemplar.outcome.impact)
+        << "classes are sorted by exemplar impact descending";
+  }
+}
+
+TEST(CampaignSmoke, ParallelCampaignCompletesItsBudget) {
+  CampaignOptions options;
+  options.totalTests = 48;
+  options.workers = 3;
+  CampaignRunner runner(ridgeFactory(), options);
+  const CampaignResult result = runner.run();
+  EXPECT_EQ(result.executed, 48u);
+  EXPECT_FALSE(result.aborted);
+  EXPECT_GT(result.maxImpact, 0.0);
+}
+
+TEST(CampaignSmoke, CampaignDirectoryHoldsManifestJournalCheckpoint) {
+  const std::string dir = scratchDir("smoke_dir");
+  CampaignOptions options;
+  options.totalTests = 24;
+  options.outDir = dir;
+  options.system = "ridge";
+  options.checkpointEvery = 8;
+  CampaignRunner runner(ridgeFactory(), options);
+  const CampaignResult result = runner.run();
+  EXPECT_EQ(result.executed, 24u);
+
+  const auto manifest = loadManifest(dir);
+  ASSERT_TRUE(manifest.has_value());
+  EXPECT_EQ(manifest->system, "ridge");
+  EXPECT_EQ(manifest->totalTests, 24u);
+
+  const auto checkpoint = loadCheckpoint(dir);
+  ASSERT_TRUE(checkpoint.has_value());
+  EXPECT_EQ(checkpoint->completed, 24u);
+  EXPECT_EQ(checkpoint->generated, 24u);
+  EXPECT_DOUBLE_EQ(checkpoint->maxImpact, result.maxImpact);
+
+  const auto journal = loadJournal(journalPath(dir));
+  ASSERT_TRUE(journal.has_value());
+  EXPECT_EQ(journal->events.size(), 48u) << "one gen + one done per test";
+  EXPECT_FALSE(journal->truncatedTail);
+}
+
+// --- bit-identity with Controller::runTests ----------------------------------
+
+void expectSameHistory(const std::vector<core::TestRecord>& a,
+                       const std::vector<core::TestRecord>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].point, b[i].point) << "test " << i + 1;
+    EXPECT_EQ(a[i].generatedBy, b[i].generatedBy) << "test " << i + 1;
+    // Bit-exact, not approximate: the campaign path must not perturb the
+    // controller's arithmetic in any way.
+    EXPECT_EQ(a[i].outcome.impact, b[i].outcome.impact) << "test " << i + 1;
+    EXPECT_EQ(a[i].bestImpactSoFar, b[i].bestImpactSoFar) << "test " << i + 1;
+  }
+}
+
+TEST(CampaignBitIdentity, SerialCampaignMatchesRunTestsOnRidge) {
+  constexpr std::uint64_t kSeed = 7;
+  constexpr std::size_t kTests = 80;
+
+  RidgeExecutor reference;
+  core::Controller controller(reference,
+                              core::defaultPlugins(reference.space()),
+                              core::ControllerOptions{}, kSeed);
+  controller.runTests(kTests);
+
+  CampaignOptions options;
+  options.seed = kSeed;
+  options.totalTests = kTests;
+  options.workers = 1;
+  CampaignRunner runner(ridgeFactory(), options);
+  const CampaignResult result = runner.run();
+
+  expectSameHistory(controller.history(), result.history);
+  EXPECT_EQ(controller.maxImpact(), result.maxImpact);
+}
+
+TEST(CampaignBitIdentity, SerialCampaignMatchesRunTestsOnQuorum) {
+  constexpr std::uint64_t kSeed = 2011;
+  constexpr std::size_t kTests = 30;
+
+  core::QuorumApiExecutor reference(core::makeQuorumApiHyperspace());
+  core::Controller controller(reference,
+                              core::defaultPlugins(reference.space()),
+                              core::ControllerOptions{}, kSeed);
+  controller.runTests(kTests);
+
+  CampaignOptions options;
+  options.seed = kSeed;
+  options.totalTests = kTests;
+  options.workers = 1;
+  CampaignRunner runner(quorumFactory(), options);
+  const CampaignResult result = runner.run();
+
+  expectSameHistory(controller.history(), result.history);
+  EXPECT_EQ(controller.maxImpact(), result.maxImpact);
+}
+
+TEST(CampaignBitIdentity, ParallelCampaignReachesSerialBestImpactOnQuorum) {
+  constexpr std::uint64_t kSeed = 2011;
+  constexpr std::size_t kTests = 60;
+
+  CampaignOptions serial;
+  serial.seed = kSeed;
+  serial.totalTests = kTests;
+  serial.workers = 1;
+  const CampaignResult serialResult =
+      CampaignRunner(quorumFactory(), serial).run();
+
+  CampaignOptions parallel = serial;
+  parallel.workers = 4;
+  const CampaignResult parallelResult =
+      CampaignRunner(quorumFactory(), parallel).run();
+
+  EXPECT_EQ(parallelResult.executed, kTests);
+  // Completion order differs, so the explored sequence may differ — but the
+  // same budget on the same landscape must land within epsilon of the same
+  // best impact (the ISSUE acceptance bound).
+  EXPECT_NEAR(parallelResult.maxImpact, serialResult.maxImpact, 0.05);
+}
+
+// --- journal encode/decode ---------------------------------------------------
+
+TEST(CampaignJournal, GenEventRoundTripsBitExactly) {
+  GenEvent event;
+  event.test = 17;
+  event.point = {3, 0, 41};
+  event.generatedBy = "step:ts_inflation_log2";
+  event.parentImpact = 1.0 / 3.0;  // not representable in decimal
+  event.pluginIndex = 2;
+
+  const std::string line = encodeGen(event);
+  const auto decoded = decodeLine(line);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->kind, JournalEvent::Kind::kGen);
+  EXPECT_EQ(decoded->gen.test, 17u);
+  EXPECT_EQ(decoded->gen.point, event.point);
+  EXPECT_EQ(decoded->gen.generatedBy, event.generatedBy);
+  EXPECT_EQ(decoded->gen.parentImpact, event.parentImpact) << "bit-exact";
+  EXPECT_EQ(decoded->gen.pluginIndex, 2);
+}
+
+TEST(CampaignJournal, DoneEventRoundTripsBitExactly) {
+  DoneEvent event;
+  event.test = 99;
+  event.outcome.impact = 0.1 + 0.2;  // 0.30000000000000004
+  event.outcome.throughputRps = 1234.5678901234567;
+  event.outcome.avgLatencySec = 2e-3;
+  event.outcome.viewChanges = 11;
+  event.outcome.safetyViolated = true;
+  event.bestImpact = 0.9999999999999999;
+  event.failed = true;
+  event.error = "tab\there \"quoted\" back\\slash\nnewline";
+
+  const std::string line = encodeDone(event);
+  EXPECT_EQ(line.find('\n'), std::string::npos)
+      << "escaping keeps every event on one line";
+  const auto decoded = decodeLine(line);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->kind, JournalEvent::Kind::kDone);
+  EXPECT_EQ(decoded->done.test, 99u);
+  EXPECT_EQ(decoded->done.outcome.impact, event.outcome.impact);
+  EXPECT_EQ(decoded->done.outcome.throughputRps,
+            event.outcome.throughputRps);
+  EXPECT_EQ(decoded->done.outcome.avgLatencySec,
+            event.outcome.avgLatencySec);
+  EXPECT_EQ(decoded->done.outcome.viewChanges, 11u);
+  EXPECT_TRUE(decoded->done.outcome.safetyViolated);
+  EXPECT_EQ(decoded->done.bestImpact, event.bestImpact);
+  EXPECT_TRUE(decoded->done.failed);
+  EXPECT_FALSE(decoded->done.timedOut);
+  EXPECT_EQ(decoded->done.error, event.error);
+}
+
+TEST(CampaignJournal, MalformedLinesAreRejected) {
+  EXPECT_FALSE(decodeLine("").has_value());
+  EXPECT_FALSE(decodeLine("not json at all").has_value());
+  EXPECT_FALSE(decodeLine("{\"event\":\"gen\"").has_value());
+  EXPECT_FALSE(decodeLine("{\"event\":\"mystery\",\"test\":1}").has_value());
+}
+
+TEST(CampaignJournal, TornFinalLineIsToleratedEarlierCorruptionIsNot) {
+  const std::string dir = scratchDir("torn");
+  const std::string path = dir + "/journal.jsonl";
+
+  GenEvent gen;
+  gen.test = 1;
+  gen.point = {1, 2};
+  gen.generatedBy = "random";
+  DoneEvent done;
+  done.test = 1;
+  const std::string good = encodeGen(gen) + "\n" + encodeDone(done) + "\n";
+
+  // kill -9 mid-append: last line has no newline and is half a record.
+  writeAll(path, good + "{\"event\":\"done\",\"te");
+  const auto torn = loadJournal(path);
+  ASSERT_TRUE(torn.has_value());
+  EXPECT_EQ(torn->events.size(), 2u);
+  EXPECT_TRUE(torn->truncatedTail);
+  EXPECT_EQ(torn->validBytes, good.size());
+
+  // Garbage *before* the final line is corruption, not a torn tail.
+  writeAll(path, "garbage\n" + good);
+  EXPECT_FALSE(loadJournal(path).has_value());
+}
+
+TEST(CampaignJournal, SameSeedSerialRunsProduceByteIdenticalJournals) {
+  const std::string dirA = scratchDir("bytes_a");
+  const std::string dirB = scratchDir("bytes_b");
+  for (const std::string& dir : {dirA, dirB}) {
+    CampaignOptions options;
+    options.seed = 13;
+    options.totalTests = 50;
+    options.outDir = dir;
+    CampaignRunner runner(ridgeFactory(), options);
+    runner.run();
+  }
+  const std::string a = readAll(journalPath(dirA));
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, readAll(journalPath(dirB)));
+}
+
+// --- kill / resume -----------------------------------------------------------
+
+/// Runs one uninterrupted campaign into `full`, replays the same campaign
+/// into `cut`, chops its journal as a kill -9 would, resumes, and verifies
+/// the resumed journal is byte-identical to the uninterrupted one.
+void killResumeRoundTrip(std::size_t cutLines, std::size_t cutExtra,
+                         const std::string& tag) {
+  CampaignOptions options;
+  options.seed = 5;
+  options.totalTests = 60;
+  options.checkpointEvery = 8;
+
+  const std::string full = scratchDir("full_" + tag);
+  options.outDir = full;
+  const CampaignResult uninterrupted =
+      CampaignRunner(ridgeFactory(), options).run();
+
+  const std::string cut = scratchDir("cut_" + tag);
+  options.outDir = cut;
+  CampaignRunner(ridgeFactory(), options).run();
+
+  const std::string journal = readAll(journalPath(cut));
+  writeAll(journalPath(cut),
+           journal.substr(0, cutOffset(journal, cutLines, cutExtra)));
+
+  CampaignOptions resumeOptions;
+  resumeOptions.outDir = cut;
+  const CampaignResult resumed =
+      CampaignRunner(ridgeFactory(), resumeOptions).resume();
+
+  EXPECT_EQ(resumed.executed, 60u);
+  EXPECT_EQ(resumed.maxImpact, uninterrupted.maxImpact);
+  EXPECT_EQ(readAll(journalPath(cut)), readAll(journalPath(full)))
+      << "resumed journal must be byte-identical to the uninterrupted run";
+  expectSameHistory(uninterrupted.history, resumed.history);
+}
+
+TEST(CampaignResume, KillMidLineResumesToIdenticalJournal) {
+  // 41 whole lines + 23 bytes of a torn line: the torn line is dropped and
+  // rewritten by the resumed run.
+  killResumeRoundTrip(41, 23, "midline");
+}
+
+TEST(CampaignResume, KillWithScenarioInFlightResumesToIdenticalJournal) {
+  // An odd line count in a serial journal (gen/done alternate) leaves the
+  // last scenario acquired but unreported — the in-flight case. Resume must
+  // re-execute it without re-journaling its gen line.
+  killResumeRoundTrip(17, 0, "inflight");
+}
+
+TEST(CampaignResume, EmptyJournalResumesFromScratch) {
+  killResumeRoundTrip(0, 0, "empty");
+}
+
+TEST(CampaignResume, MissingDirectoryThrows) {
+  CampaignOptions options;
+  options.outDir =
+      (std::filesystem::temp_directory_path() / "avd_campaign_test" /
+       "does_not_exist")
+          .string();
+  CampaignRunner runner(ridgeFactory(), options);
+  EXPECT_THROW(runner.resume(), std::runtime_error);
+}
+
+TEST(CampaignResume, TamperedJournalIsDetectedAsDivergence) {
+  const std::string dir = scratchDir("tampered");
+  CampaignOptions options;
+  options.seed = 5;
+  options.totalTests = 20;
+  options.outDir = dir;
+  CampaignRunner(ridgeFactory(), options).run();
+
+  // Same-length edit keeps the line parseable but changes the provenance:
+  // replay must notice the journal no longer matches the deterministic
+  // regeneration.
+  std::string journal = readAll(journalPath(dir));
+  const auto at = journal.find("\"generatedBy\":\"random\"");
+  ASSERT_NE(at, std::string::npos);
+  journal.replace(at, 22, "\"generatedBy\":\"zandom\"");
+  writeAll(journalPath(dir), journal);
+
+  CampaignOptions resumeOptions;
+  resumeOptions.outDir = dir;
+  CampaignRunner runner(ridgeFactory(), resumeOptions);
+  EXPECT_THROW(runner.resume(), std::runtime_error);
+}
+
+// --- failure and timeout isolation -------------------------------------------
+
+TEST(CampaignIsolation, ThrowingExecutorYieldsFailedScenariosNotACrash) {
+  CampaignOptions options;
+  options.seed = 3;
+  options.totalTests = 50;
+  options.workers = 1;
+  CampaignRunner runner(
+      [] { return std::make_unique<FaultyExecutor>(); }, options);
+  const CampaignResult result = runner.run();
+  EXPECT_EQ(result.executed, 50u);
+  EXPECT_GT(result.failed, 0u) << "a third of the space throws";
+  EXPECT_FALSE(result.aborted);
+  std::size_t zeroImpact = 0;
+  for (const core::TestRecord& record : result.history) {
+    if (record.outcome.impact == 0.0) ++zeroImpact;
+  }
+  EXPECT_GE(zeroImpact, result.failed)
+      << "failed scenarios enter history with the zero outcome";
+}
+
+TEST(CampaignIsolation, ThrowingExecutorIsIsolatedInParallelToo) {
+  CampaignOptions options;
+  options.seed = 3;
+  options.totalTests = 40;
+  options.workers = 2;
+  CampaignRunner runner(
+      [] { return std::make_unique<FaultyExecutor>(); }, options);
+  const CampaignResult result = runner.run();
+  EXPECT_EQ(result.executed, 40u);
+  EXPECT_GT(result.failed, 0u);
+  EXPECT_FALSE(result.aborted);
+}
+
+TEST(CampaignIsolation, WatchdogRetiresWedgedWorkerAndCampaignFinishes) {
+  // Worker 0's executor wedges on every scenario; worker 1 is healthy. The
+  // watchdog must retire worker 0's first scenario as timed out and let
+  // worker 1 finish the whole budget.
+  std::atomic<int> built{0};
+  CampaignOptions options;
+  options.seed = 9;
+  options.totalTests = 25;
+  options.workers = 2;
+  options.scenarioTimeoutMs = 100;
+  CampaignRunner runner(
+      [&built] {
+        return std::make_unique<SleepyExecutor>(built.fetch_add(1) == 0);
+      },
+      options);
+  const CampaignResult result = runner.run();
+  EXPECT_EQ(result.executed, 25u);
+  EXPECT_EQ(result.timedOut, 1u);
+  EXPECT_FALSE(result.aborted);
+}
+
+TEST(CampaignIsolation, AllWorkersWedgedAbortsWithPartialResults) {
+  CampaignOptions options;
+  options.seed = 9;
+  options.totalTests = 10;
+  options.workers = 2;
+  options.scenarioTimeoutMs = 80;
+  CampaignRunner runner(
+      [] { return std::make_unique<SleepyExecutor>(true); }, options);
+  const CampaignResult result = runner.run();
+  EXPECT_TRUE(result.aborted);
+  EXPECT_EQ(result.timedOut, 2u) << "one timeout per poisoned worker";
+  EXPECT_LT(result.executed, 10u);
+}
+
+// --- vulnerability dedup -----------------------------------------------------
+
+core::Hyperspace twoDimSpace() {
+  core::Hyperspace space;
+  space.add(core::Dimension::range("knob", 0, 9));
+  space.add(core::Dimension::choice("mode", {0, 5}));
+  return space;
+}
+
+core::TestRecord record(core::Point point, double impact,
+                        std::uint64_t viewChanges = 0,
+                        bool safetyViolated = false) {
+  core::TestRecord out;
+  out.point = std::move(point);
+  out.outcome.impact = impact;
+  out.outcome.viewChanges = viewChanges;
+  out.outcome.safetyViolated = safetyViolated;
+  return out;
+}
+
+TEST(CampaignDedup, NearbyPointsWithSameBehaviorCollapseToOneClass) {
+  const core::Hyperspace space = twoDimSpace();
+  const std::vector<core::TestRecord> history = {
+      record({3, 1}, 0.85),  // knob + mode active, band 8
+      record({4, 1}, 0.82),  // same signature -> same class
+      record({0, 0}, 0.95),  // nothing active, band 9 -> own class
+      record({5, 1}, 0.30),  // below the triage floor
+  };
+  const auto classes = dedupVulnerabilities(space, history, 0.5);
+  ASSERT_EQ(classes.size(), 2u);
+
+  EXPECT_EQ(classes[0].exemplar.outcome.impact, 0.95);
+  EXPECT_EQ(classes[0].count, 1u);
+  EXPECT_EQ(classes[0].exemplarTest, 3u) << "1-based history index";
+
+  EXPECT_EQ(classes[1].exemplar.outcome.impact, 0.85);
+  EXPECT_EQ(classes[1].count, 2u);
+  EXPECT_EQ(classes[1].exemplarTest, 1u);
+  EXPECT_EQ(classes[1].signature.activeDims,
+            (std::vector<std::uint8_t>{1, 1}));
+}
+
+TEST(CampaignDedup, BehaviorDifferencesSplitClasses) {
+  const core::Hyperspace space = twoDimSpace();
+  const std::vector<core::TestRecord> history = {
+      record({3, 1}, 0.85, 0, false),
+      record({3, 1}, 0.85, 5, false),   // view-change band differs
+      record({3, 1}, 0.85, 5, true),    // safety flag differs
+  };
+  const auto classes = dedupVulnerabilities(space, history, 0.5);
+  EXPECT_EQ(classes.size(), 3u);
+}
+
+TEST(CampaignDedup, LabelNamesBandsFlagsAndActiveDims) {
+  const core::Hyperspace space = twoDimSpace();
+  const auto sig = signatureOf(space, record({4, 1}, 0.93, 2, true));
+  const std::string label = signatureLabel(space, sig);
+  EXPECT_NE(label.find("0.9-1.0"), std::string::npos) << label;
+  EXPECT_NE(label.find("1-3"), std::string::npos) << label;
+  EXPECT_NE(label.find("SAFETY VIOLATED"), std::string::npos) << label;
+  EXPECT_NE(label.find("knob"), std::string::npos) << label;
+  EXPECT_NE(label.find("mode"), std::string::npos) << label;
+}
+
+TEST(CampaignDedup, JsonReportNamesDimensionsAndCounts) {
+  const core::Hyperspace space = twoDimSpace();
+  // 0.75 is dyadic, so %.17g prints it exactly as "0.75".
+  const auto classes = dedupVulnerabilities(
+      space, {record({3, 1}, 0.75), record({4, 1}, 0.75)}, 0.5);
+  const std::string json = vulnClassesJson(space, classes);
+  EXPECT_NE(json.find("\"count\""), std::string::npos);
+  EXPECT_NE(json.find("knob"), std::string::npos);
+  EXPECT_NE(json.find("0.75"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace avd::campaign

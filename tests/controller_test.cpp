@@ -124,6 +124,81 @@ TEST(Controller, TestsToReachFindsFirstCrossing) {
   }
 }
 
+TEST(Controller, TestsToReachEdgeCases) {
+  HillExecutor executor;
+  Controller controller(executor, defaultPlugins(executor.space()));
+  // Empty history: no test ever crossed anything.
+  EXPECT_FALSE(controller.testsToReach(0.0).has_value());
+
+  controller.runTests(50);
+  // Threshold 0 is reached by the very first test (impact >= 0 always).
+  const auto zero = controller.testsToReach(0.0);
+  ASSERT_TRUE(zero.has_value());
+  EXPECT_EQ(*zero, 1u);
+  // A threshold above the observed maximum was never reached.
+  EXPECT_FALSE(
+      controller.testsToReach(controller.maxImpact() + 0.01).has_value());
+  // The maximum itself was reached, at or before the last test.
+  const auto atMax = controller.testsToReach(controller.maxImpact());
+  ASSERT_TRUE(atMax.has_value());
+  EXPECT_LE(*atMax, controller.history().size());
+}
+
+TEST(Controller, AblationFlagDisablesPluginFitnessWeighting) {
+  // With pluginFitnessWeighting off, plugin selection is uniform: on a
+  // 2-plugin space both plugins must be chosen in roughly equal measure.
+  // (With weighting on, the split is free to skew toward the plugin whose
+  // mutations pay off; we only pin the ablation's uniformity.)
+  ControllerOptions ablated;
+  ablated.pluginFitnessWeighting = false;
+  HillExecutor executor;
+  Controller controller(executor, defaultPlugins(executor.space()), ablated,
+                        42);
+  controller.runTests(300);
+
+  const auto& stats = controller.pluginStats();
+  ASSERT_EQ(stats.size(), 2u);
+  std::uint64_t total = 0;
+  for (const PluginStats& plugin : stats) {
+    total += plugin.timesChosen;
+    EXPECT_GT(plugin.timesChosen, 0u);
+  }
+  EXPECT_GE(total, 300u - ablated.initialRandomTests - 10);
+  for (const PluginStats& plugin : stats) {
+    EXPECT_GT(plugin.timesChosen, total / 4)
+        << "uniform sampling cannot starve a plugin";
+  }
+}
+
+TEST(Controller, BatchAcquireReportMatchesRunTests) {
+  // The campaign engine's contract: acquire -> execute -> report in a loop
+  // is exactly runTests. (The campaign's own tests build on this; keeping
+  // the bit-identity assertion next to the controller pins the API itself.)
+  HillExecutor reference;
+  Controller expected(reference, defaultPlugins(reference.space()),
+                      ControllerOptions{}, 3);
+  expected.runTests(60);
+
+  HillExecutor executor;
+  Controller actual(executor, defaultPlugins(executor.space()),
+                    ControllerOptions{}, 3);
+  for (int i = 0; i < 60; ++i) {
+    GeneratedScenario scenario = actual.acquireScenario();
+    EXPECT_EQ(actual.inFlight(), 1u);
+    const Outcome outcome = executor.execute(scenario.point);
+    actual.reportOutcome(std::move(scenario), outcome);
+  }
+  EXPECT_EQ(actual.inFlight(), 0u);
+  ASSERT_EQ(actual.history().size(), expected.history().size());
+  for (std::size_t i = 0; i < expected.history().size(); ++i) {
+    EXPECT_EQ(actual.history()[i].point, expected.history()[i].point);
+    EXPECT_EQ(actual.history()[i].outcome.impact,
+              expected.history()[i].outcome.impact);
+    EXPECT_EQ(actual.history()[i].generatedBy,
+              expected.history()[i].generatedBy);
+  }
+}
+
 TEST(PbftExecutor, BaselineIsCachedAndPositive) {
   PbftExecutorOptions options;
   options.measure = sim::msec(1000);

@@ -1,0 +1,25 @@
+// Seeded R6 violations: detached threads have no join point, so campaign
+// shutdown and sanitizer teardown race against them. Joined threads and the
+// unrelated free function `detach(...)` must pass.
+#include <thread>
+
+void detach(int);  // free function, not a thread member — must not fire
+
+void spawnsAndAbandons() {
+  std::thread worker([] {});
+  worker.detach();  // VIOLATION: owner gives up the join point
+}
+
+void abandonsViaPointer(std::thread* t) {
+  t->detach();  // VIOLATION: same through a pointer
+}
+
+void temporaryFireAndForget() {
+  std::thread([] {}).detach();  // VIOLATION: classic fire-and-forget
+}
+
+void joinsProperly() {
+  std::thread worker([] {});
+  worker.join();  // pass: join point kept
+  detach(3);      // pass: free call, no receiver
+}

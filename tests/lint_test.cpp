@@ -43,14 +43,15 @@ std::size_t countRule(const std::vector<Finding>& findings,
 
 // --- Registry ---------------------------------------------------------------
 
-TEST(LintRegistry, ContainsTheFiveRulesPlusMeta) {
+TEST(LintRegistry, ContainsTheSixRulesPlusMeta) {
   const auto& rules = ruleRegistry();
-  ASSERT_EQ(rules.size(), 6u);
+  ASSERT_EQ(rules.size(), 7u);
   EXPECT_TRUE(isKnownRule("nondeterminism"));
   EXPECT_TRUE(isKnownRule("unchecked-parse"));
   EXPECT_TRUE(isKnownRule("uncapped-reserve"));
   EXPECT_TRUE(isKnownRule("naked-lock"));
   EXPECT_TRUE(isKnownRule("unordered-iter"));
+  EXPECT_TRUE(isKnownRule("detached-thread"));
   EXPECT_TRUE(isKnownRule("bad-suppression"));
   EXPECT_FALSE(isKnownRule("no-such-rule"));
 }
@@ -173,6 +174,52 @@ TEST(LintR5, DeclarationInHeaderIsTrackedAcrossFiles) {
   };
   const auto findings = lintFiles(files);
   EXPECT_EQ(countRule(findings, "unordered-iter"), 1u);
+}
+
+TEST(LintR5, CampaignRunnerIsInScope) {
+  const auto findings =
+      lintFixture("unordered_iter.cc", "src/campaign/runner.cpp");
+  EXPECT_EQ(countRule(findings, "unordered-iter"), 2u)
+      << "the campaign driver loop is ordering-sensitive: journal replay "
+         "must see the same interleaving every run";
+}
+
+TEST(LintR5, CampaignHeaderDeclarationsAreTrackedAcrossFiles) {
+  const std::vector<SourceFile> files = {
+      {"src/campaign/runner.h",
+       "class C { std::unordered_map<int, int> inFlight_; };"},
+      {"src/campaign/runner.cpp",
+       "int C::f() { int s = 0; for (auto& [k, v] : inFlight_) s += v; "
+       "return s; }"},
+  };
+  const auto findings = lintFiles(files);
+  EXPECT_EQ(countRule(findings, "unordered-iter"), 1u);
+}
+
+// --- R6 detached-thread ------------------------------------------------------
+
+TEST(LintR6, FixtureSeedsThreeViolationsJoinAndFreeCallPass) {
+  const auto findings =
+      lintFixture("detached_thread.cc", "src/campaign/fixture.cpp");
+  EXPECT_EQ(countRule(findings, "detached-thread"), 3u)
+      << "member detach, pointer detach, temporary fire-and-forget";
+  EXPECT_EQ(findings.size(), countRule(findings, "detached-thread"))
+      << "join() and the free function detach(int) must not fire";
+}
+
+TEST(LintR6, AppliesRepoWideNotJustCampaign) {
+  const auto findings = lintSource(
+      "src/sim/net.cpp", "void f(std::thread& t) { t.detach(); }");
+  EXPECT_EQ(countRule(findings, "detached-thread"), 1u);
+}
+
+TEST(LintR6, DetachAsValueOrMemberNameIsNotFlagged) {
+  const auto findings = lintSource(
+      "src/x/a.cpp",
+      "bool detach = false;\n"
+      "void f() { if (detach) return; config.detach = true; }\n");
+  EXPECT_EQ(countRule(findings, "detached-thread"), 0u)
+      << "only member *calls* named detach are thread detaches";
 }
 
 // --- Suppressions ------------------------------------------------------------

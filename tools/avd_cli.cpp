@@ -10,14 +10,27 @@
 //       Replay one of the named, known attack scenarios and print its
 //       measured damage. `avd_cli list` shows the names.
 //
+//   avd_cli campaign [--system pbft|quorum] [--tests N] [--seed S]
+//                    [--workers W] [--out DIR] [--resume DIR]
+//                    [--checkpoint-every N] [--timeout-ms MS] [--min-impact X]
+//       Run AVD exploration as a resumable, parallel campaign: W executor
+//       workers, an append-only journal + checkpoint in DIR, and a
+//       deduplicated vulnerability-class report at the end. `--resume DIR`
+//       continues a killed campaign exactly where its journal stops.
+//
 //   avd_cli power [--budget N] [--threshold T] [--seeds a,b,c]
 //       The §4 attacker-power ladder.
 //
 //   avd_cli list
 //       Enumerate systems, strategies and named attacks.
+//
+// Unknown flags are errors (exit status 2), not silently ignored.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
+#include <initializer_list>
 #include <map>
 #include <string>
 #include <vector>
@@ -29,6 +42,9 @@
 #include "avd/pbft_executor.h"
 #include "avd/quorum_executor.h"
 #include "avd/report.h"
+#include "campaign/dedup.h"
+#include "campaign/journal.h"
+#include "campaign/runner.h"
 #include "faultinject/behaviors.h"
 #include "pbft/deployment.h"
 
@@ -36,16 +52,33 @@ using namespace avd;
 
 namespace {
 
-/// Minimal --flag VALUE parser; flags may appear in any order.
+/// Minimal --flag VALUE parser; flags may appear in any order. Every
+/// command declares its flag vocabulary: a flag outside it (or a flag
+/// without a value) is a usage error, so a typo like `--seeed 7` fails
+/// loudly instead of silently exploring with the default seed.
 class Args {
  public:
-  Args(int argc, char** argv, int firstFlag) {
-    for (int i = firstFlag; i + 1 < argc; i += 2) {
+  Args(int argc, char** argv, int firstFlag,
+       std::initializer_list<const char*> allowed) {
+    for (int i = firstFlag; i < argc; i += 2) {
       if (std::strncmp(argv[i], "--", 2) != 0) {
         std::fprintf(stderr, "expected --flag, got '%s'\n", argv[i]);
         std::exit(2);
       }
-      values_[argv[i] + 2] = argv[i + 1];
+      const std::string key = argv[i] + 2;
+      const bool known =
+          std::any_of(allowed.begin(), allowed.end(),
+                      [&](const char* flag) { return key == flag; });
+      if (!known) {
+        std::fprintf(stderr, "unknown flag '--%s' for this command\n",
+                     key.c_str());
+        std::exit(2);
+      }
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for '--%s'\n", key.c_str());
+        std::exit(2);
+      }
+      values_[key] = argv[i + 1];
     }
   }
 
@@ -67,9 +100,18 @@ class Args {
 };
 
 int usage() {
-  std::fprintf(stderr,
-               "usage: avd_cli explore|attack|power|list [--flag value ...]\n"
-               "run 'avd_cli list' for systems, strategies and attacks\n");
+  std::fprintf(
+      stderr,
+      "usage: avd_cli explore|campaign|attack|power|list [--flag value ...]\n"
+      "  explore   --system pbft|quorum  --strategy avd|random|genetic\n"
+      "            --tests N  --seed S  --threshold T  --csv FILE --json FILE\n"
+      "  campaign  --system pbft|quorum  --tests N  --seed S  --workers W\n"
+      "            --out DIR  --resume DIR  --checkpoint-every N\n"
+      "            --timeout-ms MS  --min-impact X\n"
+      "  attack    --name NAME  --clients N  --seed S\n"
+      "  power     --budget N  --threshold T  --seeds a,b,c\n"
+      "unknown flags are errors; run 'avd_cli list' for systems, strategies\n"
+      "and attacks\n");
   return 2;
 }
 
@@ -151,6 +193,86 @@ int cmdExplore(const Args& args) {
     return 1;
   }
   return 0;
+}
+
+int cmdCampaign(const Args& args) {
+  const std::string resumeDir = args.get("resume", "");
+  std::string system = args.get("system", "quorum");
+  std::uint64_t seed = static_cast<std::uint64_t>(args.getInt("seed", 2011));
+
+  campaign::CampaignOptions options;
+  options.totalTests = static_cast<std::size_t>(args.getInt("tests", 200));
+  options.workers = static_cast<std::size_t>(args.getInt("workers", 1));
+  options.outDir = args.get("out", "");
+  options.checkpointEvery =
+      static_cast<std::size_t>(args.getInt("checkpoint-every", 16));
+  options.scenarioTimeoutMs =
+      static_cast<std::uint64_t>(args.getInt("timeout-ms", 0));
+  options.dedupMinImpact = args.getDouble("min-impact", 0.5);
+
+  if (!resumeDir.empty()) {
+    // The manifest pins system/seed/budget; flags are ignored on resume.
+    const auto manifest = campaign::loadManifest(resumeDir);
+    if (!manifest) {
+      std::fprintf(stderr, "no campaign manifest in '%s'\n",
+                   resumeDir.c_str());
+      return 1;
+    }
+    system = manifest->system;
+    seed = manifest->seed;
+    options.outDir = resumeDir;
+    options.totalTests = manifest->totalTests;
+    options.workers = manifest->workers;
+  }
+  if (system != "pbft" && system != "quorum") {
+    std::fprintf(stderr, "unknown system '%s' (pbft|quorum)\n",
+                 system.c_str());
+    return 2;
+  }
+  options.seed = seed;
+  options.system = system;
+
+  campaign::CampaignRunner runner(
+      [system, seed] { return makeExecutor(system, seed); }, options);
+
+  const std::string where =
+      options.outDir.empty() ? "" : ", dir " + options.outDir;
+  std::printf("%s campaign on %s: %zu tests, %zu worker(s), seed %llu%s\n",
+              resumeDir.empty() ? "starting" : "resuming", system.c_str(),
+              options.totalTests, options.workers,
+              static_cast<unsigned long long>(seed), where.c_str());
+
+  campaign::CampaignResult result;
+  try {
+    result = resumeDir.empty() ? runner.run() : runner.resume();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "campaign failed: %s\n", e.what());
+    return 1;
+  }
+
+  std::printf("executed %zu scenarios (%zu failed, %zu timed out)%s\n",
+              result.executed, result.failed, result.timedOut,
+              result.aborted ? " — ABORTED: every worker wedged" : "");
+  std::printf("max impact %.3f\n", result.maxImpact);
+  std::printf("%zu distinct vulnerability class(es):\n",
+              result.classes.size());
+
+  const auto executor = makeExecutor(system, seed);
+  for (const campaign::VulnClass& cls : result.classes) {
+    std::printf("  [%4zu hits, best %.3f at test %zu] %s\n", cls.count,
+                cls.exemplar.outcome.impact, cls.exemplarTest,
+                campaign::signatureLabel(executor->space(), cls.signature)
+                    .c_str());
+  }
+  if (!options.outDir.empty()) {
+    const std::string classesPath = options.outDir + "/classes.json";
+    if (core::writeFile(classesPath, campaign::vulnClassesJson(
+                                         executor->space(), result.classes))) {
+      std::printf("journal/checkpoint/classes written to %s\n",
+                  options.outDir.c_str());
+    }
+  }
+  return result.aborted ? 1 : 0;
 }
 
 int cmdAttack(const Args& args) {
@@ -271,10 +393,23 @@ int cmdList() {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
-  const Args args(argc, argv, 2);
-  if (command == "explore") return cmdExplore(args);
-  if (command == "attack") return cmdAttack(args);
-  if (command == "power") return cmdPower(args);
+  if (command == "explore") {
+    return cmdExplore(Args(argc, argv, 2,
+                           {"system", "strategy", "tests", "seed",
+                            "threshold", "csv", "json"}));
+  }
+  if (command == "campaign") {
+    return cmdCampaign(Args(argc, argv, 2,
+                            {"system", "tests", "seed", "workers", "out",
+                             "resume", "checkpoint-every", "timeout-ms",
+                             "min-impact"}));
+  }
+  if (command == "attack") {
+    return cmdAttack(Args(argc, argv, 2, {"name", "clients", "seed"}));
+  }
+  if (command == "power") {
+    return cmdPower(Args(argc, argv, 2, {"budget", "threshold", "seeds"}));
+  }
   if (command == "list") return cmdList();
   return usage();
 }

@@ -491,12 +491,14 @@ void ruleNakedLock(Ctx& ctx) {
 
 bool unorderedIterScope(const std::string& path) {
   return pathEndsWith(path, "pbft/replica.cpp") ||
-         pathEndsWith(path, "avd/controller.cpp");
+         pathEndsWith(path, "avd/controller.cpp") ||
+         pathEndsWith(path, "campaign/runner.cpp");
 }
 
 bool unorderedDeclScope(const std::string& path) {
   return unorderedIterScope(path) || pathEndsWith(path, "pbft/replica.h") ||
-         pathEndsWith(path, "avd/controller.h");
+         pathEndsWith(path, "avd/controller.h") ||
+         pathEndsWith(path, "campaign/runner.h");
 }
 
 std::set<std::string> collectUnorderedDecls(const std::vector<Token>& toks) {
@@ -561,6 +563,26 @@ void ruleUnorderedIter(Ctx& ctx, const std::set<std::string>& unordered) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// R6 `detached-thread` — a detached thread outlives every join point, so
+// campaign shutdown, sanitizer reports, and test teardown race against it.
+// Every thread in this repo must be owned by something that joins it
+// (common/thread_pool or std::jthread); `.detach()` is banned repo-wide.
+
+void ruleDetachedThread(Ctx& ctx) {
+  const auto& toks = ctx.toks;
+  for (std::size_t i = 1; i + 1 < toks.size(); ++i) {
+    if (!isIdent(toks, i) || toks[i].text != "detach") continue;
+    const std::string& prev = toks[i - 1].text;
+    if (prev != "." && prev != "->") continue;
+    if (text(toks, i + 1) != "(") continue;
+    ctx.report(i, "detached-thread",
+               "thread detach() abandons the join point; own the thread via "
+               "common/thread_pool or std::jthread so shutdown can wait "
+               "for it");
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -580,8 +602,12 @@ const std::vector<RuleInfo>& ruleRegistry() {
       {"naked-lock",
        "R4: no manual mutex lock()/unlock(); RAII guards only"},
       {"unordered-iter",
-       "R5: no hash-container iteration in pbft/replica.cpp or "
-       "avd/controller.cpp ordering-sensitive loops"},
+       "R5: no hash-container iteration in pbft/replica.cpp, "
+       "avd/controller.cpp, or campaign/runner.cpp ordering-sensitive "
+       "loops"},
+      {"detached-thread",
+       "R6: no std::thread::detach(); every thread must have an owner "
+       "that joins it"},
       {"bad-suppression",
        "meta: avd-lint allow() directives must name known rules"},
   };
@@ -616,6 +642,7 @@ std::vector<Finding> lintFiles(const std::vector<SourceFile>& files,
     ruleUncappedReserve(ctx);
     ruleNakedLock(ctx);
     ruleUnorderedIter(ctx, unorderedNames);
+    ruleDetachedThread(ctx);
 
     const auto& allowed = lexed[f].suppressions.byLine;
     for (Finding& finding : local) {
