@@ -21,6 +21,11 @@ struct Outcome {
   double avgLatencySec = 0.0;
   std::uint64_t viewChanges = 0;
   bool safetyViolated = false;
+  /// Replica crash–restart cycles injected during the run (churn tool).
+  std::uint64_t restarts = 0;
+  /// Seconds from the last restart to the first correct-client completion
+  /// after it (0 when the scenario had no restarts).
+  double recoveryLatencySec = 0.0;
 };
 
 class ScenarioExecutor {

@@ -2,7 +2,11 @@
 
 #include <algorithm>
 
+#include <memory>
+#include <vector>
+
 #include "common/hash.h"
+#include "faultinject/churn.h"
 #include "faultinject/mac_corruptor.h"
 #include "faultinject/network_faults.h"
 #include "faultinject/reorder.h"
@@ -96,6 +100,9 @@ pbft::DeploymentConfig PbftAttackExecutor::buildConfig(
 pbft::RunResult PbftAttackExecutor::runConfigured(
     const pbft::DeploymentConfig& config, const Point* point) const {
   pbft::Deployment deployment(config);
+  // Scheduled churn events reference their fault objects; keep them alive
+  // for the duration of the run.
+  std::vector<std::shared_ptr<fi::ChurnFault>> churnFaults;
   if (point != nullptr) {
     const auto dropPercent = space_.valueOf(*point, "drop_probability", 0);
     if (dropPercent > 0) {
@@ -113,6 +120,39 @@ pbft::RunResult PbftAttackExecutor::runConfigured(
     if (tamperPercent > 0) {
       deployment.network().addFault(std::make_shared<fi::TamperFault>(
           static_cast<double>(tamperPercent) / 100.0));
+    }
+    // Churn: scheduled crash–restart cycles against one replica. Target -1
+    // disables the tool (index 0 of the choice dimension, so the dedup
+    // baseline treats "no churn" as inactive); -2 is the protocol-aware
+    // variant that re-acquires the current primary at every crash.
+    const auto churnTarget = space_.valueOf(*point, "churn_target", -1);
+    if (churnTarget == kChurnFollowPrimary ||
+        (churnTarget >= 0 &&
+         churnTarget < static_cast<std::int64_t>(config.pbft.replicaCount()))) {
+      fi::ChurnFault::Options churn;
+      if (churnTarget == kChurnFollowPrimary) {
+        churn.dynamicTarget = [&deployment,
+                               n = config.pbft.replicaCount()] {
+          // The attacker's view of "who is primary": the highest view any
+          // live replica has adopted. Crashed replicas hold stale views.
+          util::ViewId view = 0;
+          for (std::uint32_t r = 0; r < n; ++r) {
+            const pbft::Replica& replica = deployment.replica(r);
+            if (replica.alive()) view = std::max(view, replica.view());
+          }
+          return static_cast<util::NodeId>(view % n);
+        };
+      } else {
+        churn.target = static_cast<util::NodeId>(churnTarget);
+      }
+      churn.firstCrash =
+          sim::msec(space_.valueOf(*point, "churn_start_ms", 0));
+      churn.downtime =
+          sim::msec(space_.valueOf(*point, "churn_downtime_ms", 100));
+      churn.period = sim::msec(space_.valueOf(*point, "churn_period_ms", 0));
+      churnFaults.push_back(std::make_shared<fi::ChurnFault>(
+          &deployment.simulator(), &deployment.network(), churn));
+      churnFaults.back()->install();
     }
   }
   return deployment.run();
@@ -154,6 +194,8 @@ Outcome PbftAttackExecutor::execute(const Point& point) {
   outcome.avgLatencySec = result.avgLatencySec;
   outcome.viewChanges = result.viewChangesInitiated;
   outcome.safetyViolated = result.safetyViolated;
+  outcome.restarts = result.restarts;
+  outcome.recoveryLatencySec = result.recoveryLatencySec;
 
   const double baseline =
       baselineFor(config.correctClients, config.maliciousClients);
@@ -176,6 +218,22 @@ Hyperspace makeFigure3Subspace() {
   Hyperspace space;
   space.add(Dimension::grayBitmask("mac_mask", 10));
   space.add(Dimension::range("correct_clients", 10, 100, 10));
+  return space;
+}
+
+Hyperspace makeChurnHyperspace() {
+  // Crash-timing exploration: which replica to cycle, when the first crash
+  // lands (relative to checkpoint/view-change cadence), how long it stays
+  // down, and whether it repeats. Index 0 of churn_target is -1 (tool off),
+  // so the dedup baseline marks churn scenarios as active dimensions; -2 is
+  // primary-tracking churn, the strongest crash-timing tool class.
+  Hyperspace space;
+  space.add(Dimension::choice("churn_target", {-1, 0, 1, 2, 3,
+                                               kChurnFollowPrimary}));
+  space.add(Dimension::range("churn_start_ms", 0, 2000, 250));
+  space.add(Dimension::range("churn_downtime_ms", 50, 850, 100));
+  space.add(Dimension::choice("churn_period_ms", {0, 400, 800}));
+  space.add(Dimension::range("correct_clients", 10, 50, 10));
   return space;
 }
 

@@ -19,12 +19,19 @@
 //                       reorder window (message-reordering tool, §5)
 //   "tamper_probability" range      — percent of messages with one random
 //                       bit flipped (blind fuzzing, the weakest §4 tool)
+//   "churn_target"      choice      — replica to crash–restart cycle
+//                       (-1 = churn off, -2 = track the current primary)
+//   "churn_start_ms"    range       — virtual time of the first crash
+//   "churn_downtime_ms" range       — how long the replica stays down
+//   "churn_period_ms"   choice      — crash-to-crash repeat period
+//                       (0 = crash once)
 //
 // The impact metric is normalized damage: 1 − throughput / baseline, where
 // the baseline is the same deployment with every tool disabled (cached per
 // client population).
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <utility>
 
@@ -54,6 +61,10 @@ struct PbftExecutorOptions {
     pbft.viewChangeTimeout = sim::msec(500);
   }
 };
+
+/// churn_target value that re-resolves the victim to the current primary at
+/// every crash instant (protocol-aware churn).
+inline constexpr std::int64_t kChurnFollowPrimary = -2;
 
 class PbftAttackExecutor final : public ScenarioExecutor {
  public:
@@ -89,5 +100,12 @@ Hyperspace makePaperMacHyperspace();
 /// The Figure 3 subspace: 1024 mask values x client counts 10..100 step 10,
 /// one malicious client.
 Hyperspace makeFigure3Subspace();
+
+/// Crash-timing exploration space: churn target / first-crash time /
+/// downtime / repeat period as hyperspace dimensions, times a client-load
+/// axis. The controller hill-climbs WHEN to crash a replica, not just
+/// whether (e.g. a backup at a checkpoint boundary, the primary
+/// mid-view-change).
+Hyperspace makeChurnHyperspace();
 
 }  // namespace avd::core

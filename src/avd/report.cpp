@@ -24,7 +24,7 @@ std::string historyCsv(const Hyperspace& space,
     out += space.dimension(d).name();
   }
   out += ",impact,bestImpact,throughputRps,avgLatencySec,viewChanges,"
-         "safetyViolated\n";
+         "restarts,recoveryLatencySec,safetyViolated\n";
 
   for (std::size_t i = 0; i < history.size(); ++i) {
     const TestRecord& record = history[i];
@@ -45,6 +45,10 @@ std::string historyCsv(const Hyperspace& space,
     appendDouble(out, record.outcome.avgLatencySec);
     out += ',';
     out += std::to_string(record.outcome.viewChanges);
+    out += ',';
+    out += std::to_string(record.outcome.restarts);
+    out += ',';
+    appendDouble(out, record.outcome.recoveryLatencySec);
     out += ',';
     out += record.outcome.safetyViolated ? '1' : '0';
     out += '\n';
@@ -93,6 +97,9 @@ std::string summaryJson(const Hyperspace& space,
     appendDouble(out, best->outcome.impact);
     out += ",\n    \"throughputRps\": ";
     appendDouble(out, best->outcome.throughputRps);
+    out += ",\n    \"restarts\": " + std::to_string(best->outcome.restarts);
+    out += ",\n    \"recoveryLatencySec\": ";
+    appendDouble(out, best->outcome.recoveryLatencySec);
     out += ",\n    \"generatedBy\": \"" + best->generatedBy + "\"\n  }";
   }
   out += "\n}\n";

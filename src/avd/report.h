@@ -13,7 +13,7 @@ namespace avd::core {
 
 /// CSV with header:
 ///   test,generatedBy,<dim names...>,impact,bestImpact,throughputRps,
-///   avgLatencySec,viewChanges,safetyViolated
+///   avgLatencySec,viewChanges,restarts,recoveryLatencySec,safetyViolated
 std::string historyCsv(const Hyperspace& space,
                        const std::vector<TestRecord>& history);
 

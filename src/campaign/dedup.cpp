@@ -21,6 +21,13 @@ int viewChangeBandOf(std::uint64_t viewChanges) {
   return 3;
 }
 
+int restartBandOf(std::uint64_t restarts) {
+  if (restarts == 0) return 0;
+  if (restarts <= 2) return 1;
+  if (restarts <= 8) return 2;
+  return 3;
+}
+
 void appendDouble(std::string& out, double value) {
   char buffer[48];
   std::snprintf(buffer, sizeof(buffer), "%.6g", value);
@@ -34,6 +41,7 @@ VulnSignature signatureOf(const core::Hyperspace& space,
   VulnSignature signature;
   signature.impactBand = impactBandOf(record.outcome.impact);
   signature.viewChangeBand = viewChangeBandOf(record.outcome.viewChanges);
+  signature.restartBand = restartBandOf(record.outcome.restarts);
   signature.safetyViolated = record.outcome.safetyViolated;
   signature.activeDims.reserve(space.dimensionCount());
   for (std::size_t d = 0; d < space.dimensionCount(); ++d) {
@@ -58,6 +66,11 @@ std::string signatureLabel(const core::Hyperspace& space,
   static const char* kViewBands[] = {"none", "1-3", "4-10", ">10"};
   out += ", view changes ";
   out += kViewBands[std::clamp(signature.viewChangeBand, 0, 3)];
+  if (signature.restartBand > 0) {
+    static const char* kRestartBands[] = {"none", "1-2", "3-8", ">8"};
+    out += ", restarts ";
+    out += kRestartBands[std::clamp(signature.restartBand, 0, 3)];
+  }
   if (signature.safetyViolated) out += ", SAFETY VIOLATED";
   out += ", dims {";
   bool first = true;
@@ -116,6 +129,9 @@ std::string vulnClassesJson(const core::Hyperspace& space,
            ", \"exemplarTest\": " + std::to_string(cls.exemplarTest) +
            ", \"impact\": ";
     appendDouble(out, cls.exemplar.outcome.impact);
+    out += ", \"restarts\": " + std::to_string(cls.exemplar.outcome.restarts) +
+           ", \"recoveryLatencySec\": ";
+    appendDouble(out, cls.exemplar.outcome.recoveryLatencySec);
     out += ", \"point\": {";
     for (std::size_t d = 0; d < space.dimensionCount(); ++d) {
       if (d != 0) out += ", ";

@@ -29,6 +29,10 @@ struct VulnSignature {
   /// 0: no view changes, 1: 1-3 (a recovery), 2: 4-10 (thrashing),
   /// 3: >10 (view-change storm).
   int viewChangeBand = 0;
+  /// 0: no restarts, 1: 1-2 (a crash or two), 2: 3-8 (sustained churn),
+  /// 3: >8 (crash-loop). Splits churn-found classes from pure message-level
+  /// attacks with the same impact profile.
+  int restartBand = 0;
   bool safetyViolated = false;
   /// Per hyperspace dimension: 1 when the scenario's concrete value differs
   /// from the dimension's index-0 (baseline/off) value — i.e. this fault

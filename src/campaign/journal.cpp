@@ -239,6 +239,12 @@ std::string encodeDone(const DoneEvent& event) {
   appendKey(out, "viewChanges");
   out += std::to_string(event.outcome.viewChanges);
   out += ',';
+  appendKey(out, "restarts");
+  out += std::to_string(event.outcome.restarts);
+  out += ',';
+  appendKey(out, "recoveryLatencySec");
+  appendDouble(out, event.outcome.recoveryLatencySec);
+  out += ',';
   appendKey(out, "safetyViolated");
   appendBool(out, event.outcome.safetyViolated);
   out += ',';
@@ -287,6 +293,10 @@ std::string encodeDone(const DoneEvent& event) {
     const auto throughputRps = getDouble(line, "throughputRps");
     const auto avgLatencySec = getDouble(line, "avgLatencySec");
     const auto viewChanges = getU64(line, "viewChanges");
+    // Absent in journals written before churn support; default to zero so
+    // those campaigns remain resumable.
+    const auto restarts = getU64(line, "restarts");
+    const auto recoveryLatencySec = getDouble(line, "recoveryLatencySec");
     const auto safetyViolated = getBool(line, "safetyViolated");
     const auto failed = getBool(line, "failed");
     const auto timedOut = getBool(line, "timedOut");
@@ -300,6 +310,8 @@ std::string encodeDone(const DoneEvent& event) {
     done.outcome.throughputRps = *throughputRps;
     done.outcome.avgLatencySec = *avgLatencySec;
     done.outcome.viewChanges = *viewChanges;
+    done.outcome.restarts = restarts.value_or(0);
+    done.outcome.recoveryLatencySec = recoveryLatencySec.value_or(0.0);
     done.outcome.safetyViolated = *safetyViolated;
     done.bestImpact = *bestImpact;
     done.failed = *failed;

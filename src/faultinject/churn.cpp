@@ -1,0 +1,40 @@
+#include "faultinject/churn.h"
+
+#include <algorithm>
+
+namespace avd::fi {
+
+void ChurnFault::scheduleCrash(sim::Time when) {
+  simulator_->scheduleAt(when, [this] { onCrash(); });
+}
+
+void ChurnFault::onCrash() {
+  currentVictim_ =
+      options_.dynamicTarget ? options_.dynamicTarget() : options_.target;
+  sim::Node* const node = network_->node(currentVictim_);
+  if (node == nullptr) return;
+  // Crashing an already-dead node (e.g. one felled by the view-change crash
+  // bug) is a no-op for the node but still books the restart — churn revives
+  // it, which is exactly the "process supervisor" behaviour being modelled.
+  node->crash();
+  ++crashes_;
+  simulator_->schedule(std::max<sim::Time>(options_.downtime, 1),
+                       [this] { onRestartDue(); });
+}
+
+void ChurnFault::onRestartDue() {
+  sim::Node* const node = network_->node(currentVictim_);
+  if (node == nullptr) return;
+  node->restart();
+  ++restarts_;
+  if (options_.period == 0) return;
+  if (options_.maxCycles != 0 && crashes_ >= options_.maxCycles) return;
+  // Crash-to-crash period, stretched so the node is up before going down.
+  const sim::Time gap =
+      std::max<sim::Time>(options_.period, options_.downtime + 1);
+  const sim::Time nextCrash =
+      options_.firstCrash + static_cast<sim::Time>(crashes_) * gap;
+  scheduleCrash(std::max(nextCrash, simulator_->now() + 1));
+}
+
+}  // namespace avd::fi

@@ -1,0 +1,70 @@
+// Churn fault tool: scheduled crash–restart cycles against a target node.
+//
+// The network-level tools (drops, delays, partitions) perturb messages;
+// churn perturbs *processes*. AVD registers the knobs below as hyperspace
+// dimensions so the controller can hill-climb crash timing — crashing a
+// backup exactly at a checkpoint boundary, or the primary mid-view-change,
+// are the interleavings where recovery bugs concentrate. Unlike a
+// NetworkFault this is a scheduler tool: it books crash()/restart() events
+// directly on the simulator, so installation order (not message traffic)
+// fully determines its behaviour and runs stay seed-deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace avd::fi {
+
+class ChurnFault {
+ public:
+  struct Options {
+    /// Node to crash (replica or client id in the deployment's network).
+    util::NodeId target = 0;
+    /// When set, re-resolves the victim at every crash instant — the
+    /// protocol-aware variant (e.g. "whoever is primary right now").
+    /// `target` is ignored while this is set.
+    std::function<util::NodeId()> dynamicTarget;
+    /// Virtual time of the first crash.
+    sim::Time firstCrash = 0;
+    /// How long the node stays down before restarting.
+    sim::Time downtime = sim::msec(100);
+    /// Repeat period measured crash-to-crash; 0 = crash once. A period
+    /// shorter than the downtime is stretched to downtime + 1 so the node
+    /// is always up again before its next crash.
+    sim::Time period = 0;
+    /// Safety bound on crash cycles; 0 = unlimited (the run length bounds
+    /// it naturally).
+    std::uint32_t maxCycles = 0;
+  };
+
+  ChurnFault(sim::Simulator* simulator, sim::Network* network,
+             Options options) noexcept
+      : simulator_(simulator), network_(network), options_(options) {}
+
+  /// Books the first crash event. The ChurnFault must outlive the
+  /// simulation run (scheduled events reference it).
+  void install() { scheduleCrash(options_.firstCrash); }
+
+  std::uint64_t crashesInjected() const noexcept { return crashes_; }
+  std::uint64_t restartsInjected() const noexcept { return restarts_; }
+  const Options& options() const noexcept { return options_; }
+
+ private:
+  void scheduleCrash(sim::Time when);
+  void onCrash();
+  void onRestartDue();
+
+  sim::Simulator* simulator_;
+  sim::Network* network_;
+  Options options_;
+  /// Victim of the in-flight crash cycle; the restart must revive the node
+  /// that went down even if dynamicTarget resolves differently by then.
+  util::NodeId currentVictim_ = 0;
+  std::uint64_t crashes_ = 0;
+  std::uint64_t restarts_ = 0;
+};
+
+}  // namespace avd::fi

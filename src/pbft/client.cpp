@@ -1,5 +1,7 @@
 #include "pbft/client.h"
 
+#include <algorithm>
+
 #include "common/hash.h"
 
 namespace avd::pbft {
@@ -52,8 +54,27 @@ void Client::issueNext() {
 
   if (!retxArmed_) {
     retxArmed_ = true;
-    retxTimer_ = setTimer(retxTimeout_, [this] { onRetxTimer(); });
+    retxTimer_ = setTimer(retxDelay(), [this] { onRetxTimer(); });
   }
+}
+
+sim::Time Client::retxDelay() {
+  // Iterative multiply (not std::pow) keeps the value exactly reproducible.
+  double multiplier = 1.0;
+  if (behavior_.retxBackoffFactor > 1.0) {
+    for (std::uint32_t i = 0;
+         i < currentRetx_ && multiplier < behavior_.retxBackoffCap; ++i) {
+      multiplier *= behavior_.retxBackoffFactor;
+    }
+    multiplier = std::min(multiplier, behavior_.retxBackoffCap);
+  }
+  auto delay = static_cast<sim::Time>(
+      static_cast<double>(retxTimeout_) * multiplier);
+  if (behavior_.retxJitter > 0) {
+    delay += static_cast<sim::Time>(
+        simulator().rng().below(behavior_.retxJitter + 1));
+  }
+  return std::max<sim::Time>(delay, 1);
 }
 
 void Client::transmit(bool broadcast) {
@@ -99,7 +120,7 @@ void Client::onRetxTimer() {
   // their view-change timers can guarantee liveness against a bad primary.
   transmit(/*broadcast=*/true);
   retxArmed_ = true;
-  retxTimer_ = setTimer(retxTimeout_, [this] { onRetxTimer(); });
+  retxTimer_ = setTimer(retxDelay(), [this] { onRetxTimer(); });
 }
 
 void Client::receive(util::NodeId from, const sim::MessagePtr& message) {

@@ -56,6 +56,17 @@ struct ClientBehavior {
 
   /// Idle time between accepting a reply and issuing the next request.
   sim::Time thinkTime = 0;
+
+  /// Retransmission backoff: the k-th retransmission of a request waits
+  /// retxTimeout * min(retxBackoffFactor^k, retxBackoffCap), plus a uniform
+  /// jitter in [0, retxJitter]. The defaults preserve the fixed cadence the
+  /// paper's attacks are keyed to (the Big MAC corruption mask cycles with
+  /// retransmission rounds); enabling cap + jitter desynchronizes the
+  /// retransmit burst that otherwise slams a replica rejoining after a
+  /// crash with every client's backlog at once.
+  double retxBackoffFactor = 1.0;
+  double retxBackoffCap = 8.0;
+  sim::Time retxJitter = 0;
 };
 
 class Client final : public sim::Node {
@@ -101,6 +112,9 @@ class Client final : public sim::Node {
   void transmit(bool broadcast);
   void onRetxTimer();
   void onReply(const ReplyMessage& reply);
+  /// Delay before the next retransmission attempt (capped exponential
+  /// backoff over currentRetx_, plus configured jitter).
+  sim::Time retxDelay();
 
   Config config_;
   crypto::MacService macs_;

@@ -109,6 +109,32 @@ RunResult Deployment::collect() const {
   for (const auto& replica : replicas_) {
     result.viewChangesInitiated += replica->stats().viewChangesInitiated;
     result.maxView = std::max(result.maxView, replica->view());
+    result.restarts += replica->restarts();
+  }
+
+  // Recovery latency: from the last replica restart to the first correct
+  // completion after it. If nothing completed after the last restart the
+  // system never recovered within the run — charge the full remaining time.
+  sim::Time lastRestart = 0;
+  for (const auto& replica : replicas_) {
+    lastRestart = std::max(lastRestart, replica->lastRestartAt());
+  }
+  if (lastRestart > 0) {
+    sim::Time firstCompletionAfter = 0;
+    for (std::uint32_t i = 0; i < config_.correctClients; ++i) {
+      const Client& client = *clients_[config_.maliciousClients + i];
+      for (const Client::Completion& completion : client.completions()) {
+        if (completion.when < lastRestart) continue;
+        if (firstCompletionAfter == 0 ||
+            completion.when < firstCompletionAfter) {
+          firstCompletionAfter = completion.when;
+        }
+        break;  // completions are chronological per client
+      }
+    }
+    const sim::Time recoveredAt =
+        firstCompletionAfter > 0 ? firstCompletionAfter : simulator_.now();
+    result.recoveryLatencySec = sim::toSeconds(recoveredAt - lastRestart);
   }
 
   // Safety oracle: every pair of replicas must agree on the digest executed

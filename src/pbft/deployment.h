@@ -63,6 +63,12 @@ struct RunResult {
   bool safetyViolated = false;
   sim::NetworkCounters network;
   std::uint64_t eventsExecuted = 0;
+  /// Total replica crash–restart cycles over the run (churn faults).
+  std::uint64_t restarts = 0;
+  /// Seconds from the LAST replica restart to the first correct-client
+  /// completion after it — how long the deployment took to come back. 0 when
+  /// no restarts happened; the full remaining run time if it never recovered.
+  double recoveryLatencySec = 0.0;
 };
 
 class Deployment {

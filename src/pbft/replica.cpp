@@ -19,6 +19,7 @@ Replica::Replica(util::NodeId id, const Config& config,
   assert(id < config_.replicaCount());
   assert(service_ != nullptr);
   if (behavior_.timerSkew != 1.0) setTimerScale(behavior_.timerSkew);
+  initialSnapshot_ = service_->snapshot();
 }
 
 void Replica::start() {
@@ -38,6 +39,103 @@ void Replica::start() {
     setTimer(behavior_.spuriousViewChangeInterval,
              [this] { sendSpuriousViewChange(); });
   }
+}
+
+void Replica::onRestart() {
+  // The process died with its volatile memory. Only stats_ and the
+  // executed-digest trace survive — they are test observability, not process
+  // state, and the cross-replica safety oracle must span incarnations: after
+  // the rollback to the stable checkpoint, re-executed sequences must
+  // re-commit the same batch digests, or quorum intersection was violated.
+  view_ = 0;
+  inViewChange_ = false;
+  targetView_ = 0;
+  nextSeq_ = 1;
+  lastExecuted_ = 0;
+  stableSeq_ = 0;
+  log_ = ReplicaLog{};
+  clients_.clear();
+  authedRequests_.clear();
+  pendingPrePrepares_.clear();
+  pendingByDigest_.clear();
+  orderingQueue_.clear();
+  batchTimerArmed_ = false;
+  requestTimerArmed_ = false;
+  checkpointVotes_.clear();
+  ownCheckpoints_.clear();
+  stateTransferInFlight_ = false;
+  viewChangeVotes_.clear();
+  vcTimerArmed_ = false;
+  vcAttempts_ = 0;
+  newViewSentFor_ = 0;
+  latestNewView_ = nullptr;
+  syncVotes_.clear();
+  guardWindowBaseline_ = stats_.requestsExecuted;
+  stableProof_.clear();
+
+  // Reload the durable record (genesis state when nothing was persisted).
+  const StableRecord* record = stable_.load();
+  service_->restore(record != nullptr ? record->snapshot : initialSnapshot_);
+  if (record != nullptr) {
+    view_ = record->view;
+    targetView_ = record->view;
+    stableSeq_ = record->stableSeq;
+    lastExecuted_ = record->stableSeq;
+    nextSeq_ = record->stableSeq + 1;
+    stableProof_ = record->checkpointProof;
+    for (const auto& [client, timestamp] : record->clientTimestamps) {
+      clients_[client].lastExecutedTs = timestamp;
+    }
+    if (record->stableSeq > 0) {
+      // Re-seed the stable checkpoint so we can serve state transfers and
+      // re-vote it if peers are still gathering the quorum.
+      OwnCheckpoint& own = ownCheckpoints_[record->stableSeq];
+      own.digest = record->checkpointDigest;
+      own.snapshot = record->snapshot;
+      own.clientTimestamps = record->clientTimestamps;
+    }
+    // Re-seed the P-set memory: our next VIEW-CHANGE vote must keep
+    // vouching for every certificate the previous incarnation held.
+    for (const PreparedProof& proof : record->prepared) {
+      if (proof.seq <= stableSeq_) continue;
+      LogEntry& entry = log_.at(proof.seq);
+      entry.everPrepared = true;
+      entry.preparedView = proof.view;
+      entry.preparedDigest = proof.digest;
+      entry.preparedBatch = proof.batch;
+    }
+  }
+
+  // Re-arm the lifecycle timers under the new incarnation, then rejoin with
+  // an immediate status round: peers push the sequences we missed, relay
+  // the NEW-VIEW if the view moved on, or trigger checkpoint state transfer
+  // if the system advanced past our log window.
+  start();
+  sendStatusNow();
+}
+
+void Replica::persistStableState() {
+  StableRecord record;
+  record.view = view_;
+  record.stableSeq = stableSeq_;
+  record.checkpointProof = stableProof_;
+  if (const auto ownIt = ownCheckpoints_.find(stableSeq_);
+      stableSeq_ > 0 && ownIt != ownCheckpoints_.end()) {
+    record.checkpointDigest = ownIt->second.digest;
+    record.snapshot = ownIt->second.snapshot;
+    record.clientTimestamps = ownIt->second.clientTimestamps;
+  } else if (const StableRecord* previous = stable_.load();
+             previous != nullptr && previous->stableSeq == stableSeq_) {
+    // Checkpoint data is unchanged since the last write (e.g. persisting a
+    // view transition between checkpoints); carry it forward.
+    record.checkpointDigest = previous->checkpointDigest;
+    record.snapshot = previous->snapshot;
+    record.clientTimestamps = previous->clientTimestamps;
+  } else {
+    record.snapshot = initialSnapshot_;
+  }
+  record.prepared = log_.preparedProofsAbove(stableSeq_, config_.f);
+  stable_.save(std::move(record));
 }
 
 template <typename M>
@@ -601,6 +699,9 @@ void Replica::executeEntry(util::SeqNum seq, LogEntry& entry) {
   entry.executed = true;
   executedDigests_[seq] = entry.digest;
   ++lastExecuted_;
+  // A recovered primary catching up through sync must not re-propose
+  // sequence numbers the executed prefix already consumed.
+  if (nextSeq_ <= lastExecuted_) nextSeq_ = lastExecuted_ + 1;
 
   if (config_.checkpointInterval > 0 &&
       lastExecuted_ % config_.checkpointInterval == 0) {
@@ -633,6 +734,10 @@ void Replica::checkPrimaryThroughput() {
 
 void Replica::broadcastStatus() {
   setTimer(config_.statusInterval, [this] { broadcastStatus(); });
+  sendStatusNow();
+}
+
+void Replica::sendStatusNow() {
   // Status keeps flowing during view changes: a replica waiting for a lost
   // NEW-VIEW must advertise its (stale) view so peers can relay it.
   auto status = std::make_shared<StatusMessage>();
@@ -833,7 +938,15 @@ void Replica::checkCheckpointStable(util::SeqNum seq) {
 
     const auto ownIt = ownCheckpoints_.find(seq);
     if (ownIt != ownCheckpoints_.end() && ownIt->second.digest == digest) {
-      // Stable and we hold it: advance the low watermark and GC.
+      // Stable and we hold it: advance the low watermark and GC. The proof
+      // (quorum voter set) is captured before GC discards the votes.
+      if (seq > stableSeq_ || stableProof_.empty()) {
+        stableProof_.clear();
+        stableProof_.reserve(voters.size());
+        for (const auto& [voter, present] : voters) {
+          stableProof_.push_back(voter);
+        }
+      }
       stableSeq_ = std::max(stableSeq_, seq);
       log_.truncateBelow(stableSeq_);
       checkpointVotes_.erase(checkpointVotes_.begin(),
@@ -842,6 +955,7 @@ void Replica::checkCheckpointStable(util::SeqNum seq) {
                             ownCheckpoints_.lower_bound(stableSeq_));
       pendingPrePrepares_.erase(pendingPrePrepares_.begin(),
                                 pendingPrePrepares_.upper_bound(stableSeq_));
+      persistStableState();
       if (isPrimary()) scheduleBatchFlush();
     } else if (seq > lastExecuted_ && !stateTransferInFlight_) {
       // Proof that the system moved past us: fetch state from a voter.
@@ -970,6 +1084,9 @@ void Replica::startViewChange(util::ViewId newView) {
       macs_.authenticate(viewChangeDigest(*viewChange), n());
 
   viewChangeVotes_[newView][id()] = viewChange;
+  // Persist before the vote leaves: a crash after sending must not let the
+  // recovered replica forget the prepared certificates its vote vouched for.
+  persistStableState();
   multicastToReplicas(std::move(viewChange));
 
   if (vcTimerArmed_) cancelTimer(vcTimer_);
@@ -1150,6 +1267,8 @@ void Replica::installNewView(util::ViewId newView,
   } else if (hasPendingDirectRequests()) {
     armSingleTimer();
   }
+
+  persistStableState();
 }
 
 void Replica::sendSpuriousViewChange() {

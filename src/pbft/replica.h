@@ -40,6 +40,7 @@
 #include "pbft/log.h"
 #include "pbft/message.h"
 #include "pbft/service.h"
+#include "pbft/stable_storage.h"
 #include "sim/node.h"
 
 namespace avd::pbft {
@@ -111,6 +112,12 @@ class Replica final : public sim::Node {
   void start() override;
   void receive(util::NodeId from, const sim::MessagePtr& message) override;
 
+  /// Crash recovery: wipes volatile state, reloads the StableStorage
+  /// record, and rejoins the protocol with an immediate status round (peers
+  /// push what we missed; anything older than our log window arrives via
+  /// checkpoint state transfer).
+  void onRestart() override;
+
   // --- Observability -------------------------------------------------------
   util::ViewId view() const noexcept { return view_; }
   bool isPrimary() const noexcept {
@@ -122,6 +129,7 @@ class Replica final : public sim::Node {
   const ReplicaStats& stats() const noexcept { return stats_; }
   Service& service() noexcept { return *service_; }
   crypto::MacService& macs() noexcept { return macs_; }
+  const StableStorage& stableStorage() const noexcept { return stable_; }
 
   /// seq -> digest of the executed batch; the cross-replica safety oracle
   /// compares these maps.
@@ -193,6 +201,7 @@ class Replica final : public sim::Node {
 
   // --- Status / sync subprotocol ---------------------------------------------
   void broadcastStatus();
+  void sendStatusNow();
   void onStatus(util::NodeId from, const StatusMessage& status);
   void onSyncSeq(util::NodeId from,
                  const std::shared_ptr<const SyncSeqMessage>& sync);
@@ -206,6 +215,12 @@ class Replica final : public sim::Node {
   void requestStateTransfer(util::SeqNum seq, util::NodeId source);
   void onStateRequest(util::NodeId from, const StateRequestMessage& request);
   void onStateResponse(util::NodeId from, const StateResponseMessage& response);
+
+  // --- Stable storage ----------------------------------------------------------
+  /// Writes the current protocol-critical state to stable storage. Called at
+  /// the protocol's persistence points: stable-checkpoint advance, view
+  /// installation, and joining a view change.
+  void persistStableState();
 
   // --- View changes -----------------------------------------------------------
   void startViewChange(util::ViewId newView);
@@ -268,6 +283,15 @@ class Replica final : public sim::Node {
   };
   std::map<util::SeqNum, OwnCheckpoint> ownCheckpoints_;
   bool stateTransferInFlight_ = false;
+
+  // Stable storage (survives crash–restart; everything else protocol-side is
+  // volatile and wiped by onRestart).
+  StableStorage stable_;
+  /// Voters of the quorum that made the current stable checkpoint stable.
+  std::vector<util::NodeId> stableProof_;
+  /// Service snapshot at construction, restored when recovering with no
+  /// stable record (crash before the first persistence point).
+  util::Bytes initialSnapshot_;
 
   // View-change votes: target view -> replica -> message.
   std::map<util::ViewId, std::map<util::NodeId, ViewChangePtr>>

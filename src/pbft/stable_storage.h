@@ -1,0 +1,70 @@
+// Durable replica state surviving a crash–restart cycle.
+//
+// Castro-Liskov replicas log protocol-critical state to stable storage so a
+// recovered process cannot violate promises its previous incarnation made:
+// the current view (never vote twice in the same election), the latest
+// stable checkpoint with its proof (a known-correct state to restart from),
+// and the prepared certificates above it (the P-set — a committed value
+// anywhere implies 2f+1 replicas hold its certificate, and a restarted
+// replica's VIEW-CHANGE votes must keep carrying it).
+//
+// In the simulation the "disk" is a record owned by the Replica object: the
+// sim::Node outlives the crash, so everything NOT reloaded from this record
+// in onRestart() models volatile memory and is wiped.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "pbft/message.h"
+
+namespace avd::pbft {
+
+/// One durable snapshot of the protocol-critical replica state.
+struct StableRecord {
+  util::ViewId view = 0;
+  util::SeqNum stableSeq = 0;
+  /// Digest of the stable checkpoint (hashCombine(stateDigest, seq); 0 at
+  /// the genesis checkpoint, which has no digest).
+  std::uint64_t checkpointDigest = 0;
+  /// Service snapshot at the stable checkpoint.
+  util::Bytes snapshot;
+  /// Per-client last-executed timestamps AS OF the checkpoint (restoring
+  /// live, post-checkpoint timestamps would make the recovered replica skip
+  /// re-executions and diverge from the snapshot it restored).
+  std::vector<std::pair<util::NodeId, util::RequestId>> clientTimestamps;
+  /// Replicas whose CHECKPOINT votes formed the stability quorum (the
+  /// checkpoint proof).
+  std::vector<util::NodeId> checkpointProof;
+  /// Prepared certificates above stableSeq (the P-set).
+  std::vector<PreparedProof> prepared;
+};
+
+/// The replica's stable-storage device: a single record slot with atomic
+/// overwrite semantics (a real implementation would fsync a log; the
+/// simulation needs only the survives-the-crash contract).
+class StableStorage {
+ public:
+  void save(StableRecord record) {
+    record_ = std::move(record);
+    hasRecord_ = true;
+    ++writes_;
+  }
+
+  /// The last saved record, or nullptr if nothing was ever persisted.
+  const StableRecord* load() const noexcept {
+    return hasRecord_ ? &record_ : nullptr;
+  }
+
+  bool empty() const noexcept { return !hasRecord_; }
+  std::uint64_t writes() const noexcept { return writes_; }
+
+ private:
+  StableRecord record_;
+  bool hasRecord_ = false;
+  std::uint64_t writes_ = 0;
+};
+
+}  // namespace avd::pbft

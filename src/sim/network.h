@@ -8,6 +8,7 @@
 // code knowing.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -75,6 +76,17 @@ class Network {
   void addFault(std::shared_ptr<NetworkFault> fault) {
     faults_.push_back(std::move(fault));
   }
+
+  /// Removes one fault mid-run (e.g. a partition that heals); returns
+  /// whether it was installed. Messages already in flight keep whatever
+  /// decision the fault made when they were sent.
+  bool removeFault(const std::shared_ptr<NetworkFault>& fault) {
+    auto it = std::find(faults_.begin(), faults_.end(), fault);
+    if (it == faults_.end()) return false;
+    faults_.erase(it);
+    return true;
+  }
+
   void clearFaults() noexcept { faults_.clear(); }
 
   const NetworkCounters& counters() const noexcept { return counters_; }

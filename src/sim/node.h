@@ -5,10 +5,18 @@
 // receiving deliveries and their pending timers are suppressed, modelling a
 // fail-stop node without tearing down state (so post-mortem inspection in
 // tests still works).
+//
+// Nodes have a crash–restart lifecycle: crash() marks the node dead,
+// restart() revives it under a new incarnation. Timers remember the
+// incarnation that armed them and are suppressed if the node has crashed
+// *or restarted* before they fire — a timer armed before a crash must not
+// run inside the recovered process. Subclasses hook onRestart() to reload
+// durable state and re-enter their protocol.
 #pragma once
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
 #include <functional>
 #include <memory>
 
@@ -32,14 +40,49 @@ class Node {
   util::NodeId id() const noexcept { return id_; }
   bool alive() const noexcept { return alive_; }
 
-  /// Fail-stop crash / restart-less recovery toggle (used by fault tools).
-  void setAlive(bool alive) noexcept { alive_ = alive; }
+  /// Monotonic process-lifetime counter; bumped on every restart. Timers
+  /// fire only in the incarnation that armed them.
+  uint64_t incarnation() const noexcept { return incarnation_; }
+  uint64_t restarts() const noexcept { return restarts_; }
+  /// Virtual time of the most recent restart (0 if never restarted).
+  Time lastRestartAt() const noexcept { return lastRestartAt_; }
+
+  /// Fail-stop crash: the node stops receiving and all armed timers are
+  /// permanently suppressed. Idempotent.
+  void crash() noexcept { alive_ = false; }
+
+  /// Revives a crashed node under a new incarnation and invokes the
+  /// onRestart() upcall so subclasses can reload durable state and rejoin
+  /// their protocol. No-op on a live node.
+  void restart() {
+    if (alive_) return;
+    alive_ = true;
+    ++incarnation_;
+    ++restarts_;
+    if (simulator_ != nullptr) lastRestartAt_ = simulator_->now();
+    onRestart();
+  }
+
+  /// Legacy fail-stop toggle (used by fault tools): setAlive(false) is
+  /// crash(), setAlive(true) is restart() (with the full upcall path).
+  void setAlive(bool alive) {
+    if (alive) {
+      restart();
+    } else {
+      crash();
+    }
+  }
 
   /// Invoked once by the deployment after simulator/network attachment.
   virtual void start() {}
 
   /// Message delivery upcall. `from` is the sender's node id.
   virtual void receive(util::NodeId from, const MessagePtr& message) = 0;
+
+  /// Recovery upcall, invoked by restart() after the incarnation bump.
+  /// Volatile state is gone (the process died); subclasses reload whatever
+  /// they persisted and re-arm their timers here.
+  virtual void onRestart() {}
 
   /// Wires the node into a simulation; owned by deployment code.
   void attach(Simulator* simulator, Network* network) noexcept {
@@ -63,17 +106,19 @@ class Node {
   double timerScale() const noexcept { return timerScale_; }
 
   /// Schedules a callback after `delay` (scaled by the node's clock skew);
-  /// suppressed if the node has crashed by the time it fires. Returns a
-  /// cancelable id.
+  /// suppressed if the node has crashed — or crashed and restarted — by the
+  /// time it fires (a restarted process must not run timers armed by its
+  /// previous incarnation). Returns a cancelable id.
   TimerId setTimer(Time delay, std::function<void()> fn) {
     assert(simulator_ != nullptr);
     if (timerScale_ != 1.0) {
       delay = std::max<Time>(
           1, static_cast<Time>(static_cast<double>(delay) * timerScale_));
     }
-    return simulator_->schedule(delay, [this, fn = std::move(fn)] {
-      if (alive_) fn();
-    });
+    return simulator_->schedule(
+        delay, [this, armedBy = incarnation_, fn = std::move(fn)] {
+          if (alive_ && incarnation_ == armedBy) fn();
+        });
   }
 
   void cancelTimer(TimerId id) { simulator_->cancel(id); }
@@ -81,6 +126,9 @@ class Node {
  private:
   util::NodeId id_;
   bool alive_ = true;
+  uint64_t incarnation_ = 0;
+  uint64_t restarts_ = 0;
+  Time lastRestartAt_ = 0;
   double timerScale_ = 1.0;
   Simulator* simulator_ = nullptr;
   Network* network_ = nullptr;

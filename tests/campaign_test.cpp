@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "avd/controller.h"
+#include "avd/pbft_executor.h"
 #include "avd/plugin.h"
 #include "avd/quorum_executor.h"
 #include "campaign/dedup.h"
@@ -312,6 +313,8 @@ TEST(CampaignJournal, DoneEventRoundTripsBitExactly) {
   event.outcome.throughputRps = 1234.5678901234567;
   event.outcome.avgLatencySec = 2e-3;
   event.outcome.viewChanges = 11;
+  event.outcome.restarts = 5;
+  event.outcome.recoveryLatencySec = 0.125 + 1e-17;
   event.outcome.safetyViolated = true;
   event.bestImpact = 0.9999999999999999;
   event.failed = true;
@@ -330,11 +333,29 @@ TEST(CampaignJournal, DoneEventRoundTripsBitExactly) {
   EXPECT_EQ(decoded->done.outcome.avgLatencySec,
             event.outcome.avgLatencySec);
   EXPECT_EQ(decoded->done.outcome.viewChanges, 11u);
+  EXPECT_EQ(decoded->done.outcome.restarts, 5u);
+  EXPECT_EQ(decoded->done.outcome.recoveryLatencySec,
+            event.outcome.recoveryLatencySec);
   EXPECT_TRUE(decoded->done.outcome.safetyViolated);
   EXPECT_EQ(decoded->done.bestImpact, event.bestImpact);
   EXPECT_TRUE(decoded->done.failed);
   EXPECT_FALSE(decoded->done.timedOut);
   EXPECT_EQ(decoded->done.error, event.error);
+}
+
+TEST(CampaignJournal, DoneLinesFromBeforeChurnSupportStillDecode) {
+  // Journals written before restarts/recoveryLatencySec existed must stay
+  // resumable: the missing keys default to zero.
+  const std::string legacy =
+      "{\"event\":\"done\",\"test\":4,\"impact\":0.5,\"bestImpact\":0.5,"
+      "\"throughputRps\":100,\"avgLatencySec\":0.01,\"viewChanges\":2,"
+      "\"safetyViolated\":false,\"failed\":false,\"timedOut\":false,"
+      "\"error\":\"\"}";
+  const auto decoded = decodeLine(legacy);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->kind, JournalEvent::Kind::kDone);
+  EXPECT_EQ(decoded->done.outcome.restarts, 0u);
+  EXPECT_EQ(decoded->done.outcome.recoveryLatencySec, 0.0);
 }
 
 TEST(CampaignJournal, MalformedLinesAreRejected) {
@@ -614,6 +635,74 @@ TEST(CampaignDedup, JsonReportNamesDimensionsAndCounts) {
   EXPECT_NE(json.find("\"count\""), std::string::npos);
   EXPECT_NE(json.find("knob"), std::string::npos);
   EXPECT_NE(json.find("0.75"), std::string::npos);
+}
+
+TEST(CampaignDedup, RestartBandSplitsClassesAndNamesItselfInTheLabel) {
+  const core::Hyperspace space = twoDimSpace();
+  core::TestRecord churned = record({3, 1}, 0.85);
+  churned.outcome.restarts = 4;  // sustained churn band
+  const std::vector<core::TestRecord> history = {
+      record({3, 1}, 0.85),  // same point, no restarts
+      churned,
+  };
+  const auto classes = dedupVulnerabilities(space, history, 0.5);
+  ASSERT_EQ(classes.size(), 2u)
+      << "a churn-driven outage must not collapse into the message-level "
+         "attack with the same impact";
+
+  const auto sig = signatureOf(space, churned);
+  EXPECT_EQ(sig.restartBand, 2);
+  const std::string label = signatureLabel(space, sig);
+  EXPECT_NE(label.find("restarts 3-8"), std::string::npos) << label;
+  // No-restart signatures keep their pre-churn labels.
+  EXPECT_EQ(signatureLabel(space, signatureOf(space, history[0]))
+                .find("restarts"),
+            std::string::npos);
+}
+
+// --- churn campaign end-to-end -----------------------------------------------
+
+TEST(CampaignChurn, FindsCrashTimingClassesWithByteIdenticalJournals) {
+  // The acceptance run for the churn dimensions: an AVD campaign over the
+  // crash-timing hyperspace must journal at least one distinct class whose
+  // outage was driven by crash-restart timing, and the journal must be a
+  // pure function of the seed.
+  const ExecutorFactory churnFactory = [] {
+    core::PbftExecutorOptions options;
+    options.baseSeed = 97;
+    options.measure = sim::msec(1500);
+    return std::make_unique<core::PbftAttackExecutor>(
+        core::makeChurnHyperspace(), options);
+  };
+
+  const std::string dirA = scratchDir("churn_a");
+  const std::string dirB = scratchDir("churn_b");
+  CampaignResult result;
+  for (const std::string& dir : {dirA, dirB}) {
+    CampaignOptions options;
+    options.seed = 2011;
+    options.totalTests = 40;
+    options.outDir = dir;
+    options.dedupMinImpact = 0.25;
+    CampaignRunner runner(churnFactory, options);
+    result = runner.run();
+  }
+  const std::string journalA = readAll(journalPath(dirA));
+  EXPECT_FALSE(journalA.empty());
+  EXPECT_EQ(journalA, readAll(journalPath(dirB)));
+  EXPECT_NE(journalA.find("\"restarts\":"), std::string::npos);
+
+  bool crashTimingClass = false;
+  for (const VulnClass& cls : result.classes) {
+    if (cls.signature.restartBand > 0 && !cls.signature.safetyViolated) {
+      crashTimingClass = true;
+      EXPECT_GT(cls.exemplar.outcome.restarts, 0u);
+    }
+    EXPECT_FALSE(cls.signature.safetyViolated)
+        << "churn must never produce divergence";
+  }
+  EXPECT_TRUE(crashTimingClass)
+      << "no high-impact vulnerability class driven by crash-restart timing";
 }
 
 }  // namespace

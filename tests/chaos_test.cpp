@@ -130,5 +130,88 @@ TEST_P(Chaos, SafetyAlwaysLivenessWhenQuorumIntact) {
 INSTANTIATE_TEST_SUITE_P(Seeds, Chaos,
                          ::testing::Range<std::uint64_t>(1, 31));
 
+// --- directed partition scenarios -------------------------------------------
+
+DeploymentConfig partitionConfig(std::uint64_t seed) {
+  DeploymentConfig config;
+  config.pbft.f = 1;
+  config.pbft.requestTimeout = sim::msec(400);
+  config.pbft.viewChangeTimeout = sim::msec(400);
+  config.clientRetx = sim::msec(100);
+  config.correctClients = 6;
+  config.warmup = sim::msec(400);
+  config.measure = sim::sec(3);
+  config.seed = seed;
+  return config;
+}
+
+/// Everyone except `isolated` — replicas and clients alike.
+std::set<util::NodeId> allBut(const Deployment& deployment,
+                              const DeploymentConfig& config,
+                              util::NodeId isolated) {
+  std::set<util::NodeId> rest;
+  const util::NodeId total = deployment.replicaCount() +
+                             config.maliciousClients + config.correctClients;
+  for (util::NodeId node = 0; node < total; ++node) {
+    if (node != isolated) rest.insert(node);
+  }
+  return rest;
+}
+
+TEST(PartitionRecovery, IsolatedBackupCatchesUpAfterHeal) {
+  const DeploymentConfig config = partitionConfig(301);
+  Deployment deployment(config);
+  deployment.runFor(sim::msec(600));
+
+  auto partition = std::make_shared<fi::PartitionFault>(
+      std::set<util::NodeId>{2}, allBut(deployment, config, 2));
+  deployment.network().addFault(partition);
+  deployment.runFor(sim::sec(2));
+
+  // 3 of 4 replicas are an exact quorum: the majority side keeps ordering
+  // while the isolated backup falls behind.
+  const util::SeqNum majority = deployment.replica(0).lastExecuted();
+  const util::SeqNum isolated = deployment.replica(2).lastExecuted();
+  EXPECT_GT(majority, isolated);
+
+  partition->heal();
+  ASSERT_TRUE(deployment.network().removeFault(partition));
+  EXPECT_FALSE(deployment.network().removeFault(partition))
+      << "double-remove must report the fault as already gone";
+  deployment.runFor(sim::sec(3));
+
+  EXPECT_GT(deployment.replica(2).lastExecuted(), majority)
+      << "rejoined backup never caught up past the majority's old frontier";
+  EXPECT_FALSE(deployment.collect().safetyViolated);
+}
+
+TEST(PartitionRecovery, CrashDuringPartitionRecoversAfterBothHeal) {
+  const DeploymentConfig config = partitionConfig(302);
+  Deployment deployment(config);
+  deployment.runFor(sim::msec(600));
+
+  // Isolate backup 2, then crash backup 3: only two replicas remain both
+  // live and mutually connected, so ordering stalls — but must stay safe.
+  auto partition = std::make_shared<fi::PartitionFault>(
+      std::set<util::NodeId>{2}, allBut(deployment, config, 2));
+  deployment.network().addFault(partition);
+  deployment.runFor(sim::msec(300));
+  deployment.replica(3).crash();
+  deployment.runFor(sim::sec(2));
+  EXPECT_FALSE(deployment.collect().safetyViolated);
+
+  const std::uint64_t stalledCompleted = deployment.collect().correctCompleted;
+  deployment.replica(3).restart();
+  partition->heal();
+  ASSERT_TRUE(deployment.network().removeFault(partition));
+  deployment.runFor(sim::sec(3));
+
+  const RunResult result = deployment.collect();
+  EXPECT_FALSE(result.safetyViolated);
+  EXPECT_GT(result.correctCompleted, stalledCompleted)
+      << "no progress after partition healed and crashed replica rejoined";
+  EXPECT_EQ(deployment.replica(3).restarts(), 1u);
+}
+
 }  // namespace
 }  // namespace avd::pbft

@@ -36,10 +36,11 @@ class Probe final : public sim::Node {
 };
 
 struct Harness {
-  Harness() : keychain(3), simulator(3), network(&simulator, {sim::usec(10), 0}) {
+  explicit Harness(ClientBehavior behavior = {})
+      : keychain(3), simulator(3), network(&simulator, {sim::usec(10), 0}) {
     Config config;
     config.f = 1;
-    client = std::make_unique<Client>(4, config, &keychain, ClientBehavior{},
+    client = std::make_unique<Client>(4, config, &keychain, behavior,
                                       sim::msec(150));
     for (util::NodeId id : {0u, 1u, 2u, 3u}) {
       probes[id] = std::make_unique<Probe>(id);
@@ -174,6 +175,43 @@ TEST(ClientConformance, RetransmissionBroadcastsToAllReplicas) {
   // The retransmission regenerates the authenticator (fresh MAC calls) —
   // the property the 12-bit corruption mask's round structure builds on.
   EXPECT_EQ(h.client->macs().generateCallCount(), 8u);
+}
+
+TEST(ClientConformance, RetransmissionBackoffIsCappedAtTheConfiguredFactor) {
+  ClientBehavior behavior;
+  behavior.retxBackoffFactor = 2.0;
+  behavior.retxBackoffCap = 8.0;
+  Harness h(behavior);
+
+  // With no replies, retransmissions fire at 150, +300, +600, then settle
+  // at the cap 8 x 150 = 1200 ms. By 5 s that is exactly 6 retransmissions
+  // (150, 450, 1050, 2250, 3450, 4650 after issue); unbounded doubling
+  // would only reach 5 (the 6th not until 9450 ms).
+  h.simulator.runUntil(sim::msec(5000));
+  EXPECT_EQ(h.client->retransmissions(), 6u);
+}
+
+TEST(ClientConformance, RetransmissionJitterIsDeterministicPerSeed) {
+  ClientBehavior behavior;
+  behavior.retxBackoffFactor = 2.0;
+  behavior.retxJitter = sim::msec(50);
+
+  auto countBy = [&](sim::Time horizon) {
+    Harness h(behavior);
+    h.simulator.runUntil(horizon);
+    return h.client->retransmissions();
+  };
+  // Same seed, same schedule: the jitter draws come from the simulator RNG.
+  EXPECT_EQ(countBy(sim::msec(5000)), countBy(sim::msec(5000)));
+  EXPECT_GE(countBy(sim::msec(5000)), 4u);
+}
+
+TEST(ClientConformance, DefaultBehaviorKeepsFixedRetransmissionCadence) {
+  Harness h;
+  // Factor 1.0 (the default) must preserve the fixed 150 ms cadence the
+  // Big MAC attack's round structure depends on: 6 retransmissions by 1 s.
+  h.simulator.runUntil(sim::msec(1000));
+  EXPECT_EQ(h.client->retransmissions(), 6u);
 }
 
 TEST(ClientConformance, ViewTrackingRedirectsNextRequest) {

@@ -9,6 +9,7 @@
 #include "common/gray_code.h"
 #include "common/levenshtein.h"
 #include "faultinject/behaviors.h"
+#include "faultinject/churn.h"
 #include "faultinject/lfi.h"
 #include "faultinject/mac_corruptor.h"
 #include "faultinject/network_faults.h"
@@ -184,6 +185,70 @@ TEST(ReorderFault, EditDistanceGrowsWithIntensity) {
   EXPECT_GT(strong, weak)
       << "the tool's mutateDistance contract: stronger intensity, larger "
          "edit distance";
+}
+
+// --- Churn tool --------------------------------------------------------------
+
+TEST(ChurnFault, CrashRestartCycleFollowsTheConfiguredSchedule) {
+  sim::Simulator simulator(1);
+  sim::Network network(&simulator, sim::LinkModel{sim::msec(1), 0});
+  SinkNode node(0);
+  network.registerNode(&node);
+
+  ChurnFault::Options options;
+  options.target = 0;
+  options.firstCrash = sim::msec(100);
+  options.downtime = sim::msec(50);
+  options.period = sim::msec(200);
+  options.maxCycles = 3;
+  ChurnFault churn(&simulator, &network, options);
+  churn.install();
+
+  simulator.runUntil(sim::msec(120));
+  EXPECT_FALSE(node.alive());
+  simulator.runUntil(sim::msec(180));
+  EXPECT_TRUE(node.alive());
+  EXPECT_EQ(node.incarnation(), 1u);
+
+  simulator.runUntil(sim::sec(2));
+  EXPECT_EQ(churn.crashesInjected(), 3u);
+  EXPECT_EQ(churn.restartsInjected(), 3u);
+  EXPECT_TRUE(node.alive()) << "every cycle ends with a restart";
+  EXPECT_EQ(node.restarts(), 3u);
+}
+
+TEST(ChurnFault, DynamicTargetIsReResolvedAtEveryCrash) {
+  sim::Simulator simulator(1);
+  sim::Network network(&simulator, sim::LinkModel{sim::msec(1), 0});
+  SinkNode a(0);
+  SinkNode b(1);
+  network.registerNode(&a);
+  network.registerNode(&b);
+
+  // Alternate victims: whichever node the selector names goes down, and the
+  // restart must revive that same node even though the selector has moved on.
+  std::uint32_t calls = 0;
+  ChurnFault::Options options;
+  options.dynamicTarget = [&calls] {
+    return static_cast<util::NodeId>(calls++ % 2);
+  };
+  options.firstCrash = sim::msec(100);
+  options.downtime = sim::msec(50);
+  options.period = sim::msec(200);
+  options.maxCycles = 2;
+  ChurnFault churn(&simulator, &network, options);
+  churn.install();
+
+  simulator.runUntil(sim::msec(120));
+  EXPECT_FALSE(a.alive());
+  EXPECT_TRUE(b.alive());
+  simulator.runUntil(sim::msec(320));
+  EXPECT_TRUE(a.alive()) << "first victim restarted";
+  EXPECT_FALSE(b.alive()) << "second cycle picked the other node";
+  simulator.runUntil(sim::sec(1));
+  EXPECT_TRUE(b.alive());
+  EXPECT_EQ(a.restarts(), 1u);
+  EXPECT_EQ(b.restarts(), 1u);
 }
 
 TEST(FlowFilter, EmptySetsMatchEverything) {

@@ -196,6 +196,28 @@ TEST(LintR5, CampaignHeaderDeclarationsAreTrackedAcrossFiles) {
   EXPECT_EQ(countRule(findings, "unordered-iter"), 1u);
 }
 
+TEST(LintR5, ChurnAndDedupSourcesAreInScope) {
+  // The crash-recovery additions are ordering-sensitive too: churn books
+  // simulator events and dedup orders the triage report.
+  for (const char* path :
+       {"src/faultinject/churn.cpp", "src/campaign/dedup.cpp"}) {
+    const auto findings = lintFixture("unordered_iter.cc", path);
+    EXPECT_EQ(countRule(findings, "unordered-iter"), 2u) << path;
+  }
+}
+
+TEST(LintR5, StableStorageHeaderDeclarationsAreTrackedAcrossFiles) {
+  const std::vector<SourceFile> files = {
+      {"src/pbft/stable_storage.h",
+       "struct StableRecord { std::unordered_map<int, int> proofs_; };"},
+      {"src/pbft/replica.cpp",
+       "int g() { int s = 0; for (auto& [k, v] : proofs_) s += v; "
+       "return s; }"},
+  };
+  const auto findings = lintFiles(files);
+  EXPECT_EQ(countRule(findings, "unordered-iter"), 1u);
+}
+
 // --- R6 detached-thread ------------------------------------------------------
 
 TEST(LintR6, FixtureSeedsThreeViolationsJoinAndFreeCallPass) {

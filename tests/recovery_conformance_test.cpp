@@ -1,0 +1,233 @@
+// Crash-restart recovery conformance: a replica that crashes and rejoins
+// must never compromise safety, must recover the deployment's throughput,
+// and must behave identically under a fixed seed.
+//
+// The suite drives recovery three ways: direct crash()/restart() calls
+// between runFor() slices (precise timing against protocol phases),
+// fi::ChurnFault (the scheduled fault used by the AVD churn dimensions),
+// and adversarial timing (restart during state transfer, primary restart
+// mid-view-change, double crashes).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "faultinject/churn.h"
+#include "pbft/deployment.h"
+
+namespace avd::pbft {
+namespace {
+
+DeploymentConfig recoveryConfig(std::uint64_t seed = 71) {
+  DeploymentConfig config;
+  config.pbft.f = 1;
+  config.pbft.requestTimeout = sim::msec(400);
+  config.pbft.viewChangeTimeout = sim::msec(400);
+  config.pbft.checkpointInterval = 16;
+  config.pbft.watermarkWindow = 64;
+  config.clientRetx = sim::msec(100);
+  config.correctClients = 8;
+  config.warmup = sim::msec(400);
+  config.measure = sim::sec(3);
+  config.seed = seed;
+  return config;
+}
+
+void expectAgreement(Deployment& deployment) {
+  const auto& trace0 = deployment.replica(0).executionTrace();
+  for (std::uint32_t r = 1; r < deployment.replicaCount(); ++r) {
+    for (const auto& [seq, digest] : deployment.replica(r).executionTrace()) {
+      const auto it = trace0.find(seq);
+      if (it != trace0.end()) {
+        EXPECT_EQ(it->second, digest) << "replica " << r << " seq " << seq;
+      }
+    }
+  }
+}
+
+// --- throughput conformance -------------------------------------------------
+
+TEST(RecoveryConformance, BackupChurnKeepsThroughputNearBaseline) {
+  // Baseline: the same deployment with churn disabled.
+  Deployment baseline(recoveryConfig());
+  const double baselineRps = baseline.run().throughputRps;
+  ASSERT_GT(baselineRps, 100.0);
+
+  // One backup crashes mid-measurement and rejoins 200 ms later. The
+  // remaining 3 of 4 replicas form an exact quorum, so ordering never
+  // stops, and the rejoining backup must catch up without disturbing it.
+  Deployment deployment(recoveryConfig());
+  fi::ChurnFault::Options churn;
+  churn.target = 2;
+  churn.firstCrash = sim::msec(900);
+  churn.downtime = sim::msec(200);
+  auto fault = std::make_shared<fi::ChurnFault>(
+      &deployment.simulator(), &deployment.network(), churn);
+  fault->install();
+
+  const RunResult result = deployment.run();
+  EXPECT_FALSE(result.safetyViolated);
+  EXPECT_EQ(fault->crashesInjected(), 1u);
+  EXPECT_EQ(fault->restartsInjected(), 1u);
+  EXPECT_EQ(result.restarts, 1u);
+  EXPECT_GT(result.recoveryLatencySec, 0.0);
+  EXPECT_GE(result.throughputRps, 0.8 * baselineRps)
+      << "baseline " << baselineRps << " rps";
+  expectAgreement(deployment);
+
+  // The rejoined backup caught up with the others.
+  EXPECT_EQ(deployment.replica(2).restarts(), 1u);
+  EXPECT_GT(deployment.replica(2).lastExecuted(), 0u);
+  EXPECT_GE(deployment.replica(2).lastExecuted() + 64,
+            deployment.replica(0).lastExecuted());
+}
+
+TEST(RecoveryConformance, UpToFReplicasCyclingStaysSafe) {
+  // f = 1: one replica may be down at any instant. Cycle one backup
+  // repeatedly for the whole run — sustained churn, not a single blip.
+  Deployment deployment(recoveryConfig(72));
+  fi::ChurnFault::Options churn;
+  churn.target = 1;
+  churn.firstCrash = sim::msec(600);
+  churn.downtime = sim::msec(250);
+  churn.period = sim::msec(800);
+  auto fault = std::make_shared<fi::ChurnFault>(
+      &deployment.simulator(), &deployment.network(), churn);
+  fault->install();
+
+  const RunResult result = deployment.run();
+  EXPECT_FALSE(result.safetyViolated);
+  EXPECT_GE(result.restarts, 3u);
+  EXPECT_GT(result.correctCompleted, 0u);
+  expectAgreement(deployment);
+}
+
+// --- determinism ------------------------------------------------------------
+
+TEST(RecoveryConformance, ChurnRunIsDeterministicUnderFixedSeed) {
+  auto runOnce = [] {
+    Deployment deployment(recoveryConfig(73));
+    fi::ChurnFault::Options churn;
+    churn.target = 3;
+    churn.firstCrash = sim::msec(700);
+    churn.downtime = sim::msec(300);
+    churn.period = sim::msec(900);
+    auto fault = std::make_shared<fi::ChurnFault>(
+        &deployment.simulator(), &deployment.network(), churn);
+    fault->install();
+    return deployment.run();
+  };
+
+  const RunResult first = runOnce();
+  const RunResult second = runOnce();
+  EXPECT_EQ(first.throughputRps, second.throughputRps);
+  EXPECT_EQ(first.avgLatencySec, second.avgLatencySec);
+  EXPECT_EQ(first.correctCompleted, second.correctCompleted);
+  EXPECT_EQ(first.viewChangesInitiated, second.viewChangesInitiated);
+  EXPECT_EQ(first.restarts, second.restarts);
+  EXPECT_EQ(first.recoveryLatencySec, second.recoveryLatencySec);
+  EXPECT_EQ(first.safetyViolated, second.safetyViolated);
+}
+
+// --- durable state ----------------------------------------------------------
+
+TEST(RecoveryConformance, StableStorageIsWrittenAndRestoredOnRejoin) {
+  Deployment deployment(recoveryConfig(74));
+  deployment.runFor(sim::sec(2));  // enough for checkpoints to stabilize
+
+  Replica& backup = deployment.replica(2);
+  const std::uint64_t writesBeforeCrash = backup.stableStorage().writes();
+  const util::SeqNum stableBeforeCrash = backup.stableCheckpoint();
+  ASSERT_GT(stableBeforeCrash, 0u) << "checkpointing never stabilized";
+  ASSERT_GT(writesBeforeCrash, 0u);
+
+  backup.crash();
+  deployment.runFor(sim::msec(300));
+  backup.restart();
+
+  // The restart resumed from the durable record, not from scratch: the
+  // stable checkpoint survives, execution continues past it.
+  EXPECT_GE(backup.stableCheckpoint(), stableBeforeCrash);
+  deployment.runFor(sim::sec(2));
+  EXPECT_GT(backup.lastExecuted(), stableBeforeCrash);
+  EXPECT_FALSE(deployment.collect().safetyViolated);
+  expectAgreement(deployment);
+}
+
+// --- adversarial timing edges -----------------------------------------------
+
+TEST(RecoveryEdge, PrimaryRestartDuringViewChange) {
+  Deployment deployment(recoveryConfig(75));
+  deployment.runFor(sim::msec(800));
+
+  // Crash the view-0 primary, then bring it back in the middle of the view
+  // change it provoked. The recovered node must not reclaim the primary
+  // role it durably lost; the new view must settle.
+  deployment.replica(0).crash();
+  deployment.runFor(sim::msec(500));  // inside the view-change window
+  deployment.replica(0).restart();
+  deployment.runFor(sim::sec(3));
+
+  for (std::uint32_t r = 0; r < deployment.replicaCount(); ++r) {
+    EXPECT_GE(deployment.replica(r).view(), 1u) << "replica " << r;
+    EXPECT_FALSE(deployment.replica(r).inViewChange()) << "replica " << r;
+  }
+  const RunResult result = deployment.collect();
+  EXPECT_FALSE(result.safetyViolated);
+  EXPECT_GT(result.correctCompleted, 0u);
+  expectAgreement(deployment);
+}
+
+TEST(RecoveryEdge, RestartDuringStateTransferCatchesUpEventually) {
+  Deployment deployment(recoveryConfig(76));
+  deployment.runFor(sim::msec(600));
+
+  // Stay down long enough for the others to advance checkpoints past this
+  // replica's log, forcing a state transfer on rejoin...
+  Replica& backup = deployment.replica(1);
+  backup.crash();
+  deployment.runFor(sim::sec(2));
+  const util::SeqNum othersStable = deployment.replica(0).stableCheckpoint();
+  ASSERT_GT(othersStable, backup.stableCheckpoint());
+
+  backup.restart();
+  // ...then crash it again almost immediately — mid catch-up — and
+  // restart once more. The second incarnation must not be confused by
+  // responses addressed to the first.
+  deployment.runFor(sim::msec(40));
+  backup.crash();
+  deployment.runFor(sim::msec(200));
+  backup.restart();
+  deployment.runFor(sim::sec(3));
+
+  EXPECT_EQ(backup.restarts(), 2u);
+  EXPECT_GT(backup.lastExecuted(), othersStable)
+      << "rejoined replica never caught up past the others' old checkpoint";
+  EXPECT_FALSE(deployment.collect().safetyViolated);
+  expectAgreement(deployment);
+}
+
+TEST(RecoveryEdge, DoubleCrashOfSameReplicaIsSafe) {
+  Deployment deployment(recoveryConfig(77));
+  deployment.runFor(sim::msec(700));
+
+  Replica& backup = deployment.replica(3);
+  backup.crash();
+  deployment.runFor(sim::msec(250));
+  backup.restart();
+  deployment.runFor(sim::msec(500));
+  backup.crash();
+  deployment.runFor(sim::msec(250));
+  backup.restart();
+  deployment.runFor(sim::sec(2));
+
+  EXPECT_EQ(backup.restarts(), 2u);
+  EXPECT_GT(backup.stableStorage().writes(), 0u);
+  const RunResult result = deployment.collect();
+  EXPECT_FALSE(result.safetyViolated);
+  EXPECT_GT(result.correctCompleted, 0u);
+  EXPECT_EQ(result.restarts, 2u);
+  expectAgreement(deployment);
+}
+
+}  // namespace
+}  // namespace avd::pbft

@@ -33,6 +33,8 @@ std::vector<TestRecord> sampleHistory() {
   second.outcome.impact = 0.95;
   second.outcome.throughputRps = 50;
   second.outcome.viewChanges = 4;
+  second.outcome.restarts = 2;
+  second.outcome.recoveryLatencySec = 0.4;
   second.generatedBy = "step:mask";
   second.bestImpactSoFar = 0.95;
   history.push_back(second);
@@ -48,11 +50,12 @@ TEST(Report, CsvHasHeaderAndOneRowPerTest) {
   ASSERT_TRUE(std::getline(stream, line));
   EXPECT_EQ(line,
             "test,generatedBy,mask,clients,impact,bestImpact,throughputRps,"
-            "avgLatencySec,viewChanges,safetyViolated");
+            "avgLatencySec,viewChanges,restarts,recoveryLatencySec,"
+            "safetyViolated");
   ASSERT_TRUE(std::getline(stream, line));
-  EXPECT_EQ(line, "1,random,2,20,0.25,0.25,1500,0.01,0,0");
+  EXPECT_EQ(line, "1,random,2,20,0.25,0.25,1500,0.01,0,0,0,0");
   ASSERT_TRUE(std::getline(stream, line));
-  EXPECT_EQ(line, "2,step:mask,0,30,0.95,0.95,50,0,4,0");
+  EXPECT_EQ(line, "2,step:mask,0,30,0.95,0.95,50,0,4,2,0.4,0");
   EXPECT_FALSE(std::getline(stream, line));
 }
 
@@ -72,6 +75,8 @@ TEST(Report, SummaryJsonReportsBestAndCrossing) {
   EXPECT_NE(json.find("\"firstStrongTest\": 2"), std::string::npos);
   EXPECT_NE(json.find("\"generatedBy\": \"step:mask\""), std::string::npos);
   EXPECT_NE(json.find("\"clients\": 30"), std::string::npos);
+  EXPECT_NE(json.find("\"restarts\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"recoveryLatencySec\": 0.4"), std::string::npos);
 }
 
 TEST(Report, SummaryJsonOnEmptyHistory) {

@@ -203,6 +203,86 @@ TEST_F(NetFixture, TimersSuppressedOnDeadNode) {
   EXPECT_FALSE(fired);
 }
 
+// Regression: a timer armed before a crash must not fire inside the
+// restarted process, even though the node is alive again when it expires.
+TEST_F(NetFixture, StaleTimerSuppressedAcrossRestart) {
+  bool staleFired = false;
+  bool freshFired = false;
+  nodes[0]->setTimer(msec(10), [&] { staleFired = true; });
+  simulator.schedule(msec(2), [&] { nodes[0]->crash(); });
+  simulator.schedule(msec(4), [&] {
+    nodes[0]->restart();
+    // A timer armed by the new incarnation fires normally.
+    nodes[0]->setTimer(msec(10), [&] { freshFired = true; });
+  });
+  simulator.run();
+  EXPECT_FALSE(staleFired);
+  EXPECT_TRUE(freshFired);
+  EXPECT_EQ(nodes[0]->incarnation(), 1u);
+  EXPECT_EQ(nodes[0]->restarts(), 1u);
+}
+
+TEST_F(NetFixture, RestartIsNoOpOnLiveNodeAndCrashIsIdempotent) {
+  nodes[0]->restart();  // live node: nothing happens
+  EXPECT_EQ(nodes[0]->incarnation(), 0u);
+  nodes[0]->crash();
+  nodes[0]->crash();
+  nodes[0]->restart();
+  EXPECT_EQ(nodes[0]->incarnation(), 1u);
+  EXPECT_TRUE(nodes[0]->alive());
+}
+
+TEST_F(NetFixture, RestartedNodeReceivesAgain) {
+  nodes[1]->crash();
+  nodes[0]->send(1, std::make_shared<TestPayload>(0));  // dropped: dead
+  simulator.run();
+  EXPECT_EQ(nodes[1]->deliveries.size(), 0u);
+  nodes[1]->restart();
+  nodes[0]->send(1, std::make_shared<TestPayload>(1));
+  simulator.run();
+  ASSERT_EQ(nodes[1]->deliveries.size(), 1u);
+}
+
+// onRestart runs after the incarnation bump, so timers it arms belong to
+// the new incarnation and fire normally.
+TEST(NodeLifecycle, OnRestartUpcallSeesNewIncarnation) {
+  class RecoveringNode final : public Node {
+   public:
+    explicit RecoveringNode(util::NodeId id) : Node(id) {}
+    void receive(util::NodeId, const MessagePtr&) override {}
+    void onRestart() override {
+      incarnationAtUpcall = incarnation();
+      setTimer(msec(1), [this] { recoveryTimerFired = true; });
+    }
+    using Node::setTimer;
+    uint64_t incarnationAtUpcall = 0;
+    bool recoveryTimerFired = false;
+  };
+
+  Simulator simulator(1);
+  Network network(&simulator, LinkModel{msec(1), 0});
+  RecoveringNode node(0);
+  network.registerNode(&node);
+  node.crash();
+  node.restart();
+  simulator.run();
+  EXPECT_EQ(node.incarnationAtUpcall, 1u);
+  EXPECT_TRUE(node.recoveryTimerFired);
+}
+
+TEST_F(NetFixture, RemoveFaultRestoresDelivery) {
+  auto drop = std::make_shared<fi::DropFault>(1.0, fi::FlowFilter{});
+  network.addFault(drop);
+  nodes[0]->send(1, std::make_shared<TestPayload>(0));  // dropped
+  simulator.run();
+  EXPECT_EQ(nodes[1]->deliveries.size(), 0u);
+  EXPECT_TRUE(network.removeFault(drop));
+  EXPECT_FALSE(network.removeFault(drop));  // already gone
+  nodes[0]->send(1, std::make_shared<TestPayload>(1));
+  simulator.run();
+  EXPECT_EQ(nodes[1]->deliveries.size(), 1u);
+}
+
 TEST_F(NetFixture, DropFaultFiltersFlows) {
   auto drop = std::make_shared<fi::DropFault>(
       1.0, fi::FlowFilter{.fromNodes = {0}, .toNodes = {}});

@@ -1,6 +1,7 @@
 // avd_cli — command-line front end to the AVD platform.
 //
-//   avd_cli explore --system pbft|quorum --strategy avd|random|genetic
+//   avd_cli explore --system pbft|pbft-churn|quorum
+//                   --strategy avd|random|genetic
 //                   [--tests N] [--seed S] [--csv FILE] [--json FILE]
 //                   [--threshold T]
 //       Run an exploration against the chosen target system and print (or
@@ -10,7 +11,7 @@
 //       Replay one of the named, known attack scenarios and print its
 //       measured damage. `avd_cli list` shows the names.
 //
-//   avd_cli campaign [--system pbft|quorum] [--tests N] [--seed S]
+//   avd_cli campaign [--system pbft|pbft-churn|quorum] [--tests N] [--seed S]
 //                    [--workers W] [--out DIR] [--resume DIR]
 //                    [--checkpoint-every N] [--timeout-ms MS] [--min-impact X]
 //       Run AVD exploration as a resumable, parallel campaign: W executor
@@ -32,6 +33,7 @@
 #include <exception>
 #include <initializer_list>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -46,6 +48,7 @@
 #include "campaign/journal.h"
 #include "campaign/runner.h"
 #include "faultinject/behaviors.h"
+#include "faultinject/churn.h"
 #include "pbft/deployment.h"
 
 using namespace avd;
@@ -103,9 +106,11 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: avd_cli explore|campaign|attack|power|list [--flag value ...]\n"
-      "  explore   --system pbft|quorum  --strategy avd|random|genetic\n"
+      "  explore   --system pbft|pbft-churn|quorum\n"
+      "            --strategy avd|random|genetic\n"
       "            --tests N  --seed S  --threshold T  --csv FILE --json FILE\n"
-      "  campaign  --system pbft|quorum  --tests N  --seed S  --workers W\n"
+      "  campaign  --system pbft|pbft-churn|quorum  --tests N  --seed S\n"
+      "            --workers W\n"
       "            --out DIR  --resume DIR  --checkpoint-every N\n"
       "            --timeout-ms MS  --min-impact X\n"
       "  attack    --name NAME  --clients N  --seed S\n"
@@ -129,13 +134,29 @@ std::unique_ptr<core::ScenarioExecutor> makeExecutor(
     return std::make_unique<core::PbftAttackExecutor>(
         core::makePaperMacHyperspace(), options);
   }
+  if (system == "pbft-churn") {
+    // Same deployment as "pbft", but the hyperspace explores crash-restart
+    // timing instead of MAC corruption: which replica to cycle, when, for
+    // how long, and at what repeat period.
+    core::PbftExecutorOptions options;
+    options.pbft.requestTimeout = sim::msec(400);
+    options.pbft.viewChangeTimeout = sim::msec(400);
+    options.clientRetx = sim::msec(100);
+    options.link = sim::LinkModel{sim::msec(5), sim::usec(500)};
+    options.warmup = sim::msec(400);
+    options.measure = sim::msec(3000);
+    options.baseSeed = seed;
+    return std::make_unique<core::PbftAttackExecutor>(
+        core::makeChurnHyperspace(), options);
+  }
   if (system == "quorum") {
     core::QuorumExecutorOptions options;
     options.baseSeed = seed;
     return std::make_unique<core::QuorumApiExecutor>(
         core::makeQuorumApiHyperspace(), options);
   }
-  std::fprintf(stderr, "unknown system '%s' (pbft|quorum)\n", system.c_str());
+  std::fprintf(stderr, "unknown system '%s' (pbft|pbft-churn|quorum)\n",
+               system.c_str());
   std::exit(2);
 }
 
@@ -224,8 +245,8 @@ int cmdCampaign(const Args& args) {
     options.totalTests = manifest->totalTests;
     options.workers = manifest->workers;
   }
-  if (system != "pbft" && system != "quorum") {
-    std::fprintf(stderr, "unknown system '%s' (pbft|quorum)\n",
+  if (system != "pbft" && system != "pbft-churn" && system != "quorum") {
+    std::fprintf(stderr, "unknown system '%s' (pbft|pbft-churn|quorum)\n",
                  system.c_str());
     return 2;
   }
@@ -298,6 +319,10 @@ int cmdAttack(const Args& args) {
     config = fi::makeSlowPrimaryScenario(clients, true, false, seed);
     config.pbft.primaryThroughputGuard = true;
     config.pbft.guardWindow = sim::sec(2);
+  } else if (name == "churn") {
+    // No message-level attack: repeated crash-restart cycles against one
+    // backup exercise durable-state recovery and the rejoin protocol.
+    config = fi::makeBigMacScenario(clients, 0, seed);
   } else if (name == "baseline") {
     config = fi::makeBigMacScenario(clients, 0, seed);
   } else {
@@ -307,6 +332,18 @@ int cmdAttack(const Args& args) {
   }
 
   pbft::Deployment deployment(config);
+  std::shared_ptr<fi::ChurnFault> churn;
+  if (name == "churn") {
+    fi::ChurnFault::Options churnOptions;
+    churnOptions.target = 1;
+    churnOptions.firstCrash = sim::msec(500);
+    churnOptions.downtime = sim::msec(400);
+    churnOptions.period = sim::msec(1200);
+    churn = std::make_shared<fi::ChurnFault>(&deployment.simulator(),
+                                             &deployment.network(),
+                                             churnOptions);
+    churn->install();
+  }
   const pbft::RunResult result = deployment.run();
   std::uint64_t crashed = 0;
   for (std::uint32_t r = 0; r < deployment.replicaCount(); ++r) {
@@ -327,6 +364,11 @@ int cmdAttack(const Args& args) {
               static_cast<unsigned long long>(result.maxView));
   std::printf("  crashed replicas%12llu\n",
               static_cast<unsigned long long>(crashed));
+  if (result.restarts > 0) {
+    std::printf("  restarts        %12llu\n",
+                static_cast<unsigned long long>(result.restarts));
+    std::printf("  recovery latency%12.4f s\n", result.recoveryLatencySec);
+  }
   std::printf("  safety violated %12s\n",
               result.safetyViolated ? "YES (BUG!)" : "no");
   return result.safetyViolated ? 1 : 0;
@@ -375,6 +417,7 @@ int cmdPower(const Args& args) {
 int cmdList() {
   std::printf(
       "systems:    pbft (MAC-corruption hyperspace, 204800 scenarios)\n"
+      "            pbft-churn (crash-restart timing hyperspace)\n"
       "            quorum (timestamp/victims/replica-behaviour space)\n"
       "strategies: avd (Algorithm 1), random, genetic\n"
       "attacks:    baseline        no attack, for reference numbers\n"
@@ -384,7 +427,8 @@ int cmdList() {
       "            rotating        stealth mask: ~10x slowdown, no alarms\n"
       "            slow-primary    one request per 5 s timer period\n"
       "            colluding       slow primary + colluding client: 0 req/s\n"
-      "            aardvark-guard  colluding attack vs the throughput guard\n");
+      "            aardvark-guard  colluding attack vs the throughput guard\n"
+      "            churn           periodic crash-restart of one backup\n");
   return 0;
 }
 

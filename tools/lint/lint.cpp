@@ -492,13 +492,18 @@ void ruleNakedLock(Ctx& ctx) {
 bool unorderedIterScope(const std::string& path) {
   return pathEndsWith(path, "pbft/replica.cpp") ||
          pathEndsWith(path, "avd/controller.cpp") ||
-         pathEndsWith(path, "campaign/runner.cpp");
+         pathEndsWith(path, "campaign/runner.cpp") ||
+         pathEndsWith(path, "campaign/dedup.cpp") ||
+         pathEndsWith(path, "faultinject/churn.cpp");
 }
 
 bool unorderedDeclScope(const std::string& path) {
   return unorderedIterScope(path) || pathEndsWith(path, "pbft/replica.h") ||
+         pathEndsWith(path, "pbft/stable_storage.h") ||
          pathEndsWith(path, "avd/controller.h") ||
-         pathEndsWith(path, "campaign/runner.h");
+         pathEndsWith(path, "campaign/runner.h") ||
+         pathEndsWith(path, "campaign/dedup.h") ||
+         pathEndsWith(path, "faultinject/churn.h");
 }
 
 std::set<std::string> collectUnorderedDecls(const std::vector<Token>& toks) {
@@ -602,9 +607,9 @@ const std::vector<RuleInfo>& ruleRegistry() {
       {"naked-lock",
        "R4: no manual mutex lock()/unlock(); RAII guards only"},
       {"unordered-iter",
-       "R5: no hash-container iteration in pbft/replica.cpp, "
-       "avd/controller.cpp, or campaign/runner.cpp ordering-sensitive "
-       "loops"},
+       "R5: no hash-container iteration in the ordering-sensitive loops of "
+       "pbft/replica.cpp, avd/controller.cpp, campaign/runner.cpp, "
+       "campaign/dedup.cpp, or faultinject/churn.cpp"},
       {"detached-thread",
        "R6: no std::thread::detach(); every thread must have an owner "
        "that joins it"},
