@@ -1,0 +1,128 @@
+// avd_lint end-to-end analysis throughput over the real tree. The v2
+// engine re-indexes every translation unit on every run (no incremental
+// cache), so the whole-tree wall clock IS the developer-facing latency of
+// the lint.src gate. Budget: a full src/ + tools/ + bench/ pass must stay
+// under 5 seconds; the JSON (BENCH_lint.json) records the breakdown so CI
+// can trend it.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+#include "lint.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool isSourceFile(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".cpp" || ext == ".cc";
+}
+
+std::vector<avd::lint::SourceFile> loadTree(const fs::path& root) {
+  std::vector<avd::lint::SourceFile> files;
+  for (const char* sub : {"src", "tools", "bench"}) {
+    const fs::path base = root / sub;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file() || !isSourceFile(entry.path())) continue;
+      std::ifstream in(entry.path(), std::ios::binary);
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      files.push_back({fs::relative(entry.path(), root).generic_string(),
+                       buffer.str()});
+    }
+  }
+  return files;
+}
+
+// Wall-clock timing is the entire point of a throughput benchmark; the
+// measured numbers never feed a consensus decision.
+double now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now()  // avd-lint: allow(nondeterminism)
+                 .time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const fs::path root = argc > 1 ? fs::path(argv[1]) : fs::path(".");
+  const auto files = loadTree(root);
+  if (files.empty()) {
+    std::fprintf(stderr,
+                 "lint_runtime: no sources under %s (run from the repo root "
+                 "or pass it as argv[1])\n",
+                 root.string().c_str());
+    return 2;
+  }
+
+  std::size_t totalBytes = 0;
+  std::size_t totalLines = 0;
+  for (const auto& file : files) {
+    totalBytes += file.text.size();
+    totalLines += static_cast<std::size_t>(
+        std::count(file.text.begin(), file.text.end(), '\n'));
+  }
+
+  // Phase 0 alone (tokenize every TU) isolates the lexer's share of the
+  // budget from the index + rules share.
+  const auto lexStart = now();
+  std::size_t tokens = 0;
+  for (const auto& file : files) {
+    tokens += avd::lint::lex(file.path, file.text).tokens.size();
+  }
+  const double lexSeconds = now() - lexStart;
+
+  // Full pipeline, best of three (first run warms the page cache).
+  constexpr int kRuns = 3;
+  double bestSeconds = 0.0;
+  std::size_t findings = 0;
+  for (int run = 0; run < kRuns; ++run) {
+    const auto start = now();
+    const auto result = avd::lint::lintFiles(files);
+    const double seconds = now() - start;
+    if (run == 0 || seconds < bestSeconds) bestSeconds = seconds;
+    findings = avd::lint::unsuppressedCount(result);
+  }
+
+  constexpr double kBudgetSeconds = 5.0;
+  const bool withinBudget = bestSeconds < kBudgetSeconds;
+
+  std::printf("=== avd_lint full-tree analysis ===\n");
+  std::printf("files:            %zu\n", files.size());
+  std::printf("lines:            %zu\n", totalLines);
+  std::printf("tokens:           %zu\n", tokens);
+  std::printf("lex only:         %.3f s\n", lexSeconds);
+  std::printf("full pipeline:    %.3f s (best of %d)\n", bestSeconds, kRuns);
+  std::printf("throughput:       %.0f lines/s\n",
+              bestSeconds > 0.0 ? totalLines / bestSeconds : 0.0);
+  std::printf("unsuppressed:     %zu finding(s)\n", findings);
+  std::printf("budget:           %s (< %.1f s)\n",
+              withinBudget ? "PASS" : "FAIL", kBudgetSeconds);
+
+  char buffer[512];
+  std::snprintf(buffer, sizeof(buffer),
+                "{\n  \"bench\": \"lint_runtime\",\n"
+                "  \"files\": %zu,\n  \"lines\": %zu,\n  \"tokens\": %zu,\n"
+                "  \"bytes\": %zu,\n  \"lex_seconds\": %.6f,\n"
+                "  \"pipeline_seconds\": %.6f,\n  \"lines_per_sec\": %.1f,\n"
+                "  \"unsuppressed_findings\": %zu,\n"
+                "  \"budget_seconds\": %.1f,\n  \"within_budget\": %s\n}\n",
+                files.size(), totalLines, tokens, totalBytes, lexSeconds,
+                bestSeconds,
+                bestSeconds > 0.0 ? totalLines / bestSeconds : 0.0, findings,
+                kBudgetSeconds, withinBudget ? "true" : "false");
+  std::ofstream out("BENCH_lint.json", std::ios::trunc);
+  out << buffer;
+  std::printf("wrote BENCH_lint.json\n");
+
+  return withinBudget ? 0 : 1;
+}

@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "avd/plugin.h"
+#include "common/lockdep.h"
 #include "common/thread_pool.h"
 
 namespace avd::campaign {
@@ -269,8 +270,8 @@ CampaignResult CampaignRunner::drive(
       WatchClock::time_point deadline;
     };
 
-    std::mutex mutex;
-    std::condition_variable cv;
+    lockdep::Mutex mutex{"CampaignRunner::drive::mutex"};
+    lockdep::CondVar cv;
     std::deque<Completion> completions;  // guarded by mutex
     std::deque<std::size_t> freeWorkers;
     for (std::size_t w = 0; w < executors.size(); ++w) freeWorkers.push_back(w);
@@ -290,7 +291,7 @@ CampaignResult CampaignRunner::drive(
       entry.worker = worker;
       entry.deadline =
           withWatchdog
-              ? WatchClock::now() +  // avd-lint: allow(nondeterminism)
+              ? WatchClock::now() +
                     std::chrono::milliseconds(options_.scenarioTimeoutMs)
               : WatchClock::time_point::max();
       inFlight.emplace(test, std::move(entry));
@@ -308,7 +309,7 @@ CampaignResult CampaignRunner::drive(
           completion.error = "unknown executor exception";
         }
         {
-          const std::lock_guard<std::mutex> guard(mutex);
+          const std::lock_guard<lockdep::Mutex> guard(mutex);
           completions.push_back(std::move(completion));
         }
         cv.notify_all();
@@ -347,7 +348,7 @@ CampaignResult CampaignRunner::drive(
       // Wait for a completion (or the nearest watchdog deadline).
       std::vector<Completion> drained;
       {
-        std::unique_lock<std::mutex> lock(mutex);
+        std::unique_lock<lockdep::Mutex> lock(mutex);
         if (completions.empty()) {
           if (withWatchdog) {
             WatchClock::time_point nearest = WatchClock::time_point::max();
@@ -383,7 +384,7 @@ CampaignResult CampaignRunner::drive(
       }
 
       if (withWatchdog) {
-        const auto now = WatchClock::now();  // avd-lint: allow(nondeterminism)
+        const auto now = WatchClock::now();
         for (auto it = inFlight.begin(); it != inFlight.end();) {
           if (it->second.deadline > now) {
             ++it;

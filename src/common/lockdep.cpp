@@ -1,0 +1,110 @@
+#include "common/lockdep.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <iterator>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace avd::lockdep {
+namespace {
+
+// The order graph is process-wide and append-only outside of tests: an
+// edge A -> B means some thread acquired B while holding A. The guard is a
+// plain std::mutex (never a lockdep::Mutex — the checker must not check
+// itself) and is a leaf: nothing is acquired while it is held, so it can
+// never participate in a reported cycle.
+std::mutex gGraphGuard;
+std::map<const void*, std::set<const void*>> gEdges;
+std::map<const void*, const char*> gNames;
+
+// Locks the calling thread currently holds, oldest first.
+thread_local std::vector<const void*> tHeld;
+
+const char* nameOf(const void* m) {
+  const auto it = gNames.find(m);
+  return it != gNames.end() ? it->second : "?";
+}
+
+/// Path from `from` to `to` in the order graph (inclusive), empty if none.
+/// Called with gGraphGuard held.
+std::vector<const void*> findPath(const void* from, const void* to) {
+  std::vector<const void*> stack{from};
+  std::map<const void*, const void*> parent{{from, nullptr}};
+  while (!stack.empty()) {
+    const void* node = stack.back();
+    stack.pop_back();
+    if (node == to) {
+      std::vector<const void*> path;
+      for (const void* walk = to; walk != nullptr; walk = parent[walk]) {
+        path.push_back(walk);
+      }
+      std::reverse(path.begin(), path.end());
+      return path;
+    }
+    const auto it = gEdges.find(node);
+    if (it == gEdges.end()) continue;
+    for (const void* succ : it->second) {
+      if (parent.emplace(succ, node).second) stack.push_back(succ);
+    }
+  }
+  return {};
+}
+
+[[noreturn]] void reportInversion(const void* held, const void* acquiring,
+                                  const std::vector<const void*>& path) {
+  std::fprintf(stderr,
+               "lockdep: lock-order inversion: acquiring '%s' (%p) while "
+               "holding '%s' (%p)\n",
+               nameOf(acquiring), acquiring, nameOf(held), held);
+  std::fprintf(stderr, "lockdep: previously established order:");
+  for (const void* node : path) {
+    std::fprintf(stderr, " -> '%s' (%p)", nameOf(node), node);
+  }
+  std::fprintf(stderr,
+               "\nlockdep: the two orders deadlock when interleaved; fix the "
+               "acquisition order (see docs/STATIC_ANALYSIS.md, R7)\n");
+  std::abort();
+}
+
+}  // namespace
+
+namespace detail {
+
+void onAcquire(const void* m, const char* name) {
+  {
+    const std::lock_guard<std::mutex> guard(gGraphGuard);
+    gNames[m] = name;
+    for (const void* held : tHeld) {
+      if (gEdges[held].contains(m)) continue;
+      // Adding held -> m closes a cycle iff m already reaches held
+      // (covers the self-edge case: re-acquiring a held mutex).
+      const std::vector<const void*> path = findPath(m, held);
+      if (!path.empty()) reportInversion(held, m, path);
+      gEdges[held].insert(m);
+    }
+  }
+  tHeld.push_back(m);
+}
+
+void onRelease(const void* m) {
+  for (auto it = tHeld.rbegin(); it != tHeld.rend(); ++it) {
+    if (*it == m) {
+      tHeld.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+}  // namespace detail
+
+void resetForTest() {
+  const std::lock_guard<std::mutex> guard(gGraphGuard);
+  gEdges.clear();
+  gNames.clear();
+  tHeld.clear();
+}
+
+}  // namespace avd::lockdep

@@ -1,0 +1,90 @@
+// Runtime lock-order checker (lockdep) — the dynamic half of avd_lint R7.
+//
+// The static analyzer proves the lock-acquisition graph of the *source* is
+// acyclic; this module asserts the same invariant about the *execution*:
+// every thread records the locks it holds, a process-wide order graph
+// accumulates "A was held while B was acquired" edges, and an acquisition
+// that would close a cycle aborts with both witness chains before the
+// threads can actually deadlock. Each side catches what the other cannot —
+// the linter sees paths no test exercises, lockdep sees orders established
+// through function pointers and std::function the token index cannot
+// resolve.
+//
+// The checker core (detail::onAcquire/onRelease) is compiled in every
+// build so unit tests exercise it unconditionally. The `lockdep::Mutex`
+// wrapper only instruments its lock/unlock when AVD_LOCKDEP is defined —
+// which cmake/Sanitizers.cmake does for every AVD_SANITIZE build, so the
+// TSan CI leg runs the full suite under lockdep; release builds pay
+// nothing but one pointer of storage for the name.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+namespace avd::lockdep {
+
+namespace detail {
+
+/// Records that the current thread is about to acquire `m`, adds order
+/// edges from every lock the thread already holds, and aborts (after
+/// printing both witness chains to stderr) if any edge closes a cycle.
+/// Called BEFORE the underlying lock blocks, so an inversion is reported
+/// even when the deadlock would otherwise hang the process.
+void onAcquire(const void* m, const char* name);
+
+/// Pops `m` from the current thread's held-lock stack.
+void onRelease(const void* m);
+
+}  // namespace detail
+
+/// Drops every recorded order edge and held-lock entry for the calling
+/// thread. Tests use this to isolate scenarios; production code never
+/// forgets an order once observed.
+void resetForTest();
+
+/// Drop-in std::mutex replacement that feeds the order checker. Satisfies
+/// Lockable, so std::lock_guard / std::unique_lock / std::scoped_lock all
+/// work unchanged; pair it with lockdep::CondVar for waiting.
+class Mutex {
+ public:
+  explicit Mutex(const char* name = "mutex") noexcept : name_(name) {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() {
+#if defined(AVD_LOCKDEP)
+    detail::onAcquire(this, name_);
+#endif
+    m_.lock();
+  }
+
+  bool try_lock() {
+    if (!m_.try_lock()) return false;
+#if defined(AVD_LOCKDEP)
+    // A successful try_lock established the same order a blocking lock
+    // would have; record it after the fact (it cannot deadlock).
+    detail::onAcquire(this, name_);
+#endif
+    return true;
+  }
+
+  void unlock() {
+    m_.unlock();
+#if defined(AVD_LOCKDEP)
+    detail::onRelease(this);
+#endif
+  }
+
+  const char* name() const noexcept { return name_; }
+
+ private:
+  std::mutex m_;
+  const char* name_;
+};
+
+/// condition_variable_any works with any Lockable, so waiting code is
+/// identical whether the build instruments Mutex or not.
+using CondVar = std::condition_variable_any;
+
+}  // namespace avd::lockdep

@@ -7,8 +7,9 @@
 #pragma once
 
 #include <cstdio>
-#include <mutex>
 #include <string_view>
+
+#include "common/lockdep.h"
 
 namespace avd::util {
 
@@ -32,7 +33,7 @@ class Logger {
   Logger() = default;
 
   LogLevel level_ = LogLevel::kWarn;
-  std::mutex mutex_;
+  lockdep::Mutex mutex_{"Logger::mutex_"};
 };
 
 #define AVD_LOG_AT(level, ...)                                       \

@@ -17,7 +17,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> guard(mutex_);
+    const std::lock_guard<lockdep::Mutex> guard(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -28,7 +28,7 @@ void ThreadPool::workerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      std::unique_lock<lockdep::Mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (stopping_ && queue_.empty()) return;
       task = std::move(queue_.front());

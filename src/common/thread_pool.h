@@ -7,7 +7,6 @@
 // results.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
@@ -16,6 +15,8 @@
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "common/lockdep.h"
 
 namespace avd::util {
 
@@ -38,7 +39,7 @@ class ThreadPool {
         std::forward<F>(task));
     std::future<Result> future = packaged->get_future();
     {
-      const std::lock_guard<std::mutex> guard(mutex_);
+      const std::lock_guard<lockdep::Mutex> guard(mutex_);
       queue_.emplace_back([packaged] { (*packaged)(); });
     }
     cv_.notify_one();
@@ -53,8 +54,8 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
+  lockdep::Mutex mutex_{"ThreadPool::mutex_"};
+  lockdep::CondVar cv_;
   bool stopping_ = false;
 };
 

@@ -94,10 +94,14 @@ util::Bytes KvService::snapshot() const {
 }
 
 void KvService::restore(const util::Bytes& snapshot) {
+  // Each serialized entry is two length-prefixed strings, so a well-formed
+  // snapshot can hold at most remaining()/kMinSnapshotEntryBytes entries; a
+  // count beyond that is a malformed (or hostile) snapshot, not short input.
+  constexpr std::uint64_t kMinSnapshotEntryBytes = 8;
   table_.clear();
   util::ByteReader reader(snapshot);
   const auto count = reader.u64();
-  if (!count) return;
+  if (!count || *count > reader.remaining() / kMinSnapshotEntryBytes) return;
   for (std::uint64_t i = 0; i < *count; ++i) {
     const auto key = reader.str();
     const auto value = reader.str();

@@ -1,0 +1,66 @@
+// R7 positive fixture: three distinct lock-order defects.
+// Linted, never compiled.
+#include <mutex>
+
+namespace fixture {
+
+// (1) Intra-class inversion: deposit() takes ledger -> audit, withdraw()
+// takes audit -> ledger. Interleaved threads deadlock.
+class Account {
+ public:
+  void deposit() {
+    const std::lock_guard<std::mutex> ledger(ledgerMutex_);
+    const std::lock_guard<std::mutex> audit(auditMutex_);
+    balance_ += 1;
+  }
+  void withdraw() {
+    const std::lock_guard<std::mutex> audit(auditMutex_);
+    const std::lock_guard<std::mutex> ledger(ledgerMutex_);
+    balance_ -= 1;
+  }
+
+ private:
+  std::mutex ledgerMutex_;
+  std::mutex auditMutex_;
+  int balance_ = 0;
+};
+
+// (2) Call-mediated inversion: append() holds buf and calls flushJournal()
+// which takes disk (buf -> disk); rotate() takes disk then buf directly.
+class Journal {
+ public:
+  void flushJournal() {
+    const std::lock_guard<std::mutex> g(diskMutex_);
+    flushed_ = true;
+  }
+  void append() {
+    const std::lock_guard<std::mutex> g(bufMutex_);
+    flushJournal();
+  }
+  void rotate() {
+    const std::lock_guard<std::mutex> g1(diskMutex_);
+    const std::lock_guard<std::mutex> g2(bufMutex_);
+    flushed_ = false;
+  }
+
+ private:
+  std::mutex bufMutex_;
+  std::mutex diskMutex_;
+  bool flushed_ = false;
+};
+
+// (3) Self-deadlock: re-acquiring a held non-recursive mutex.
+class Once {
+ public:
+  void twice() {
+    const std::lock_guard<std::mutex> outer(stateMutex_);
+    const std::lock_guard<std::mutex> inner(stateMutex_);
+    calls_ += 1;
+  }
+
+ private:
+  std::mutex stateMutex_;
+  int calls_ = 0;
+};
+
+}  // namespace fixture

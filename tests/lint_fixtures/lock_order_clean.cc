@@ -1,0 +1,54 @@
+// R7 negative fixture: nested locking is fine as long as every path agrees
+// on the order, including through calls. Linted, never compiled.
+#include <mutex>
+
+namespace fixture {
+
+class Account {
+ public:
+  void deposit() {
+    const std::lock_guard<std::mutex> ledger(ledgerMutex_);
+    const std::lock_guard<std::mutex> audit(auditMutex_);
+    balance_ += 1;
+  }
+  void withdraw() {
+    // Same order as deposit(): ledger before audit.
+    const std::lock_guard<std::mutex> ledger(ledgerMutex_);
+    const std::lock_guard<std::mutex> audit(auditMutex_);
+    balance_ -= 1;
+  }
+
+ private:
+  std::mutex ledgerMutex_;
+  std::mutex auditMutex_;
+  int balance_ = 0;
+};
+
+class Journal {
+ public:
+  void flushJournal() {
+    const std::lock_guard<std::mutex> g(diskMutex_);
+    flushed_ = true;
+  }
+  void append() {
+    // Takes buf, releases it, then calls into disk: no lock is held across
+    // the call, so no order edge exists.
+    {
+      const std::lock_guard<std::mutex> g(bufMutex_);
+      flushed_ = false;
+    }
+    flushJournal();
+  }
+  void rotate() {
+    const std::lock_guard<std::mutex> g1(bufMutex_);
+    const std::lock_guard<std::mutex> g2(diskMutex_);
+    flushed_ = false;
+  }
+
+ private:
+  std::mutex bufMutex_;
+  std::mutex diskMutex_;
+  bool flushed_ = false;
+};
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// R10 positive fixture: directives that no longer suppress anything.
+// Linted, never compiled.
+namespace fixture {
+
+int answer() {
+  return 42;  // avd-lint: allow(nondeterminism)
+}
+
+// avd-lint: allow(naked-lock)
+int stillClean() {
+  return 7;
+}
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// R9 positive fixture: wire-read lengths flow into an allocation size and a
+// loop bound with no clamp anywhere on the path. Linted, never compiled.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+void loadEntries(Reader& reader, std::vector<int>& out) {
+  const auto count = reader.u32();
+  if (!count) return;
+  const std::size_t n = *count;  // taint propagates through the copy
+  out.reserve(n);                // attacker-sized allocation
+}
+
+void sumEntries(Reader& reader) {
+  const auto total = reader.u64();
+  if (!total) return;
+  std::uint64_t sum = 0;
+  for (std::uint64_t i = 0; i < *total; ++i) {  // attacker-bounded loop
+    sum += i;
+  }
+  consume(sum);
+}
+
+}  // namespace fixture

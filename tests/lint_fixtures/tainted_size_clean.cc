@@ -1,0 +1,30 @@
+// R9 negative fixture: the same flows, but every wire-read length passes
+// through a clamp — a k*Cap constant or a remaining() validation — before
+// reaching a sink. Linted, never compiled.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+constexpr std::size_t kMaxEntries = 4096;
+
+void loadEntries(Reader& reader, std::vector<int>& out) {
+  const auto count = reader.u32();
+  if (!count) return;
+  out.reserve(std::min<std::size_t>(*count, kMaxEntries));  // clamped
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    out.push_back(0);
+  }
+}
+
+void sumEntries(Reader& reader) {
+  const auto total = reader.u64();
+  if (!total || *total > reader.remaining()) return;  // validated
+  std::uint64_t sum = 0;
+  for (std::uint64_t i = 0; i < *total; ++i) {
+    sum += i;
+  }
+  consume(sum);
+}
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// R8 positive fixture: setTimer callbacks capturing state that dies before
+// the timer fires. Linted, never compiled.
+#include <map>
+
+namespace fixture {
+
+class Session {
+ public:
+  void arm() {
+    int budget = 3;
+    auto it = peers_.find(7);
+    setTimer(10, [&] { fire(); });          // [&]: everything by reference
+    setTimer(20, [&budget] { budget -= 1; });  // dangling stack reference
+    setTimer(30, [it] { (void)it; });       // iterator into mutable map
+  }
+  void fire();
+
+ private:
+  void setTimer(int delayMs, void (*callback)());
+  std::map<int, int> peers_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,26 @@
+// R8 negative fixture: callbacks capture stable values — `this` (guarded by
+// the node's incarnation counter) and plain keys. An iterator local may
+// exist as long as the lambda does not capture it. Linted, never compiled.
+#include <map>
+
+namespace fixture {
+
+class Session {
+ public:
+  void arm() {
+    const int peer = 7;
+    auto it = peers_.find(peer);
+    if (it != peers_.end()) {
+      setTimer(10, [this, peer] { poke(peer); });
+      setTimer(20, [this] { fire(); });
+    }
+  }
+  void fire();
+  void poke(int peer);
+
+ private:
+  void setTimer(int delayMs, void (*callback)());
+  std::map<int, int> peers_;
+};
+
+}  // namespace fixture

@@ -43,15 +43,19 @@ std::size_t countRule(const std::vector<Finding>& findings,
 
 // --- Registry ---------------------------------------------------------------
 
-TEST(LintRegistry, ContainsTheSixRulesPlusMeta) {
+TEST(LintRegistry, ContainsTheTenRulesPlusMeta) {
   const auto& rules = ruleRegistry();
-  ASSERT_EQ(rules.size(), 7u);
+  ASSERT_EQ(rules.size(), 11u);
   EXPECT_TRUE(isKnownRule("nondeterminism"));
   EXPECT_TRUE(isKnownRule("unchecked-parse"));
   EXPECT_TRUE(isKnownRule("uncapped-reserve"));
   EXPECT_TRUE(isKnownRule("naked-lock"));
   EXPECT_TRUE(isKnownRule("unordered-iter"));
   EXPECT_TRUE(isKnownRule("detached-thread"));
+  EXPECT_TRUE(isKnownRule("lock-order"));
+  EXPECT_TRUE(isKnownRule("timer-capture"));
+  EXPECT_TRUE(isKnownRule("tainted-size"));
+  EXPECT_TRUE(isKnownRule("stale-suppression"));
   EXPECT_TRUE(isKnownRule("bad-suppression"));
   EXPECT_FALSE(isKnownRule("no-such-rule"));
 }
@@ -322,6 +326,204 @@ TEST(LintTokenizer, RawStringWithDelimiterIsSkipped) {
   EXPECT_EQ(countRule(findings, "naked-lock"), 1u)
       << "lexer resynchronizes after the raw string";
   EXPECT_EQ(countRule(findings, "nondeterminism"), 0u);
+}
+
+// --- R7 lock-order -----------------------------------------------------------
+
+TEST(LintR7, FixtureSeedsDirectCallMediatedAndSelfInversions) {
+  const auto findings = lintFixture("lock_order.cc", "src/pbft/accounts.cpp");
+  EXPECT_EQ(countRule(findings, "lock-order"), 3u);
+  // The self-deadlock is reported as a re-acquisition, not a cycle.
+  EXPECT_TRUE(std::any_of(findings.begin(), findings.end(), [](const Finding& f) {
+    return f.rule == "lock-order" &&
+           f.message.find("re-acqui") != std::string::npos;
+  }));
+  // The call-mediated cycle names both mutexes of the Journal class.
+  EXPECT_TRUE(std::any_of(findings.begin(), findings.end(), [](const Finding& f) {
+    return f.rule == "lock-order" &&
+           f.message.find("Journal::bufMutex_") != std::string::npos &&
+           f.message.find("Journal::diskMutex_") != std::string::npos;
+  }));
+}
+
+TEST(LintR7, ConsistentOrderAndScopedReleaseAreClean) {
+  const auto findings =
+      lintFixture("lock_order_clean.cc", "src/pbft/accounts.cpp");
+  EXPECT_EQ(countRule(findings, "lock-order"), 0u);
+}
+
+TEST(LintR7, InversionAcrossTranslationUnitsIsDetected) {
+  // The mutex members live in a header; each TU takes them in the opposite
+  // order. Neither file alone has a cycle — only the repo-wide graph does.
+  const std::vector<SourceFile> files = {
+      {"src/net/channel.h",
+       "#include <mutex>\n"
+       "class Channel {\n"
+       " public:\n"
+       "  void send();\n"
+       "  void recv();\n"
+       " private:\n"
+       "  std::mutex txMutex_;\n"
+       "  std::mutex rxMutex_;\n"
+       "};\n"},
+      {"src/net/send.cpp",
+       "#include \"channel.h\"\n"
+       "void Channel::send() {\n"
+       "  const std::lock_guard<std::mutex> tx(txMutex_);\n"
+       "  const std::lock_guard<std::mutex> rx(rxMutex_);\n"
+       "}\n"},
+      {"src/net/recv.cpp",
+       "#include \"channel.h\"\n"
+       "void Channel::recv() {\n"
+       "  const std::lock_guard<std::mutex> rx(rxMutex_);\n"
+       "  const std::lock_guard<std::mutex> tx(txMutex_);\n"
+       "}\n"},
+  };
+  const auto findings = lintFiles(files);
+  EXPECT_EQ(countRule(findings, "lock-order"), 1u);
+}
+
+TEST(LintR7, DeferLockIsNotAnAcquisition) {
+  const auto findings = lintSource(
+      "src/pbft/x.cpp",
+      "#include <mutex>\n"
+      "class Pair {\n"
+      "  std::mutex aMutex_;\n"
+      "  std::mutex bMutex_;\n"
+      "  void both() {\n"
+      "    std::unique_lock<std::mutex> la(aMutex_, std::defer_lock);\n"
+      "    std::unique_lock<std::mutex> lb(bMutex_, std::defer_lock);\n"
+      "  }\n"
+      "  void reversed() {\n"
+      "    std::unique_lock<std::mutex> lb(bMutex_, std::defer_lock);\n"
+      "    std::unique_lock<std::mutex> la(aMutex_, std::defer_lock);\n"
+      "  }\n"
+      "};\n");
+  EXPECT_EQ(countRule(findings, "lock-order"), 0u);
+}
+
+// --- R8 timer-capture --------------------------------------------------------
+
+TEST(LintR8, FixtureSeedsRefCaptureAndIteratorCaptureViolations) {
+  const auto findings = lintFixture("timer_capture.cc", "src/sim/session.cpp");
+  EXPECT_EQ(countRule(findings, "timer-capture"), 3u);
+}
+
+TEST(LintR8, ValueCapturesOfThisAndPlainKeysAreClean) {
+  const auto findings =
+      lintFixture("timer_capture_clean.cc", "src/sim/session.cpp");
+  EXPECT_EQ(countRule(findings, "timer-capture"), 0u);
+}
+
+// --- R9 tainted-size ---------------------------------------------------------
+
+TEST(LintR9, FixtureSeedsUnclampedReserveAndLoopBound) {
+  const auto findings = lintFixture("tainted_size.cc", "src/pbft/wire.cpp");
+  EXPECT_EQ(countRule(findings, "tainted-size"), 2u);
+}
+
+TEST(LintR9, ClampedAndRemainingValidatedFlowsAreClean) {
+  const auto findings =
+      lintFixture("tainted_size_clean.cc", "src/pbft/wire.cpp");
+  EXPECT_EQ(countRule(findings, "tainted-size"), 0u);
+}
+
+TEST(LintR9, RemainingDivisorClampSanitizes) {
+  // Regression for the KvService::restore fix: bounding the entry count by
+  // remaining()/kMinEntryBytes counts as validation.
+  const auto findings = lintSource(
+      "src/pbft/service.cpp",
+      "void restore(util::ByteReader& reader) {\n"
+      "  constexpr std::uint64_t kMinEntryBytes = 8;\n"
+      "  const auto count = reader.u64();\n"
+      "  if (!count || *count > reader.remaining() / kMinEntryBytes) return;\n"
+      "  for (std::uint64_t i = 0; i < *count; ++i) {\n"
+      "    consume(i);\n"
+      "  }\n"
+      "}\n");
+  EXPECT_EQ(countRule(findings, "tainted-size"), 0u);
+}
+
+TEST(LintR9, UnclampedCountIntoLoopIsFlagged) {
+  // The same shape without the remaining() check — the pre-fix
+  // KvService::restore bug.
+  const auto findings = lintSource(
+      "src/pbft/service.cpp",
+      "void restore(util::ByteReader& reader) {\n"
+      "  const auto count = reader.u64();\n"
+      "  if (!count) return;\n"
+      "  for (std::uint64_t i = 0; i < *count; ++i) {\n"
+      "    consume(i);\n"
+      "  }\n"
+      "}\n");
+  EXPECT_EQ(countRule(findings, "tainted-size"), 1u);
+}
+
+// --- R10 stale-suppression ---------------------------------------------------
+
+TEST(LintR10, FixtureSeedsTrailingAndStandaloneDeadDirectives) {
+  const auto findings =
+      lintFixture("stale_suppression.cc", "src/pbft/state.cpp");
+  EXPECT_EQ(countRule(findings, "stale-suppression"), 2u);
+}
+
+TEST(LintR10, LiveDirectivesAreNotFlagged) {
+  // suppressed.cc's every allow() still covers a real finding.
+  const auto findings = lintFixture("suppressed.cc", "src/pbft/node.cpp");
+  EXPECT_EQ(countRule(findings, "stale-suppression"), 0u);
+}
+
+TEST(LintR10, StaleSuppressionCannotSuppressItself) {
+  const auto findings = lintSource(
+      "src/pbft/x.cpp",
+      "int f() {\n"
+      "  return 1;  // avd-lint: allow(nondeterminism) allow(stale-suppression)\n"
+      "}\n");
+  EXPECT_GE(countRule(findings, "stale-suppression"), 1u);
+  EXPECT_EQ(unsuppressedCount(findings), findings.size());
+}
+
+// --- Baseline ratchet --------------------------------------------------------
+
+TEST(LintBaseline, JsonRoundTripsThroughParse) {
+  const std::vector<Finding> findings = {
+      {"src/a.cpp", 12, "naked-lock", "call .lock() \"quoted\"", false},
+      {"src/b.cpp", 7, "nondeterminism", "rand() seeds\\path", false},
+  };
+  const auto parsed = parseFindingsJson(toJson(findings));
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].file, "src/a.cpp");
+  EXPECT_EQ(parsed[0].line, 12u);
+  EXPECT_EQ(parsed[0].rule, "naked-lock");
+  EXPECT_EQ(parsed[0].message, "call .lock() \"quoted\"");
+  EXPECT_EQ(parsed[1].message, "rand() seeds\\path");
+}
+
+TEST(LintBaseline, EmptyArrayParsesToNoFindings) {
+  EXPECT_TRUE(parseFindingsJson("[]").empty());
+  EXPECT_TRUE(parseFindingsJson(" [\n] \n").empty());
+}
+
+TEST(LintBaseline, DiffIgnoresLineNumbersButCountsMultiplicity) {
+  const std::vector<Finding> current = {
+      {"src/a.cpp", 40, "naked-lock", "m", false},   // moved: was line 12
+      {"src/a.cpp", 41, "naked-lock", "m", false},   // second copy: new
+      {"src/b.cpp", 9, "tainted-size", "t", false},  // brand new
+  };
+  const std::vector<Finding> baseline = {
+      {"src/a.cpp", 12, "naked-lock", "m", false},
+  };
+  const auto fresh = diffAgainstBaseline(current, baseline);
+  ASSERT_EQ(fresh.size(), 2u);
+  EXPECT_EQ(fresh[0].rule, "naked-lock");
+  EXPECT_EQ(fresh[1].rule, "tainted-size");
+}
+
+TEST(LintBaseline, BaselinedFindingThatWasFixedJustDisappears) {
+  const std::vector<Finding> baseline = {
+      {"src/a.cpp", 12, "naked-lock", "m", false},
+  };
+  EXPECT_TRUE(diffAgainstBaseline({}, baseline).empty());
 }
 
 }  // namespace

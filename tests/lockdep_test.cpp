@@ -1,0 +1,166 @@
+// Runtime lockdep tests — the dynamic half of avd_lint's R7 lock-order rule.
+//
+// The checker core (detail::onAcquire/onRelease) is compiled into every
+// build, so these tests run in the plain tier-1 configuration too, not just
+// under AVD_SANITIZE. Inversions abort the process, so they are exercised
+// as death tests; the clean-path tests prove the checker is silent when the
+// order is consistent.
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <thread>
+
+#include "common/lockdep.h"
+
+namespace avd::lockdep {
+namespace {
+
+class LockdepTest : public ::testing::Test {
+ protected:
+  void SetUp() override { resetForTest(); }
+  void TearDown() override { resetForTest(); }
+};
+
+// Two stand-in lock identities. The detail API only needs stable addresses.
+int tokenA = 0;
+int tokenB = 0;
+int tokenC = 0;
+
+void acquire(const void* m, const char* name) { detail::onAcquire(m, name); }
+void release(const void* m) { detail::onRelease(m); }
+
+TEST_F(LockdepTest, ConsistentOrderIsSilent) {
+  for (int round = 0; round < 3; ++round) {
+    acquire(&tokenA, "A");
+    acquire(&tokenB, "B");
+    release(&tokenB);
+    release(&tokenA);
+  }
+  SUCCEED();
+}
+
+TEST_F(LockdepTest, NestedChainIsSilent) {
+  acquire(&tokenA, "A");
+  acquire(&tokenB, "B");
+  acquire(&tokenC, "C");
+  release(&tokenC);
+  release(&tokenB);
+  release(&tokenA);
+  SUCCEED();
+}
+
+TEST_F(LockdepTest, DisjointOrdersAreSilent) {
+  // A->B and C alone never relate B and C, so B->C later is fine.
+  acquire(&tokenA, "A");
+  acquire(&tokenB, "B");
+  release(&tokenB);
+  release(&tokenA);
+  acquire(&tokenB, "B");
+  acquire(&tokenC, "C");
+  release(&tokenC);
+  release(&tokenB);
+  SUCCEED();
+}
+
+using LockdepDeathTest = LockdepTest;
+
+TEST_F(LockdepDeathTest, DirectInversionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // Establish A -> B, then attempt B -> A.
+  acquire(&tokenA, "alpha");
+  acquire(&tokenB, "beta");
+  release(&tokenB);
+  release(&tokenA);
+  EXPECT_DEATH(
+      {
+        acquire(&tokenB, "beta");
+        acquire(&tokenA, "alpha");
+      },
+      "lock-order inversion");
+}
+
+TEST_F(LockdepDeathTest, TransitiveInversionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // A -> B and B -> C are recorded; C -> A closes the cycle through both.
+  acquire(&tokenA, "alpha");
+  acquire(&tokenB, "beta");
+  release(&tokenB);
+  release(&tokenA);
+  acquire(&tokenB, "beta");
+  acquire(&tokenC, "gamma");
+  release(&tokenC);
+  release(&tokenB);
+  EXPECT_DEATH(
+      {
+        acquire(&tokenC, "gamma");
+        acquire(&tokenA, "alpha");
+      },
+      "lock-order inversion");
+}
+
+TEST_F(LockdepDeathTest, ReacquiringAHeldLockAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        acquire(&tokenA, "alpha");
+        acquire(&tokenA, "alpha");
+      },
+      "lock-order inversion");
+}
+
+TEST_F(LockdepTest, OrderGraphIsSharedAcrossThreads) {
+  // Thread 1 establishes A -> B; thread 2 takes them in the same order.
+  // Both succeed, proving the graph is global rather than thread-local
+  // (an inversion from another thread is covered by the death tests).
+  std::thread first([] {
+    acquire(&tokenA, "A");
+    acquire(&tokenB, "B");
+    release(&tokenB);
+    release(&tokenA);
+  });
+  first.join();
+  std::thread second([] {
+    acquire(&tokenA, "A");
+    acquire(&tokenB, "B");
+    release(&tokenB);
+    release(&tokenA);
+  });
+  second.join();
+  SUCCEED();
+}
+
+TEST_F(LockdepTest, MutexWrapperSatisfiesLockable) {
+  Mutex m{"LockdepTest::m"};
+  EXPECT_STREQ(m.name(), "LockdepTest::m");
+  {
+    const std::lock_guard<Mutex> guard(m);
+  }
+  {
+    std::unique_lock<Mutex> lock(m, std::try_to_lock);
+    EXPECT_TRUE(lock.owns_lock());
+  }
+  EXPECT_TRUE(m.try_lock());
+  m.unlock();
+}
+
+TEST_F(LockdepTest, CondVarWaitsOnWrapperMutex) {
+  Mutex m{"LockdepTest::cv_m"};
+  CondVar cv;
+  bool ready = false;
+  std::thread producer([&] {
+    {
+      const std::lock_guard<Mutex> guard(m);
+      ready = true;
+    }
+    cv.notify_one();
+  });
+  {
+    std::unique_lock<Mutex> lock(m);
+    cv.wait(lock, [&] { return ready; });
+  }
+  producer.join();
+  EXPECT_TRUE(ready);
+}
+
+}  // namespace
+}  // namespace avd::lockdep

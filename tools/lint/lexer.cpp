@@ -1,0 +1,271 @@
+#include "lexer.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace avd::lint {
+namespace {
+
+bool identStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool identChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Parses an `avd-lint allow(naked-lock, unordered-iter)` directive out of
+/// one comment's text and records it for `line` (and `line + 1` when the
+/// comment stands alone on its line, so a directive can annotate the
+/// statement below it).
+void parseDirective(std::string_view comment, std::size_t line,
+                    bool commentOwnsLine, const std::string& path,
+                    Suppressions& out) {
+  const auto tagPos = comment.find("avd-lint:");
+  if (tagPos == std::string_view::npos) return;
+  const auto allowPos = comment.find("allow(", tagPos);
+  if (allowPos == std::string_view::npos) {
+    out.errors.push_back({path, line, "bad-suppression",
+                          "avd-lint directive without allow(...) clause",
+                          false});
+    return;
+  }
+  const auto close = comment.find(')', allowPos);
+  if (close == std::string_view::npos) {
+    out.errors.push_back({path, line, "bad-suppression",
+                          "unterminated avd-lint allow(...) clause", false});
+    return;
+  }
+  std::string_view list =
+      comment.substr(allowPos + 6, close - (allowPos + 6));
+  Directive directive;
+  directive.line = line;
+  directive.coveredLines.insert(line);
+  if (commentOwnsLine) directive.coveredLines.insert(line + 1);
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    auto end = list.find(',', start);
+    if (end == std::string_view::npos) end = list.size();
+    std::string_view rule = list.substr(start, end - start);
+    while (!rule.empty() && std::isspace(static_cast<unsigned char>(rule.front()))) {
+      rule.remove_prefix(1);
+    }
+    while (!rule.empty() && std::isspace(static_cast<unsigned char>(rule.back()))) {
+      rule.remove_suffix(1);
+    }
+    if (!rule.empty()) {
+      if (rule != "*" && !isKnownRule(rule)) {
+        out.errors.push_back({path, line, "bad-suppression",
+                              "unknown rule '" + std::string(rule) +
+                                  "' in avd-lint allow()",
+                              false});
+      } else {
+        directive.rules.insert(std::string(rule));
+        out.byLine[line].insert(std::string(rule));
+        if (commentOwnsLine) out.byLine[line + 1].insert(std::string(rule));
+      }
+    }
+    start = end + 1;
+  }
+  if (!directive.rules.empty()) {
+    out.directives.push_back(std::move(directive));
+  }
+}
+
+}  // namespace
+
+LexResult lex(const std::string& path, std::string_view src) {
+  LexResult out;
+  std::size_t line = 1;
+  bool lineHasCode = false;  // any token before a comment on this line?
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+
+  auto push = [&](TokKind kind, std::string text) {
+    out.tokens.push_back({kind, std::move(text), line});
+    lineHasCode = true;
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      lineHasCode = false;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: skip to end of line (honoring continuations),
+    // so macro bodies and #if branches can never double-declare symbols in
+    // the index. Comments on the directive line are still harvested.
+    if (c == '#' && !lineHasCode) {
+      while (i < n && src[i] != '\n') {
+        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        // A comment opening on the directive line is handled by the main
+        // loop so its directive text is not lost.
+        if (src[i] == '/' && i + 1 < n &&
+            (src[i + 1] == '/' || src[i + 1] == '*')) {
+          break;
+        }
+        ++i;
+      }
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      const std::size_t start = i;
+      while (i < n && src[i] != '\n') ++i;
+      parseDirective(src.substr(start, i - start), line, !lineHasCode, path,
+                     out.suppressions);
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const std::size_t start = i;
+      const std::size_t startLine = line;
+      const bool ownsLine = !lineHasCode;
+      i += 2;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      i = std::min(n, i + 2);
+      parseDirective(src.substr(start, i - start), startLine, ownsLine, path,
+                     out.suppressions);
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && src[j] != '(') delim.push_back(src[j++]);
+      const std::string closer = ")" + delim + "\"";
+      const std::size_t end = src.find(closer, j);
+      const std::size_t stop = end == std::string_view::npos ? n : end + closer.size();
+      line += static_cast<std::size_t>(
+          std::count(src.begin() + static_cast<std::ptrdiff_t>(i),
+                     src.begin() + static_cast<std::ptrdiff_t>(stop), '\n'));
+      push(TokKind::kString, "<raw-string>");
+      i = stop;
+      continue;
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      while (j < n && src[j] != quote) {
+        if (src[j] == '\\' && j + 1 < n) ++j;
+        if (src[j] == '\n') ++line;
+        ++j;
+      }
+      push(quote == '"' ? TokKind::kString : TokKind::kChar, "<literal>");
+      i = std::min(n, j + 1);
+      continue;
+    }
+    if (identStart(c)) {
+      std::size_t j = i;
+      while (j < n && identChar(src[j])) ++j;
+      push(TokKind::kIdent, std::string(src.substr(i, j - i)));
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      while (j < n && (identChar(src[j]) || src[j] == '.' || src[j] == '\'' ||
+                       ((src[j] == '+' || src[j] == '-') && j > i &&
+                        (src[j - 1] == 'e' || src[j - 1] == 'E' ||
+                         src[j - 1] == 'p' || src[j - 1] == 'P')))) {
+      ++j;
+      }
+      push(TokKind::kNumber, std::string(src.substr(i, j - i)));
+      i = j;
+      continue;
+    }
+    // Fused operators the rules pattern-match on.
+    if (c == ':' && i + 1 < n && src[i + 1] == ':') {
+      push(TokKind::kPunct, "::");
+      i += 2;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && src[i + 1] == '>') {
+      push(TokKind::kPunct, "->");
+      i += 2;
+      continue;
+    }
+    if (c == '[' && i + 1 < n && src[i + 1] == '[') {
+      push(TokKind::kPunct, "[[");
+      i += 2;
+      continue;
+    }
+    if (c == ']' && i + 1 < n && src[i + 1] == ']') {
+      push(TokKind::kPunct, "]]");
+      i += 2;
+      continue;
+    }
+    push(TokKind::kPunct, std::string(1, c));
+    ++i;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Shared token-stream helpers
+
+const std::string kEmptyTokenText;
+
+const std::string& text(const std::vector<Token>& toks, std::size_t i) {
+  return i < toks.size() ? toks[i].text : kEmptyTokenText;
+}
+
+bool isIdent(const std::vector<Token>& toks, std::size_t i) {
+  return i < toks.size() && toks[i].kind == TokKind::kIdent;
+}
+
+std::size_t skipBalanced(const std::vector<Token>& toks, std::size_t open,
+                         const std::string& opener, const std::string& closer) {
+  std::size_t depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].text == opener) {
+      ++depth;
+    } else if (toks[i].text == closer) {
+      if (--depth == 0) return i + 1;
+    }
+  }
+  return toks.size();
+}
+
+bool plainOrQualifiedBy(const std::vector<Token>& toks, std::size_t i,
+                        const std::set<std::string>& namespaces) {
+  if (i == 0) return true;
+  const std::string& prev = toks[i - 1].text;
+  if (prev == "." || prev == "->") return false;
+  if (prev == "::") {
+    return i >= 2 && namespaces.contains(toks[i - 2].text);
+  }
+  return true;
+}
+
+bool isCapConstant(const std::string& name) {
+  return name.size() >= 2 && name[0] == 'k' &&
+         std::isupper(static_cast<unsigned char>(name[1]));
+}
+
+std::string lowered(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+bool pathEndsWith(const std::string& path, std::string_view suffix) {
+  return path.size() >= suffix.size() &&
+         path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace avd::lint

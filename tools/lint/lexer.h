@@ -1,0 +1,79 @@
+// avd_lint phase 0 — tokenizer.
+//
+// A C++-aware lexer that is just rich enough for the rule set: it strips
+// comments (harvesting suppression directives as it goes), understands
+// string/char/raw-string literals so byte content can never fake a token,
+// skips preprocessor directives (a rule must never fire on a disabled
+// branch's tokens twice), and keeps line numbers for diagnostics.
+// Multi-char operators are only fused where a rule needs to see them as one
+// unit (`::`, `->`, `[[`, `]]`).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint.h"
+
+namespace avd::lint {
+
+enum class TokKind { kIdent, kNumber, kPunct, kString, kChar };
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  std::size_t line;
+};
+
+/// One `avd-lint allow(...)` directive as written in the source. R10
+/// audits these records: every rule listed must actually suppress a
+/// finding on one of `coveredLines`, or the directive is stale.
+struct Directive {
+  std::size_t line = 0;                 // line the comment appears on
+  std::set<std::size_t> coveredLines;   // line (+ line+1 when standalone)
+  std::set<std::string> rules;          // names listed in allow(); "*" = all
+};
+
+struct Suppressions {
+  // line -> rules allowed on that line ("*" = all rules).
+  std::map<std::size_t, std::set<std::string>> byLine;
+  // Every well-formed directive, in source order (for R10).
+  std::vector<Directive> directives;
+  // Malformed or unknown allow() directives found while lexing.
+  std::vector<Finding> errors;
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  Suppressions suppressions;
+};
+
+LexResult lex(const std::string& path, std::string_view src);
+
+// --- Token-stream helpers shared by the index and the rules ---------------
+
+extern const std::string kEmptyTokenText;
+
+const std::string& text(const std::vector<Token>& toks, std::size_t i);
+bool isIdent(const std::vector<Token>& toks, std::size_t i);
+
+/// Index one past the matching closer, starting at the opener index.
+std::size_t skipBalanced(const std::vector<Token>& toks, std::size_t open,
+                         const std::string& opener, const std::string& closer);
+
+/// True when the identifier at `i` is unqualified or qualified by one of
+/// `namespaces` (e.g. `std::rand` yes, `sim::time` no, `obj.rand` no).
+bool plainOrQualifiedBy(const std::vector<Token>& toks, std::size_t i,
+                        const std::set<std::string>& namespaces);
+
+/// `kLikeThis` compile-time cap/constant naming convention.
+bool isCapConstant(const std::string& name);
+
+std::string lowered(std::string s);
+
+bool pathEndsWith(const std::string& path, std::string_view suffix);
+
+}  // namespace avd::lint

@@ -4,274 +4,12 @@
 #include <cctype>
 #include <map>
 #include <set>
-#include <unordered_set>
+
+#include "index.h"
+#include "lexer.h"
 
 namespace avd::lint {
 namespace {
-
-// ---------------------------------------------------------------------------
-// Tokenizer
-//
-// A C++-aware lexer that is just rich enough for the rules: it strips
-// comments (harvesting suppression directives as it goes), understands
-// string/char/raw-string literals so byte content can never fake a token,
-// and keeps line numbers for diagnostics. Multi-char operators are only
-// fused where a rule needs to see them as one unit (`::`, `->`, `[[`, `]]`).
-
-enum class TokKind { kIdent, kNumber, kPunct, kString, kChar };
-
-struct Token {
-  TokKind kind;
-  std::string text;
-  std::size_t line;
-};
-
-struct Suppressions {
-  // line -> rules allowed on that line ("*" = all rules).
-  std::map<std::size_t, std::set<std::string>> byLine;
-  // Malformed or unknown allow() directives found while lexing.
-  std::vector<Finding> errors;
-};
-
-bool identStart(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
-}
-bool identChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-/// Parses an `avd-lint: allow(naked-lock, unordered-iter)` directive out of
-/// one comment's text and records it for `line` (and `line + 1` when the
-/// comment stands alone on its line, so a directive can annotate the
-/// statement below it).
-void parseDirective(std::string_view comment, std::size_t line,
-                    bool commentOwnsLine, const std::string& path,
-                    Suppressions& out) {
-  const auto tagPos = comment.find("avd-lint:");
-  if (tagPos == std::string_view::npos) return;
-  const auto allowPos = comment.find("allow(", tagPos);
-  if (allowPos == std::string_view::npos) {
-    out.errors.push_back({path, line, "bad-suppression",
-                          "avd-lint directive without allow(...) clause",
-                          false});
-    return;
-  }
-  const auto close = comment.find(')', allowPos);
-  if (close == std::string_view::npos) {
-    out.errors.push_back({path, line, "bad-suppression",
-                          "unterminated avd-lint allow(...) clause", false});
-    return;
-  }
-  std::string_view list =
-      comment.substr(allowPos + 6, close - (allowPos + 6));
-  std::size_t start = 0;
-  while (start <= list.size()) {
-    auto end = list.find(',', start);
-    if (end == std::string_view::npos) end = list.size();
-    std::string_view rule = list.substr(start, end - start);
-    while (!rule.empty() && std::isspace(static_cast<unsigned char>(rule.front()))) {
-      rule.remove_prefix(1);
-    }
-    while (!rule.empty() && std::isspace(static_cast<unsigned char>(rule.back()))) {
-      rule.remove_suffix(1);
-    }
-    if (!rule.empty()) {
-      if (rule != "*" && !isKnownRule(rule)) {
-        out.errors.push_back({path, line, "bad-suppression",
-                              "unknown rule '" + std::string(rule) +
-                                  "' in avd-lint allow()",
-                              false});
-      } else {
-        out.byLine[line].insert(std::string(rule));
-        if (commentOwnsLine) out.byLine[line + 1].insert(std::string(rule));
-      }
-    }
-    start = end + 1;
-  }
-}
-
-struct LexResult {
-  std::vector<Token> tokens;
-  Suppressions suppressions;
-};
-
-LexResult lex(const std::string& path, std::string_view src) {
-  LexResult out;
-  std::size_t line = 1;
-  bool lineHasCode = false;  // any token before a comment on this line?
-  std::size_t i = 0;
-  const std::size_t n = src.size();
-
-  auto push = [&](TokKind kind, std::string text) {
-    out.tokens.push_back({kind, std::move(text), line});
-    lineHasCode = true;
-  };
-
-  while (i < n) {
-    const char c = src[i];
-    if (c == '\n') {
-      ++line;
-      lineHasCode = false;
-      ++i;
-      continue;
-    }
-    if (std::isspace(static_cast<unsigned char>(c))) {
-      ++i;
-      continue;
-    }
-    // Line comment.
-    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
-      const std::size_t start = i;
-      while (i < n && src[i] != '\n') ++i;
-      parseDirective(src.substr(start, i - start), line, !lineHasCode, path,
-                     out.suppressions);
-      continue;
-    }
-    // Block comment.
-    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
-      const std::size_t start = i;
-      const std::size_t startLine = line;
-      const bool ownsLine = !lineHasCode;
-      i += 2;
-      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
-        if (src[i] == '\n') ++line;
-        ++i;
-      }
-      i = std::min(n, i + 2);
-      parseDirective(src.substr(start, i - start), startLine, ownsLine, path,
-                     out.suppressions);
-      continue;
-    }
-    // Raw string literal: R"delim( ... )delim".
-    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
-      std::size_t j = i + 2;
-      std::string delim;
-      while (j < n && src[j] != '(') delim.push_back(src[j++]);
-      const std::string closer = ")" + delim + "\"";
-      const std::size_t end = src.find(closer, j);
-      const std::size_t stop = end == std::string_view::npos ? n : end + closer.size();
-      line += static_cast<std::size_t>(
-          std::count(src.begin() + static_cast<std::ptrdiff_t>(i),
-                     src.begin() + static_cast<std::ptrdiff_t>(stop), '\n'));
-      push(TokKind::kString, "<raw-string>");
-      i = stop;
-      continue;
-    }
-    // String / char literal.
-    if (c == '"' || c == '\'') {
-      const char quote = c;
-      std::size_t j = i + 1;
-      while (j < n && src[j] != quote) {
-        if (src[j] == '\\' && j + 1 < n) ++j;
-        if (src[j] == '\n') ++line;
-        ++j;
-      }
-      push(quote == '"' ? TokKind::kString : TokKind::kChar, "<literal>");
-      i = std::min(n, j + 1);
-      continue;
-    }
-    if (identStart(c)) {
-      std::size_t j = i;
-      while (j < n && identChar(src[j])) ++j;
-      push(TokKind::kIdent, std::string(src.substr(i, j - i)));
-      i = j;
-      continue;
-    }
-    if (std::isdigit(static_cast<unsigned char>(c))) {
-      std::size_t j = i;
-      while (j < n && (identChar(src[j]) || src[j] == '.' || src[j] == '\'' ||
-                       ((src[j] == '+' || src[j] == '-') && j > i &&
-                        (src[j - 1] == 'e' || src[j - 1] == 'E' ||
-                         src[j - 1] == 'p' || src[j - 1] == 'P')))) {
-      ++j;
-      }
-      push(TokKind::kNumber, std::string(src.substr(i, j - i)));
-      i = j;
-      continue;
-    }
-    // Fused operators the rules pattern-match on.
-    if (c == ':' && i + 1 < n && src[i + 1] == ':') {
-      push(TokKind::kPunct, "::");
-      i += 2;
-      continue;
-    }
-    if (c == '-' && i + 1 < n && src[i + 1] == '>') {
-      push(TokKind::kPunct, "->");
-      i += 2;
-      continue;
-    }
-    if (c == '[' && i + 1 < n && src[i + 1] == '[') {
-      push(TokKind::kPunct, "[[");
-      i += 2;
-      continue;
-    }
-    if (c == ']' && i + 1 < n && src[i + 1] == ']') {
-      push(TokKind::kPunct, "]]");
-      i += 2;
-      continue;
-    }
-    push(TokKind::kPunct, std::string(1, c));
-    ++i;
-  }
-  return out;
-}
-
-// ---------------------------------------------------------------------------
-// Token-stream helpers
-
-const std::string kEmpty;
-
-const std::string& text(const std::vector<Token>& toks, std::size_t i) {
-  return i < toks.size() ? toks[i].text : kEmpty;
-}
-
-bool isIdent(const std::vector<Token>& toks, std::size_t i) {
-  return i < toks.size() && toks[i].kind == TokKind::kIdent;
-}
-
-/// Index one past the matching closer, starting at the opener index.
-std::size_t skipBalanced(const std::vector<Token>& toks, std::size_t open,
-                         const std::string& opener, const std::string& closer) {
-  std::size_t depth = 0;
-  for (std::size_t i = open; i < toks.size(); ++i) {
-    if (toks[i].text == opener) {
-      ++depth;
-    } else if (toks[i].text == closer) {
-      if (--depth == 0) return i + 1;
-    }
-  }
-  return toks.size();
-}
-
-/// True when the identifier at `i` is unqualified or qualified by one of
-/// `namespaces` (e.g. `std::rand` yes, `sim::time` no, `obj.rand` no).
-bool plainOrQualifiedBy(const std::vector<Token>& toks, std::size_t i,
-                        const std::unordered_set<std::string>& namespaces) {
-  if (i == 0) return true;
-  const std::string& prev = toks[i - 1].text;
-  if (prev == "." || prev == "->") return false;
-  if (prev == "::") {
-    return i >= 2 && namespaces.contains(toks[i - 2].text);
-  }
-  return true;
-}
-
-bool isCapConstant(const std::string& name) {
-  return name.size() >= 2 && name[0] == 'k' &&
-         std::isupper(static_cast<unsigned char>(name[1]));
-}
-
-std::string lowered(std::string s) {
-  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
-    return static_cast<char>(std::tolower(c));
-  });
-  return s;
-}
-
-bool pathEndsWith(const std::string& path, std::string_view suffix) {
-  return path.size() >= suffix.size() &&
-         path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
-}
 
 struct Ctx {
   const std::string& path;
@@ -291,14 +29,14 @@ struct Ctx {
 
 void ruleNondeterminism(Ctx& ctx) {
   if (ctx.path.find("common/rng") != std::string::npos) return;
-  static const std::unordered_set<std::string> kBannedCalls = {
+  static const std::set<std::string> kBannedCalls = {
       "rand",    "srand",   "rand_r", "drand48", "lrand48",
       "mrand48", "random",  "time",   "clock",   "gettimeofday",
       "clock_gettime"};
-  static const std::unordered_set<std::string> kBannedTypes = {
+  static const std::set<std::string> kBannedTypes = {
       "random_device", "system_clock", "steady_clock",
       "high_resolution_clock"};
-  static const std::unordered_set<std::string> kStdish = {"std", "chrono"};
+  static const std::set<std::string> kStdish = {"std", "chrono"};
   const auto& toks = ctx.toks;
   for (std::size_t i = 0; i < toks.size(); ++i) {
     if (!isIdent(toks, i)) continue;
@@ -324,7 +62,7 @@ void ruleNondeterminism(Ctx& ctx) {
 
 // ---------------------------------------------------------------------------
 // R2 `unchecked-parse` — wire parsing must be total and its results must be
-// impossible to ignore. Two checks:
+// impossible to ignore. Three checks:
 //   (a) any function declaration returning std::optional must carry
 //       [[nodiscard]] (declaration-site enforcement);
 //   (b) a statement that calls a ByteReader accessor and drops the result
@@ -332,8 +70,8 @@ void ruleNondeterminism(Ctx& ctx) {
 //   (c) in pbft wire codec files, every `get*` / `decode` parse function
 //       must be declared [[nodiscard]].
 
-const std::unordered_set<std::string>& readerAccessors() {
-  static const std::unordered_set<std::string> kAccessors = {
+const std::set<std::string>& readerAccessors() {
+  static const std::set<std::string> kAccessors = {
       "u8", "u16", "u32", "u64", "i64", "blob", "str"};
   return kAccessors;
 }
@@ -380,7 +118,8 @@ void ruleUncheckedParse(Ctx& ctx) {
         isIdent(toks, i - 2) &&
         lowered(toks[i - 2].text).find("reader") != std::string::npos &&
         text(toks, i + 1) == "(") {
-      const std::string& stmtPrev = i >= 3 ? toks[i - 3].text : kEmpty;
+      const std::string& stmtPrev =
+          i >= 3 ? toks[i - 3].text : kEmptyTokenText;
       const bool statementStart = i < 3 || stmtPrev == ";" ||
                                   stmtPrev == "{" || stmtPrev == "}" ||
                                   stmtPrev == ")";
@@ -460,8 +199,8 @@ void ruleUncappedReserve(Ctx& ctx) {
 
 void ruleNakedLock(Ctx& ctx) {
   const auto& toks = ctx.toks;
-  static const std::unordered_set<std::string> kLockCalls = {"lock", "unlock",
-                                                             "try_lock"};
+  static const std::set<std::string> kLockCalls = {"lock", "unlock",
+                                                   "try_lock"};
   for (std::size_t i = 0; i + 3 < toks.size(); ++i) {
     if (!isIdent(toks, i)) continue;
     const std::string receiver = lowered(toks[i].text);
@@ -504,22 +243,6 @@ bool unorderedDeclScope(const std::string& path) {
          pathEndsWith(path, "campaign/runner.h") ||
          pathEndsWith(path, "campaign/dedup.h") ||
          pathEndsWith(path, "faultinject/churn.h");
-}
-
-std::set<std::string> collectUnorderedDecls(const std::vector<Token>& toks) {
-  std::set<std::string> names;
-  for (std::size_t i = 0; i < toks.size(); ++i) {
-    if (!isIdent(toks, i)) continue;
-    if (toks[i].text != "unordered_map" && toks[i].text != "unordered_set") {
-      continue;
-    }
-    if (text(toks, i + 1) != "<") continue;
-    const std::size_t afterArgs = skipBalanced(toks, i + 1, "<", ">");
-    if (isIdent(toks, afterArgs) && text(toks, afterArgs + 1) != "(") {
-      names.insert(toks[afterArgs].text);
-    }
-  }
-  return names;
 }
 
 void ruleUnorderedIter(Ctx& ctx, const std::set<std::string>& unordered) {
@@ -588,6 +311,478 @@ void ruleDetachedThread(Ctx& ctx) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// R7 `lock-order` — build the static lock-acquisition graph across function
+// boundaries and flag cycles. An edge A -> B means "B was acquired while A
+// was held", either directly (two guards in one scope) or through a call
+// (a function called with A held transitively acquires B). Any cycle in
+// that graph is a potential deadlock; any self-edge is a double acquisition
+// of a non-recursive mutex. The runtime lockdep in src/common/lockdep.h
+// checks the same invariant dynamically under AVD_SANITIZE builds.
+
+struct EdgeWitness {
+  std::string file;
+  std::size_t line = 0;
+  std::string detail;
+};
+
+bool witnessLess(const EdgeWitness& a, const EdgeWitness& b) {
+  if (a.file != b.file) return a.file < b.file;
+  return a.line < b.line;
+}
+
+/// True when lock `holder` is still held at token `at` inside its function.
+bool heldAt(const LockSite& holder, std::size_t at) {
+  return !holder.deferred && holder.tokenIndex < at && at < holder.scopeEnd;
+}
+
+void ruleLockOrder(const RepoIndex& index,
+                   std::map<std::string, std::vector<Finding>>& byFile) {
+  // Flatten functions and seed each with the mutexes it acquires itself.
+  struct FnRef {
+    std::size_t file;
+    std::size_t fn;
+  };
+  std::vector<FnRef> flat;
+  std::map<std::pair<std::size_t, std::size_t>, std::size_t> flatIndex;
+  for (std::size_t f = 0; f < index.files.size(); ++f) {
+    for (std::size_t g = 0; g < index.files[f].functions.size(); ++g) {
+      flatIndex[{f, g}] = flat.size();
+      flat.push_back({f, g});
+    }
+  }
+  std::vector<std::set<std::string>> acquires(flat.size());
+  for (std::size_t i = 0; i < flat.size(); ++i) {
+    const FunctionInfo& fn =
+        index.files[flat[i].file].functions[flat[i].fn];
+    for (const LockSite& lock : fn.locks) {
+      if (!lock.deferred) acquires[i].insert(lock.mutexId);
+    }
+  }
+
+  // Transitive closure over the unqualified-name call graph (fixpoint; the
+  // graph is tiny, so the quadratic worklist is fine).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < flat.size(); ++i) {
+      const FunctionInfo& fn =
+          index.files[flat[i].file].functions[flat[i].fn];
+      for (const CallSite& call : fn.calls) {
+        auto [lo, hi] = index.functionsByName.equal_range(call.callee);
+        for (auto it = lo; it != hi; ++it) {
+          const std::size_t j = flatIndex.at(it->second);
+          for (const std::string& m : acquires[j]) {
+            if (acquires[i].insert(m).second) changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  // Edge set with one (deterministic: lexicographically first) witness each.
+  std::map<std::pair<std::string, std::string>, EdgeWitness> edges;
+  const auto addEdge = [&](const std::string& from, const std::string& to,
+                           EdgeWitness witness) {
+    auto [it, inserted] = edges.emplace(std::make_pair(from, to), witness);
+    if (!inserted && witnessLess(witness, it->second)) {
+      it->second = std::move(witness);
+    }
+  };
+
+  for (std::size_t i = 0; i < flat.size(); ++i) {
+    const FileIndex& file = index.files[flat[i].file];
+    const FunctionInfo& fn = file.functions[flat[i].fn];
+    // Direct: guard taken while another guard is alive in the same body.
+    for (const LockSite& inner : fn.locks) {
+      if (inner.deferred) continue;
+      for (const LockSite& outer : fn.locks) {
+        if (&outer == &inner || !heldAt(outer, inner.tokenIndex)) continue;
+        addEdge(outer.mutexId, inner.mutexId,
+                {file.path, inner.line,
+                 fn.qualified + " acquires '" + inner.mutexId +
+                     "' while holding '" + outer.mutexId + "'"});
+      }
+    }
+    // Indirect: call made with locks held, callee transitively acquires.
+    for (const CallSite& call : fn.calls) {
+      if (call.heldLocks.empty()) continue;
+      auto [lo, hi] = index.functionsByName.equal_range(call.callee);
+      for (auto it = lo; it != hi; ++it) {
+        const std::size_t j = flatIndex.at(it->second);
+        if (j == flatIndex.at({flat[i].file, flat[i].fn})) continue;
+        for (const std::string& m : acquires[j]) {
+          for (const std::size_t h : call.heldLocks) {
+            addEdge(fn.locks[h].mutexId, m,
+                    {file.path, call.line,
+                     fn.qualified + " calls " + call.callee +
+                         "() (which acquires '" + m + "') while holding '" +
+                         fn.locks[h].mutexId + "'"});
+          }
+        }
+      }
+    }
+  }
+
+  // Self-edges: double acquisition of a (non-recursive) mutex.
+  std::map<std::string, std::vector<std::string>> adjacency;
+  for (const auto& [edge, witness] : edges) {
+    if (edge.first == edge.second) {
+      byFile[witness.file].push_back(
+          {witness.file, witness.line, "lock-order",
+           "re-acquisition of '" + edge.first +
+               "' while already held (" + witness.detail +
+               "); self-deadlock on a non-recursive mutex"});
+    } else {
+      adjacency[edge.first].push_back(edge.second);
+    }
+  }
+
+  // Cycles among distinct mutexes: iterative DFS from every node; report
+  // each cycle once, keyed by its sorted node set.
+  std::set<std::set<std::string>> reported;
+  for (const auto& [start, unused] : adjacency) {
+    (void)unused;
+    // DFS stack of (node, next-neighbor index) with the current path.
+    std::vector<std::pair<std::string, std::size_t>> stack{{start, 0}};
+    std::set<std::string> onPath{start};
+    while (!stack.empty()) {
+      auto& [node, next] = stack.back();
+      const auto it = adjacency.find(node);
+      if (it == adjacency.end() || next >= it->second.size()) {
+        onPath.erase(node);
+        stack.pop_back();
+        continue;
+      }
+      const std::string& succ = it->second[next++];
+      if (succ == start) {
+        // Found a cycle through `start`: collect it from the stack.
+        std::set<std::string> nodes;
+        std::vector<std::string> path;
+        for (const auto& [n, unused2] : stack) {
+          (void)unused2;
+          nodes.insert(n);
+          path.push_back(n);
+        }
+        if (reported.insert(nodes).second) {
+          std::string desc;
+          EdgeWitness first{};
+          bool haveFirst = false;
+          for (std::size_t p = 0; p < path.size(); ++p) {
+            const std::string& from = path[p];
+            const std::string& to = path[(p + 1) % path.size()];
+            const EdgeWitness& w = edges.at({from, to});
+            if (!haveFirst || witnessLess(w, first)) {
+              first = w;
+              haveFirst = true;
+            }
+            if (!desc.empty()) desc += "; ";
+            desc += "'" + from + "' -> '" + to + "' at " + w.file + ":" +
+                    std::to_string(w.line);
+          }
+          byFile[first.file].push_back(
+              {first.file, first.line, "lock-order",
+               "lock-order cycle (potential deadlock): " + desc});
+        }
+        continue;
+      }
+      if (onPath.contains(succ)) continue;  // cycle not through `start`
+      onPath.insert(succ);
+      stack.emplace_back(succ, 0);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R8 `timer-capture` — a setTimer callback outlives the statement that
+// created it by design; by the time it fires, references and iterators
+// captured at arm time may point into freed or rehashed storage (the stale
+// timer bug class the sim's incarnation counters exist to suppress).
+// Callbacks must capture by value — keys, ids, and `this` (the incarnation
+// guard makes `this` safe), never `[&]`, `[&name]`, or an iterator local.
+
+void ruleTimerCapture(const RepoIndex& index,
+                      std::map<std::string, std::vector<Finding>>& byFile) {
+  for (const FileIndex& file : index.files) {
+    for (const FunctionInfo& fn : file.functions) {
+      for (const TimerLambda& timer : fn.timers) {
+        auto& out = byFile[file.path];
+        if (timer.capturesAllByRef) {
+          out.push_back(
+              {file.path, timer.line, "timer-capture",
+               "setTimer callback in " + fn.qualified +
+                   " captures by reference by default ([&]); a fired timer "
+                   "may touch dead state — capture what it needs by value"});
+        }
+        for (const std::string& name : timer.refCaptures) {
+          out.push_back(
+              {file.path, timer.line, "timer-capture",
+               "setTimer callback in " + fn.qualified + " captures '&" +
+                   name +
+                   "' by reference; the referent can die before the timer "
+                   "fires — capture by value with an incarnation guard"});
+        }
+        for (const std::string& name : timer.valueCaptures) {
+          if (fn.iteratorLocals.contains(name)) {
+            out.push_back(
+                {file.path, timer.line, "timer-capture",
+                 "setTimer callback in " + fn.qualified +
+                     " captures iterator '" + name +
+                     "' ; iterators into mutable containers are invalidated "
+                     "before the timer fires — capture the key instead"});
+          }
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R9 `tainted-size` — intra-procedural dataflow from ByteReader length/count
+// reads to resize/reserve arguments and loop bounds. A length read off the
+// wire is attacker-controlled; before it sizes an allocation or bounds a
+// loop it must pass through an expression that clamps it against a named
+// `k*Cap` constant or validates it against `remaining()`. The analysis is a
+// linear statement scan: assignment propagates taint, a clamping statement
+// sanitizes every tainted variable it mentions.
+
+const std::set<std::string>& sizeAccessors() {
+  static const std::set<std::string> kSizeAccessors = {"u8", "u16", "u32",
+                                                       "u64", "i64"};
+  return kSizeAccessors;
+}
+
+struct TaintScan {
+  const FileIndex& file;
+  const FunctionInfo& fn;
+  std::vector<Finding>& out;
+  std::set<std::string> tainted;    // unsanitized wire-derived sizes
+  std::set<std::string> sanitized;  // clamped at least once
+
+  const std::vector<Token>& toks() const { return file.tokens; }
+
+  /// Index of the assignment `=` in [begin, end) at paren depth 0, or 0.
+  /// Comparison/compound operators (`==`, `!=`, `<=`, `>=`, `+=`...) are
+  /// excluded by inspecting the neighboring tokens.
+  std::size_t findAssign(std::size_t begin, std::size_t end) const {
+    std::size_t depth = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::string& t = toks()[i].text;
+      if (t == "(" || t == "[" || t == "{") ++depth;
+      if (t == ")" || t == "]" || t == "}") --depth;
+      if (t != "=" || depth != 0) continue;
+      const std::string& prev = i > begin ? toks()[i - 1].text : kEmptyTokenText;
+      const std::string& next = text(toks(), i + 1);
+      if (prev == "=" || prev == "!" || prev == "<" || prev == ">") continue;
+      if (next == "=") continue;
+      return i;
+    }
+    return 0;
+  }
+
+  bool containsSanitizer(std::size_t begin, std::size_t end) const {
+    for (std::size_t i = begin; i < end; ++i) {
+      if (toks()[i].kind != TokKind::kIdent) continue;
+      if (isCapConstant(toks()[i].text)) return true;
+      if (toks()[i].text == "remaining" && text(toks(), i + 1) == "(") {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::vector<std::string> taintedIn(std::size_t begin,
+                                     std::size_t end) const {
+    std::vector<std::string> found;
+    for (std::size_t i = begin; i < end; ++i) {
+      if (toks()[i].kind == TokKind::kIdent &&
+          tainted.contains(toks()[i].text)) {
+        found.push_back(toks()[i].text);
+      }
+    }
+    return found;
+  }
+
+  /// `name = <reader>.u32()`-shaped source in [begin, end): returns the
+  /// bound variable, or "" when no size read (or no binding) is present.
+  std::string sourceBinding(std::size_t begin, std::size_t end) const {
+    for (std::size_t i = begin + 2; i < end; ++i) {
+      if (toks()[i].kind != TokKind::kIdent ||
+          !sizeAccessors().contains(toks()[i].text)) {
+        continue;
+      }
+      if (text(toks(), i + 1) != "(") continue;
+      const std::string& sep = toks()[i - 1].text;
+      if (sep != "." && sep != "->") continue;
+      if (!isIdent(toks(), i - 2) ||
+          lowered(toks()[i - 2].text).find("reader") == std::string::npos) {
+        continue;
+      }
+      const std::size_t eq = findAssign(begin, end);
+      if (eq > begin && eq < i && isIdent(toks(), eq - 1)) {
+        return toks()[eq - 1].text;
+      }
+      return {};
+    }
+    return {};
+  }
+
+  void report(std::size_t line, const std::string& var,
+              const std::string& use) {
+    out.push_back(
+        {file.path, line, "tainted-size",
+         "'" + var + "' in " + fn.qualified +
+             " derives from a ByteReader length read and reaches a " + use +
+             " without a clamp; bound it with std::min(..., k*Cap) or "
+             "validate against remaining() first"});
+  }
+
+  /// One statement (or extracted loop condition when `isBound`).
+  void statement(std::size_t begin, std::size_t end, bool isBound) {
+    if (begin >= end) return;
+    const std::string bound = sourceBinding(begin, end);
+    if (!bound.empty()) {
+      if (containsSanitizer(begin, end)) {
+        sanitized.insert(bound);
+        tainted.erase(bound);
+      } else {
+        tainted.insert(bound);
+        sanitized.erase(bound);
+      }
+      return;
+    }
+    const std::vector<std::string> vars = taintedIn(begin, end);
+    if (vars.empty()) {
+      // A plain re-assignment from untainted data clears older taint.
+      const std::size_t eq = findAssign(begin, end);
+      if (eq > begin && isIdent(toks(), eq - 1)) {
+        tainted.erase(toks()[eq - 1].text);
+      }
+      return;
+    }
+    if (containsSanitizer(begin, end)) {
+      for (const std::string& v : vars) {
+        sanitized.insert(v);
+        tainted.erase(v);
+      }
+      return;
+    }
+    if (isBound) {
+      report(toks()[begin].line, vars.front(), "loop bound");
+      return;
+    }
+    // Allocation sink: .reserve( / .resize( with a tainted var in the args.
+    for (std::size_t i = begin + 1; i < end; ++i) {
+      const std::string& t = toks()[i].text;
+      if ((t != "reserve" && t != "resize") ||
+          (toks()[i - 1].text != "." && toks()[i - 1].text != "->") ||
+          text(toks(), i + 1) != "(") {
+        continue;
+      }
+      const std::size_t argsEnd = skipBalanced(toks(), i + 1, "(", ")");
+      const auto inArgs = taintedIn(i + 2, argsEnd > 0 ? argsEnd - 1 : i + 2);
+      if (!inArgs.empty()) {
+        report(toks()[i].line, inArgs.front(), t + "() size");
+        return;
+      }
+    }
+    // Assignment propagation: lhs inherits the rhs taint.
+    const std::size_t eq = findAssign(begin, end);
+    if (eq > begin && isIdent(toks(), eq - 1) &&
+        !taintedIn(eq + 1, end).empty()) {
+      tainted.insert(toks()[eq - 1].text);
+      sanitized.erase(toks()[eq - 1].text);
+    }
+  }
+
+  void run() {
+    const std::size_t bodyEnd = fn.bodyEnd > 0 ? fn.bodyEnd - 1 : 0;
+    std::size_t stmtStart = fn.bodyBegin + 1;
+    std::size_t i = stmtStart;
+    while (i < bodyEnd) {
+      const std::string& t = toks()[i].text;
+      if ((t == "for" || t == "while") && text(toks(), i + 1) == "(") {
+        statement(stmtStart, i, false);
+        const std::size_t headerEnd = skipBalanced(toks(), i + 1, "(", ")");
+        // Condition = between the first and second top-level `;` of a
+        // classic for; the whole header for while / range-for.
+        std::size_t condBegin = i + 2;
+        std::size_t condEnd = headerEnd > 0 ? headerEnd - 1 : i + 2;
+        if (t == "for") {
+          std::size_t depth = 0;
+          std::vector<std::size_t> semis;
+          for (std::size_t j = i + 2; j < condEnd; ++j) {
+            const std::string& h = toks()[j].text;
+            if (h == "(" || h == "[" || h == "{") ++depth;
+            if (h == ")" || h == "]" || h == "}") --depth;
+            if (h == ";" && depth == 0) semis.push_back(j);
+          }
+          if (semis.size() >= 2) {
+            // The init clause is an ordinary statement (may bind taint).
+            statement(i + 2, semis[0], false);
+            condBegin = semis[0] + 1;
+            condEnd = semis[1];
+          }
+        }
+        statement(condBegin, condEnd, true);
+        stmtStart = headerEnd;
+        i = headerEnd;
+        continue;
+      }
+      if (t == ";" || t == "{" || t == "}") {
+        statement(stmtStart, i, false);
+        stmtStart = i + 1;
+      }
+      ++i;
+    }
+    statement(stmtStart, bodyEnd, false);
+  }
+};
+
+void ruleTaintedSize(const RepoIndex& index,
+                     std::map<std::string, std::vector<Finding>>& byFile) {
+  for (const FileIndex& file : index.files) {
+    for (const FunctionInfo& fn : file.functions) {
+      TaintScan scan{file, fn, byFile[file.path], {}, {}};
+      scan.run();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R10 `stale-suppression` — every `avd-lint allow(rule)` directive must
+// still suppress at least one finding of that rule on its covered lines.
+// A stale directive is worse than none: it documents a defect that no
+// longer exists and silently swallows the next real one. Like
+// bad-suppression, R10 findings are themselves unsuppressible.
+
+void ruleStaleSuppression(const FileIndex& file,
+                          const std::vector<Finding>& rawFindings,
+                          std::vector<Finding>& out) {
+  for (const Directive& directive : file.suppressions.directives) {
+    for (const std::string& rule : directive.rules) {
+      bool live = false;
+      for (const Finding& finding : rawFindings) {
+        if (finding.rule == "bad-suppression" ||
+            finding.rule == "stale-suppression") {
+          continue;
+        }
+        if (!directive.coveredLines.contains(finding.line)) continue;
+        if (rule == "*" || finding.rule == rule) {
+          live = true;
+          break;
+        }
+      }
+      if (!live) {
+        out.push_back({file.path, directive.line, "stale-suppression",
+                       "avd-lint allow(" + rule +
+                           ") suppresses nothing here; remove the stale "
+                           "directive so it cannot mask a future finding"});
+      }
+    }
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -613,6 +808,20 @@ const std::vector<RuleInfo>& ruleRegistry() {
       {"detached-thread",
        "R6: no std::thread::detach(); every thread must have an owner "
        "that joins it"},
+      {"lock-order",
+       "R7: the cross-file lock-acquisition graph must be acyclic; a cycle "
+       "or re-acquisition is a potential deadlock (cross-checked at runtime "
+       "by common/lockdep under AVD_SANITIZE)"},
+      {"timer-capture",
+       "R8: setTimer callbacks capture by value only — no [&], no &name, "
+       "no iterators into mutable containers"},
+      {"tainted-size",
+       "R9: a ByteReader length read must be clamped against a k*Cap "
+       "constant or remaining() before sizing an allocation or bounding a "
+       "loop"},
+      {"stale-suppression",
+       "R10: an avd-lint allow() directive that no longer suppresses a "
+       "finding is itself an error"},
       {"bad-suppression",
        "meta: avd-lint allow() directives must name known rules"},
   };
@@ -627,38 +836,54 @@ bool isKnownRule(std::string_view rule) {
 
 std::vector<Finding> lintFiles(const std::vector<SourceFile>& files,
                                const Options& options) {
-  std::vector<LexResult> lexed;
-  lexed.reserve(files.size());
+  // Phase 1: repo-wide semantic index (lex + symbols + locks + calls).
+  RepoIndex index = buildIndex(files);
+
+  // R5 harvests declarations only from its path scope.
   std::set<std::string> unorderedNames;
-  for (const SourceFile& file : files) {
-    lexed.push_back(lex(file.path, file.text));
+  for (const FileIndex& file : index.files) {
     if (unorderedDeclScope(file.path)) {
-      const auto declared = collectUnorderedDecls(lexed.back().tokens);
-      unorderedNames.insert(declared.begin(), declared.end());
+      unorderedNames.insert(file.unorderedDecls.begin(),
+                            file.unorderedDecls.end());
     }
   }
 
-  std::vector<Finding> findings;
-  for (std::size_t f = 0; f < files.size(); ++f) {
-    std::vector<Finding> local;
-    Ctx ctx{files[f].path, lexed[f].tokens, local};
+  // Phase 2a: per-file token rules (R1-R6).
+  std::map<std::string, std::vector<Finding>> byFile;
+  for (const FileIndex& file : index.files) {
+    std::vector<Finding>& local = byFile[file.path];
+    Ctx ctx{file.path, file.tokens, local};
     ruleNondeterminism(ctx);
     ruleUncheckedParse(ctx);
     ruleUncappedReserve(ctx);
     ruleNakedLock(ctx);
     ruleUnorderedIter(ctx, unorderedNames);
     ruleDetachedThread(ctx);
+  }
 
-    const auto& allowed = lexed[f].suppressions.byLine;
+  // Phase 2b: cross-file index rules (R7-R9).
+  ruleLockOrder(index, byFile);
+  ruleTimerCapture(index, byFile);
+  ruleTaintedSize(index, byFile);
+
+  // Phase 2c: suppression audit (R10) over the pre-suppression findings,
+  // then suppression application and directive errors.
+  std::vector<Finding> findings;
+  for (const FileIndex& file : index.files) {
+    std::vector<Finding>& local = byFile[file.path];
+    ruleStaleSuppression(file, local, local);
+
+    const auto& allowed = file.suppressions.byLine;
     for (Finding& finding : local) {
+      if (finding.rule == "stale-suppression") continue;  // unsuppressible
       if (const auto it = allowed.find(finding.line); it != allowed.end()) {
         finding.suppressed =
             it->second.contains("*") || it->second.contains(finding.rule);
       }
     }
     // Directive errors are never suppressible.
-    local.insert(local.end(), lexed[f].suppressions.errors.begin(),
-                 lexed[f].suppressions.errors.end());
+    local.insert(local.end(), file.suppressions.errors.begin(),
+                 file.suppressions.errors.end());
 
     for (Finding& finding : local) {
       if (!finding.suppressed || options.includeSuppressed) {
@@ -670,7 +895,8 @@ std::vector<Finding> lintFiles(const std::vector<SourceFile>& files,
             [](const Finding& a, const Finding& b) {
               if (a.file != b.file) return a.file < b.file;
               if (a.line != b.line) return a.line < b.line;
-              return a.rule < b.rule;
+              if (a.rule != b.rule) return a.rule < b.rule;
+              return a.message < b.message;
             });
   return findings;
 }
@@ -715,6 +941,119 @@ std::string toJson(const std::vector<Finding>& findings) {
   json += findings.empty() ? "]" : "\n]";
   json += "\n";
   return json;
+}
+
+std::vector<Finding> parseFindingsJson(std::string_view json) {
+  // A minimal parser for the flat format toJson() emits: an array of
+  // objects whose values are strings, integers, or booleans. Anything it
+  // does not recognize is skipped.
+  std::vector<Finding> findings;
+  std::size_t i = 0;
+  const std::size_t n = json.size();
+
+  const auto skipSpace = [&] {
+    while (i < n && std::isspace(static_cast<unsigned char>(json[i]))) ++i;
+  };
+  const auto parseString = [&]() -> std::string {
+    std::string out;
+    ++i;  // opening quote
+    while (i < n && json[i] != '"') {
+      if (json[i] == '\\' && i + 1 < n) {
+        ++i;
+        switch (json[i]) {
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            unsigned value = 0;
+            for (int d = 0; d < 4 && i + 1 < n; ++d) {
+              const char c = json[++i];
+              value <<= 4;
+              if (c >= '0' && c <= '9') value |= static_cast<unsigned>(c - '0');
+              else if (c >= 'a' && c <= 'f') value |= static_cast<unsigned>(c - 'a' + 10);
+              else if (c >= 'A' && c <= 'F') value |= static_cast<unsigned>(c - 'A' + 10);
+            }
+            out.push_back(static_cast<char>(value & 0xFF));
+            break;
+          }
+          default: out.push_back(json[i]);
+        }
+      } else {
+        out.push_back(json[i]);
+      }
+      ++i;
+    }
+    if (i < n) ++i;  // closing quote
+    return out;
+  };
+
+  while (i < n) {
+    if (json[i] != '{') {
+      ++i;
+      continue;
+    }
+    ++i;
+    Finding finding;
+    for (;;) {
+      skipSpace();
+      if (i >= n || json[i] == '}') {
+        if (i < n) ++i;
+        break;
+      }
+      if (json[i] != '"') {
+        ++i;
+        continue;
+      }
+      const std::string key = parseString();
+      skipSpace();
+      if (i < n && json[i] == ':') ++i;
+      skipSpace();
+      if (i < n && json[i] == '"') {
+        const std::string value = parseString();
+        if (key == "file") finding.file = value;
+        else if (key == "rule") finding.rule = value;
+        else if (key == "message") finding.message = value;
+      } else {
+        std::string raw;
+        while (i < n && json[i] != ',' && json[i] != '}') raw.push_back(json[i++]);
+        while (!raw.empty() && std::isspace(static_cast<unsigned char>(raw.back()))) {
+          raw.pop_back();
+        }
+        if (key == "line") {
+          std::size_t value = 0;
+          for (char c : raw) {
+            if (c >= '0' && c <= '9') value = value * 10 + static_cast<std::size_t>(c - '0');
+          }
+          finding.line = value;
+        } else if (key == "suppressed") {
+          finding.suppressed = raw == "true";
+        }
+      }
+      skipSpace();
+      if (i < n && json[i] == ',') ++i;
+    }
+    if (!finding.rule.empty()) findings.push_back(std::move(finding));
+  }
+  return findings;
+}
+
+std::vector<Finding> diffAgainstBaseline(
+    const std::vector<Finding>& current,
+    const std::vector<Finding>& baseline) {
+  std::map<std::string, std::size_t> budget;
+  for (const Finding& f : baseline) {
+    budget[f.file + '\0' + f.rule + '\0' + f.message] += 1;
+  }
+  std::vector<Finding> fresh;
+  for (const Finding& f : current) {
+    const std::string key = f.file + '\0' + f.rule + '\0' + f.message;
+    if (const auto it = budget.find(key);
+        it != budget.end() && it->second > 0) {
+      --it->second;
+      continue;
+    }
+    fresh.push_back(f);
+  }
+  return fresh;
 }
 
 std::size_t unsuppressedCount(const std::vector<Finding>& findings) {

@@ -1,12 +1,21 @@
 // avd_lint — repo-specific static analysis for the AVD codebase.
 //
-// A deliberately small, dependency-free C++ linter that tokenizes source
-// files and enforces rules general-purpose tools cannot know about:
-// determinism of consensus paths, totality of wire parsing, allocation
-// bounds on attacker-controlled counts, RAII locking, and iteration-order
-// stability. The rule set is documented in docs/STATIC_ANALYSIS.md; each
-// rule can be suppressed per line with an `avd-lint: allow(naked-lock)`
-// style comment naming the rule id.
+// A deliberately small, dependency-free C++ analyzer. v2 is a two-phase
+// engine: phase 0/1 (lexer.h / index.h) tokenizes every translation unit
+// and builds a repo-wide semantic index (functions, mutexes, lock sites,
+// call graph, setTimer lambdas, ByteReader reads); phase 2 (this module)
+// runs the rule families over the index:
+//
+//   R1  nondeterminism     R2  unchecked-parse   R3  uncapped-reserve
+//   R4  naked-lock         R5  unordered-iter    R6  detached-thread
+//   R7  lock-order         R8  timer-capture     R9  tainted-size
+//   R10 stale-suppression  (+ the bad-suppression meta rule)
+//
+// The rule set is documented in docs/STATIC_ANALYSIS.md; each rule can be
+// suppressed per line with an `avd-lint allow(naked-lock)` style comment
+// naming the rule id (R10 then audits that every such directive still
+// suppresses something). A committed baseline (`--baseline findings.json`)
+// turns the CI gate into a ratchet: only *new* findings fail the build.
 //
 // The analysis lives in a library so tests can seed violations through the
 // same entry points the CLI uses (tools/lint/main.cpp).
@@ -34,7 +43,7 @@ struct RuleInfo {
   std::string_view summary;
 };
 
-/// All rules this build knows about, in diagnostic order R1..R5.
+/// All rules this build knows about, in diagnostic order R1..R10 + meta.
 const std::vector<RuleInfo>& ruleRegistry();
 
 /// True iff `rule` names a registered rule (used to reject typos in
@@ -54,9 +63,10 @@ struct Options {
   bool includeSuppressed = false;
 };
 
-/// Lints a set of files as one unit. Cross-file state (unordered-container
-/// declarations for R5) is gathered across the whole set, so a .cpp file
-/// iterating a member declared in its header is still caught.
+/// Lints a set of files as one unit. Phase 1 indexes the whole set before
+/// any rule runs, so cross-file facts (a mutex member declared in a header
+/// and locked in a .cpp, a callee defined in another TU) are visible to
+/// every rule.
 std::vector<Finding> lintFiles(const std::vector<SourceFile>& files,
                                const Options& options = {});
 
@@ -64,8 +74,20 @@ std::vector<Finding> lintFiles(const std::vector<SourceFile>& files,
 std::vector<Finding> lintSource(std::string_view path, std::string_view text,
                                 const Options& options = {});
 
-/// Serializes findings as a JSON array (machine-readable report).
+/// Serializes findings as a JSON array (machine-readable report; also the
+/// on-disk baseline format).
 std::string toJson(const std::vector<Finding>& findings);
+
+/// Parses a findings array previously produced by toJson() (the committed
+/// baseline). Tolerant of whitespace; unknown keys are ignored.
+std::vector<Finding> parseFindingsJson(std::string_view json);
+
+/// Baseline diff: returns the findings in `current` that are not accounted
+/// for by `baseline`. Matching is by (file, rule, message) as a multiset —
+/// line numbers are deliberately ignored so unrelated edits that shift
+/// lines do not resurrect baselined findings.
+std::vector<Finding> diffAgainstBaseline(const std::vector<Finding>& current,
+                                         const std::vector<Finding>& baseline);
 
 /// Count of findings that are not suppressed.
 std::size_t unsuppressedCount(const std::vector<Finding>& findings);

@@ -1,12 +1,17 @@
 // avd_lint CLI — walks source trees, runs the rule set, prints findings.
 //
 // Usage:
-//   avd_lint [--json] [--include-suppressed] [--list-rules] <path>...
+//   avd_lint [--json] [--include-suppressed] [--list-rules]
+//            [--baseline findings.json] <path>...
 //
 // Paths may be files or directories (directories are walked recursively for
 // .h/.cpp files). Exit status is 0 when no unsuppressed finding exists,
 // 1 when violations remain, 2 on usage/IO errors — so a CTest entry is just
 // `avd_lint ${CMAKE_SOURCE_DIR}/src`.
+//
+// With --baseline, findings that match the committed baseline (by file,
+// rule, and message — line-insensitive) are accepted and only *new*
+// findings fail: the gate becomes a ratchet that can never loosen.
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
@@ -39,7 +44,7 @@ bool readFile(const fs::path& path, std::string& out) {
 
 int usage() {
   std::cerr << "usage: avd_lint [--json] [--include-suppressed] "
-               "[--list-rules] <file-or-dir>...\n";
+               "[--list-rules] [--baseline findings.json] <file-or-dir>...\n";
   return 2;
 }
 
@@ -48,6 +53,7 @@ int usage() {
 int main(int argc, char** argv) {
   bool json = false;
   bool includeSuppressed = false;
+  std::string baselinePath;
   std::vector<fs::path> roots;
 
   for (int i = 1; i < argc; ++i) {
@@ -56,6 +62,12 @@ int main(int argc, char** argv) {
       json = true;
     } else if (arg == "--include-suppressed") {
       includeSuppressed = true;
+    } else if (arg == "--baseline") {
+      if (i + 1 >= argc) {
+        std::cerr << "avd_lint: --baseline requires a file argument\n";
+        return usage();
+      }
+      baselinePath = argv[++i];
     } else if (arg == "--list-rules") {
       for (const auto& rule : avd::lint::ruleRegistry()) {
         std::cout << rule.id << "\t" << rule.summary << "\n";
@@ -103,7 +115,18 @@ int main(int argc, char** argv) {
 
   avd::lint::Options options;
   options.includeSuppressed = includeSuppressed;
-  const std::vector<Finding> findings = avd::lint::lintFiles(files, options);
+  std::vector<Finding> findings = avd::lint::lintFiles(files, options);
+
+  if (!baselinePath.empty()) {
+    std::string baselineText;
+    if (!readFile(baselinePath, baselineText)) {
+      std::cerr << "avd_lint: cannot read baseline '" << baselinePath
+                << "'\n";
+      return 2;
+    }
+    findings = avd::lint::diffAgainstBaseline(
+        findings, avd::lint::parseFindingsJson(baselineText));
+  }
 
   if (json) {
     std::cout << avd::lint::toJson(findings);
@@ -115,7 +138,8 @@ int main(int argc, char** argv) {
     }
     const std::size_t bad = avd::lint::unsuppressedCount(findings);
     std::cout << files.size() << " files scanned, " << bad
-              << " unsuppressed finding(s)\n";
+              << (baselinePath.empty() ? " unsuppressed finding(s)\n"
+                                       : " new unsuppressed finding(s)\n");
   }
   return avd::lint::unsuppressedCount(findings) == 0 ? 0 : 1;
 }
