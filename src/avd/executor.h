@@ -26,6 +26,12 @@ struct Outcome {
   /// Seconds from the last restart to the first correct-client completion
   /// after it (0 when the scenario had no restarts).
   double recoveryLatencySec = 0.0;
+  /// Bounded-ingress overflow drops across all nodes (flood tools): the
+  /// resource damage a flood inflicted at the network layer.
+  std::uint64_t queueDrops = 0;
+  /// Replica-side admission rejections (quota + oversized + bounded
+  /// ordering queue) — nonzero only with the defenses enabled.
+  std::uint64_t quotaDrops = 0;
 };
 
 class ScenarioExecutor {

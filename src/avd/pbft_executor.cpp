@@ -7,6 +7,7 @@
 
 #include "common/hash.h"
 #include "faultinject/churn.h"
+#include "faultinject/flood.h"
 #include "faultinject/mac_corruptor.h"
 #include "faultinject/network_faults.h"
 #include "faultinject/reorder.h"
@@ -155,6 +156,33 @@ pbft::RunResult PbftAttackExecutor::runConfigured(
       churnFaults.back()->install();
     }
   }
+  // Flood: an open-loop attack client pumping traffic at flood_rate.
+  // Kind 0 (index 0 of the choice) disables the tool, so the dedup
+  // baseline treats flood scenarios as active dimensions.
+  std::unique_ptr<fi::FloodClient> flood;
+  if (point != nullptr) {
+    const auto floodKind = space_.valueOf(*point, "flood_kind", 0);
+    if (floodKind > 0 && floodKind <= 4) {
+      fi::FloodOptions options;
+      options.kind = static_cast<fi::FloodKind>(floodKind);
+      const auto rate = space_.valueOf(*point, "flood_rate", 1000);
+      options.interval =
+          rate > 0 ? std::max<sim::Time>(sim::sec(1) / rate, 1) : sim::msec(1);
+      options.payloadBytes = static_cast<std::size_t>(
+          std::max<std::int64_t>(space_.valueOf(*point, "flood_bytes", 1), 1));
+      const auto target = space_.valueOf(*point, "flood_target", -1);
+      options.target =
+          target >= 0 &&
+                  target < static_cast<std::int64_t>(config.pbft.replicaCount())
+              ? static_cast<util::NodeId>(target)
+              : util::kNoNode;
+      flood = std::make_unique<fi::FloodClient>(
+          config.pbft.replicaCount() + config.totalClients(), config.pbft,
+          &deployment.keychain(), options);
+      deployment.network().registerNode(flood.get());
+      flood->install();
+    }
+  }
   return deployment.run();
 }
 
@@ -196,6 +224,8 @@ Outcome PbftAttackExecutor::execute(const Point& point) {
   outcome.safetyViolated = result.safetyViolated;
   outcome.restarts = result.restarts;
   outcome.recoveryLatencySec = result.recoveryLatencySec;
+  outcome.queueDrops = result.queueDrops;
+  outcome.quotaDrops = result.quotaDrops;
 
   const double baseline =
       baselineFor(config.correctClients, config.maliciousClients);
@@ -235,6 +265,30 @@ Hyperspace makeChurnHyperspace() {
   space.add(Dimension::choice("churn_period_ms", {0, 400, 800}));
   space.add(Dimension::range("correct_clients", 10, 50, 10));
   return space;
+}
+
+Hyperspace makeFloodHyperspace() {
+  // Resource-exhaustion exploration: which flood tool, how hard, how big,
+  // and at whom. Index 0 of flood_kind disables the tool so non-flood
+  // points anchor the dedup baseline. Rates bracket the bounded-ingress
+  // service rate (~10k msgs/s/node with makeFloodExecutorOptions): 500/s is
+  // background noise, 16000/s oversubscribes a shared queue outright.
+  Hyperspace space;
+  space.add(Dimension::choice("flood_kind", {0, 1, 2, 3, 4}));
+  space.add(Dimension::choice("flood_rate", {500, 2000, 8000, 16000}));
+  space.add(Dimension::choice("flood_bytes", {1, 256, 1024, 4096}));
+  space.add(Dimension::choice("flood_target", {-1, 0, 1, 3}));
+  space.add(Dimension::range("correct_clients", 10, 30, 10));
+  return space;
+}
+
+PbftExecutorOptions makeFloodExecutorOptions(bool defended) {
+  PbftExecutorOptions options;
+  options.link.ingressCapacity = 64;
+  options.link.ingressByteBudget = 32 * 1024;
+  options.link.ingressServiceTime = sim::usec(100);
+  if (defended) fi::enableFloodDefenses(options.pbft);
+  return options;
 }
 
 }  // namespace avd::core

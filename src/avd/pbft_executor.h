@@ -25,6 +25,14 @@
 //   "churn_downtime_ms" range       — how long the replica stays down
 //   "churn_period_ms"   choice      — crash-to-crash repeat period
 //                       (0 = crash once)
+//   "flood_kind"        choice      — resource-exhaustion tool class
+//                       (0 = off, 1 request spam, 2 replay storm,
+//                       3 oversized payloads, 4 status amplification)
+//   "flood_rate"        choice      — flood messages per second
+//   "flood_bytes"       choice      — operation payload size (oversized /
+//                       replay tools)
+//   "flood_target"      choice      — victim replica (-1 = broadcast to
+//                       all replicas)
 //
 // The impact metric is normalized damage: 1 − throughput / baseline, where
 // the baseline is the same deployment with every tool disabled (cached per
@@ -107,5 +115,18 @@ Hyperspace makeFigure3Subspace();
 /// whether (e.g. a backup at a checkpoint boundary, the primary
 /// mid-view-change).
 Hyperspace makeChurnHyperspace();
+
+/// Resource-exhaustion exploration space: flood tool class, rate, payload
+/// size, and victim as hyperspace dimensions, times a client-load axis.
+/// Pair it with a bounded-ingress LinkModel (makeFloodExecutorOptions) or
+/// the floods vanish into the unbounded event queue.
+Hyperspace makeFloodHyperspace();
+
+/// Executor options for the `pbft-flood` system: bounded per-node ingress
+/// (64 messages / 32 KiB / 100 us service per message ≈ 10k msgs/s per
+/// node) so resource exhaustion is observable. `defended` additionally
+/// enables the full Aardvark-style defense profile (admission control +
+/// fair scheduling + bounded queues) — the ablation pair.
+PbftExecutorOptions makeFloodExecutorOptions(bool defended = false);
 
 }  // namespace avd::core

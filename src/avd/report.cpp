@@ -24,7 +24,7 @@ std::string historyCsv(const Hyperspace& space,
     out += space.dimension(d).name();
   }
   out += ",impact,bestImpact,throughputRps,avgLatencySec,viewChanges,"
-         "restarts,recoveryLatencySec,safetyViolated\n";
+         "restarts,recoveryLatencySec,queueDrops,quotaDrops,safetyViolated\n";
 
   for (std::size_t i = 0; i < history.size(); ++i) {
     const TestRecord& record = history[i];
@@ -49,6 +49,10 @@ std::string historyCsv(const Hyperspace& space,
     out += std::to_string(record.outcome.restarts);
     out += ',';
     appendDouble(out, record.outcome.recoveryLatencySec);
+    out += ',';
+    out += std::to_string(record.outcome.queueDrops);
+    out += ',';
+    out += std::to_string(record.outcome.quotaDrops);
     out += ',';
     out += record.outcome.safetyViolated ? '1' : '0';
     out += '\n';

@@ -28,6 +28,13 @@ int restartBandOf(std::uint64_t restarts) {
   return 3;
 }
 
+int resourceBandOf(std::uint64_t drops) {
+  if (drops == 0) return 0;
+  if (drops <= 100) return 1;
+  if (drops <= 10000) return 2;
+  return 3;
+}
+
 void appendDouble(std::string& out, double value) {
   char buffer[48];
   std::snprintf(buffer, sizeof(buffer), "%.6g", value);
@@ -42,6 +49,8 @@ VulnSignature signatureOf(const core::Hyperspace& space,
   signature.impactBand = impactBandOf(record.outcome.impact);
   signature.viewChangeBand = viewChangeBandOf(record.outcome.viewChanges);
   signature.restartBand = restartBandOf(record.outcome.restarts);
+  signature.resourceBand =
+      resourceBandOf(record.outcome.queueDrops + record.outcome.quotaDrops);
   signature.safetyViolated = record.outcome.safetyViolated;
   signature.activeDims.reserve(space.dimensionCount());
   for (std::size_t d = 0; d < space.dimensionCount(); ++d) {
@@ -70,6 +79,11 @@ std::string signatureLabel(const core::Hyperspace& space,
     static const char* kRestartBands[] = {"none", "1-2", "3-8", ">8"};
     out += ", restarts ";
     out += kRestartBands[std::clamp(signature.restartBand, 0, 3)];
+  }
+  if (signature.resourceBand > 0) {
+    static const char* kResourceBands[] = {"none", "1-100", "101-10k", ">10k"};
+    out += ", resource drops ";
+    out += kResourceBands[std::clamp(signature.resourceBand, 0, 3)];
   }
   if (signature.safetyViolated) out += ", SAFETY VIOLATED";
   out += ", dims {";
@@ -132,6 +146,10 @@ std::string vulnClassesJson(const core::Hyperspace& space,
     out += ", \"restarts\": " + std::to_string(cls.exemplar.outcome.restarts) +
            ", \"recoveryLatencySec\": ";
     appendDouble(out, cls.exemplar.outcome.recoveryLatencySec);
+    out += ", \"queueDrops\": " +
+           std::to_string(cls.exemplar.outcome.queueDrops) +
+           ", \"quotaDrops\": " +
+           std::to_string(cls.exemplar.outcome.quotaDrops);
     out += ", \"point\": {";
     for (std::size_t d = 0; d < space.dimensionCount(); ++d) {
       if (d != 0) out += ", ";

@@ -33,6 +33,10 @@ struct VulnSignature {
   /// 3: >8 (crash-loop). Splits churn-found classes from pure message-level
   /// attacks with the same impact profile.
   int restartBand = 0;
+  /// Over queueDrops + quotaDrops: 0: none, 1: 1-100 (pressure), 2: 101-10k
+  /// (sustained overload), 3: >10k (outright flood). Splits
+  /// resource-exhaustion classes from timing attacks with the same impact.
+  int resourceBand = 0;
   bool safetyViolated = false;
   /// Per hyperspace dimension: 1 when the scenario's concrete value differs
   /// from the dimension's index-0 (baseline/off) value — i.e. this fault

@@ -245,6 +245,12 @@ std::string encodeDone(const DoneEvent& event) {
   appendKey(out, "recoveryLatencySec");
   appendDouble(out, event.outcome.recoveryLatencySec);
   out += ',';
+  appendKey(out, "queueDrops");
+  out += std::to_string(event.outcome.queueDrops);
+  out += ',';
+  appendKey(out, "quotaDrops");
+  out += std::to_string(event.outcome.quotaDrops);
+  out += ',';
   appendKey(out, "safetyViolated");
   appendBool(out, event.outcome.safetyViolated);
   out += ',';
@@ -297,6 +303,9 @@ std::string encodeDone(const DoneEvent& event) {
     // those campaigns remain resumable.
     const auto restarts = getU64(line, "restarts");
     const auto recoveryLatencySec = getDouble(line, "recoveryLatencySec");
+    // Absent in journals written before flood support; same treatment.
+    const auto queueDrops = getU64(line, "queueDrops");
+    const auto quotaDrops = getU64(line, "quotaDrops");
     const auto safetyViolated = getBool(line, "safetyViolated");
     const auto failed = getBool(line, "failed");
     const auto timedOut = getBool(line, "timedOut");
@@ -312,6 +321,8 @@ std::string encodeDone(const DoneEvent& event) {
     done.outcome.viewChanges = *viewChanges;
     done.outcome.restarts = restarts.value_or(0);
     done.outcome.recoveryLatencySec = recoveryLatencySec.value_or(0.0);
+    done.outcome.queueDrops = queueDrops.value_or(0);
+    done.outcome.quotaDrops = quotaDrops.value_or(0);
     done.outcome.safetyViolated = *safetyViolated;
     done.bestImpact = *bestImpact;
     done.failed = *failed;

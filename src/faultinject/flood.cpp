@@ -1,0 +1,148 @@
+#include "faultinject/flood.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace avd::fi {
+
+StatusRecorder::Decision StatusRecorder::onMessage(
+    util::NodeId from, util::NodeId /*to*/, const sim::MessagePtr& message,
+    util::Rng& /*rng*/) {
+  if (static_cast<pbft::MsgKind>(message->kind()) == pbft::MsgKind::kStatus) {
+    recorded_.try_emplace(from, message);
+  }
+  return {};
+}
+
+FloodClient::FloodClient(util::NodeId id, const pbft::Config& config,
+                         const crypto::Keychain* keychain,
+                         FloodOptions options)
+    : sim::Node(id),
+      config_(config),
+      macs_(id, keychain),
+      options_(options) {
+  assert(id >= config_.replicaCount() && "flood client ids follow replicas");
+}
+
+void FloodClient::install() {
+  if (options_.kind == FloodKind::kNone) return;
+  if (options_.kind == FloodKind::kStatusAmplify) {
+    recorder_ = std::make_shared<StatusRecorder>();
+    network().addFault(recorder_);
+  }
+  setTimer(std::max<sim::Time>(options_.start, 1), [this] { tick(); });
+}
+
+void FloodClient::receive(util::NodeId /*from*/,
+                          const sim::MessagePtr& message) {
+  // Open loop: replies are counted (the replay storm's amplification
+  // observable) but never awaited.
+  if (static_cast<pbft::MsgKind>(message->kind()) == pbft::MsgKind::kReply) {
+    ++replies_;
+  }
+}
+
+void FloodClient::tick() {
+  if (exhausted()) return;
+  setTimer(std::max<sim::Time>(options_.interval, 1), [this] { tick(); });
+
+  switch (options_.kind) {
+    case FloodKind::kNone:
+      return;
+    case FloodKind::kRequestSpam:
+      sendSpam(1);
+      return;
+    case FloodKind::kOversizedPayload:
+      sendSpam(std::max<std::size_t>(options_.payloadBytes, 1));
+      return;
+    case FloodKind::kReplayStorm:
+      sendReplay();
+      return;
+    case FloodKind::kStatusAmplify:
+      sendStatusReplay();
+      return;
+  }
+}
+
+pbft::RequestPtr FloodClient::makeRequest(util::RequestId timestamp,
+                                          std::size_t payloadBytes) const {
+  auto request = std::make_shared<pbft::RequestMessage>();
+  request->client = id();
+  request->timestamp = timestamp;
+  request->operation = util::Bytes(payloadBytes, std::uint8_t{1});
+  request->readOnly = false;
+  request->digest =
+      pbft::requestDigest(id(), timestamp, request->operation, false);
+  request->auth =
+      macs_.authenticate(request->digest, config_.replicaCount());
+  return request;
+}
+
+void FloodClient::deliverToTargets(const sim::MessagePtr& payload) {
+  if (options_.target != util::kNoNode &&
+      options_.target < config_.replicaCount()) {
+    send(options_.target, payload);
+    ++sent_;
+    return;
+  }
+  for (util::NodeId replica = 0; replica < config_.replicaCount();
+       ++replica) {
+    send(replica, payload);
+    ++sent_;
+  }
+}
+
+void FloodClient::sendSpam(std::size_t payloadBytes) {
+  for (std::uint32_t i = 0; i < options_.burst && !exhausted(); ++i) {
+    deliverToTargets(makeRequest(++nextTimestamp_, payloadBytes));
+  }
+}
+
+void FloodClient::sendReplay() {
+  // First burst establishes the template: a legitimate request that gets
+  // ordered and executed, priming every replica's reply cache. Every later
+  // burst rebroadcasts the identical message — each copy costs the replica
+  // a MAC check plus a cached-reply resend (bandwidth out >> bandwidth in)
+  // and a queue slot at the ingress.
+  if (replayTemplate_ == nullptr) {
+    replayTemplate_ =
+        makeRequest(1, std::max<std::size_t>(options_.payloadBytes, 1));
+  }
+  for (std::uint32_t i = 0; i < options_.burst && !exhausted(); ++i) {
+    deliverToTargets(replayTemplate_);
+  }
+}
+
+void FloodClient::sendStatusReplay() {
+  const util::NodeId victim =
+      options_.target != util::kNoNode &&
+              options_.target < config_.replicaCount()
+          ? options_.target
+          : config_.replicaCount() - 1;
+  const sim::MessagePtr recorded = recorder_->recordedFor(victim);
+  if (recorded == nullptr) return;  // nothing on the wire yet; next tick
+
+  // Replay the victim's own (genuinely MAC'd) early STATUS to its peers,
+  // with the victim as sender. Each peer sees a lagging replica and pushes
+  // SyncSeq batches plus agreement retransmissions at it — an attacker
+  // spending ~40 bytes per peer to elicit kilobytes aimed at the victim.
+  // Network::send does not authenticate the sender, which is the point:
+  // controlling the network is within AVD's threat model (§2).
+  for (std::uint32_t i = 0; i < options_.burst && !exhausted(); ++i) {
+    for (util::NodeId replica = 0; replica < config_.replicaCount();
+         ++replica) {
+      if (replica == victim) continue;
+      network().send(victim, replica, recorded);
+      ++sent_;
+    }
+  }
+}
+
+void enableFloodDefenses(pbft::Config& config) {
+  config.clientAdmissionControl = true;
+  config.fairClientScheduling = true;
+  config.maxOrderingQueue = 1024;
+  config.maxParkedPrePrepares = 64;
+}
+
+}  // namespace avd::fi

@@ -1,0 +1,138 @@
+// Resource-exhaustion (flooding) attack tools.
+//
+// The paper's marquee fix (Aardvark) is a resource-management defense, so
+// AVD needs attack tools that *spend* resources: open-loop clients that pump
+// traffic at a configured rate instead of waiting for replies. Combined with
+// the bounded ingress queues in sim::LinkModel, a flood displaces useful
+// traffic — correct clients' requests, replies, and agreement messages drop
+// on the floor — which is the damage the impact metric measures.
+//
+// Four tools, selected by FloodKind:
+//   kRequestSpam       fresh, fully valid one-byte requests at `rate`. Costs
+//                      the replicas MAC checks, ordering, execution, and
+//                      queue slots.
+//   kReplayStorm       one request is executed legitimately, then the
+//                      *identical* message is rebroadcast forever. Each copy
+//                      hits the reply cache and earns a resent reply —
+//                      bandwidth amplification with zero protocol progress.
+//   kOversizedPayload  fresh valid requests whose operation is payloadBytes
+//                      long: a handful of them exhausts a byte-budgeted
+//                      ingress queue, starving everyone else's small
+//                      messages.
+//   kStatusAmplify     a passive wiretap records one genuine early STATUS of
+//                      the victim replica; the flooder then replays it to
+//                      the other replicas with the victim's sender id. Each
+//                      replay advertises a near-zero lastExecuted, so every
+//                      peer pushes SyncSeq batches + agreement
+//                      retransmissions at the victim — the state-transfer
+//                      amplification surface Config::syncBytesPerPeer caps.
+//
+// Like fi::ChurnFault these are deterministic scheduler tools: install()
+// books the first tick, no randomness is consumed, and same-seed runs are
+// byte-identical.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "crypto/authenticator.h"
+#include "crypto/keychain.h"
+#include "pbft/config.h"
+#include "pbft/message.h"
+#include "sim/network.h"
+#include "sim/node.h"
+
+namespace avd::fi {
+
+enum class FloodKind : int {
+  kNone = 0,
+  kRequestSpam = 1,
+  kReplayStorm = 2,
+  kOversizedPayload = 3,
+  kStatusAmplify = 4,
+};
+
+struct FloodOptions {
+  FloodKind kind = FloodKind::kRequestSpam;
+  /// Virtual time of the first burst.
+  sim::Time start = 0;
+  /// Gap between bursts; effective rate = burst / interval.
+  sim::Time interval = sim::msec(1);
+  /// Messages per burst.
+  std::uint32_t burst = 1;
+  /// Operation size for kOversizedPayload / kReplayStorm (kRequestSpam
+  /// always uses 1 byte — it is a rate attack, not a size attack).
+  std::size_t payloadBytes = 1;
+  /// Victim replica, or kNoNode: broadcast to every replica (request
+  /// tools) / the highest-id replica (kStatusAmplify needs one victim).
+  util::NodeId target = util::kNoNode;
+  /// Stop after this many messages; 0 = bounded by the run length.
+  std::uint64_t maxMessages = 0;
+};
+
+/// Passive wiretap for kStatusAmplify: remembers the first STATUS each
+/// replica multicast (early in the run, so its lastExecuted is ~0). Never
+/// drops, delays, or tampers — recording is invisible to the run.
+class StatusRecorder final : public sim::NetworkFault {
+ public:
+  Decision onMessage(util::NodeId from, util::NodeId to,
+                     const sim::MessagePtr& message, util::Rng& rng) override;
+
+  sim::MessagePtr recordedFor(util::NodeId replica) const {
+    const auto it = recorded_.find(replica);
+    return it != recorded_.end() ? it->second : nullptr;
+  }
+
+ private:
+  std::map<util::NodeId, sim::MessagePtr> recorded_;
+};
+
+/// Open-loop flooding client. Holds real session keys (the threat model
+/// gives AVD full control of client nodes, §2), so every request it sends
+/// authenticates — the defenses must manage resources, not spot forgeries.
+class FloodClient final : public sim::Node {
+ public:
+  FloodClient(util::NodeId id, const pbft::Config& config,
+              const crypto::Keychain* keychain, FloodOptions options);
+
+  /// Books the first flood tick; for kStatusAmplify also installs the
+  /// wiretap. Call after network registration, before the run starts.
+  void install();
+
+  void start() override {}  // deployment-managed nodes only; see install()
+  void receive(util::NodeId from, const sim::MessagePtr& message) override;
+
+  std::uint64_t messagesSent() const noexcept { return sent_; }
+  std::uint64_t repliesReceived() const noexcept { return replies_; }
+
+ private:
+  void tick();
+  void sendSpam(std::size_t payloadBytes);
+  void sendReplay();
+  void sendStatusReplay();
+  pbft::RequestPtr makeRequest(util::RequestId timestamp,
+                               std::size_t payloadBytes) const;
+  /// Sends to options_.target, or to every replica when target is kNoNode.
+  void deliverToTargets(const sim::MessagePtr& payload);
+  bool exhausted() const noexcept {
+    return options_.maxMessages > 0 && sent_ >= options_.maxMessages;
+  }
+
+  pbft::Config config_;
+  mutable crypto::MacService macs_;
+  FloodOptions options_;
+  util::RequestId nextTimestamp_ = 0;
+  pbft::RequestPtr replayTemplate_;
+  std::shared_ptr<StatusRecorder> recorder_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t replies_ = 0;
+};
+
+/// Switches on the full Aardvark-style defense profile: admission control,
+/// fair client scheduling (which also provisions per-sender ingress lanes
+/// via the deployment), and bounded pending/parked queues. The ablation
+/// pair for every flood scenario.
+void enableFloodDefenses(pbft::Config& config);
+
+}  // namespace avd::fi

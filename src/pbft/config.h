@@ -8,6 +8,7 @@
 // paper's 0.2 req/s number.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "sim/time.h"
@@ -65,6 +66,38 @@ struct Config {
   bool primaryThroughputGuard = false;
   sim::Time guardWindow = sim::sec(1);
   double guardMinRps = 5.0;
+
+  /// Aardvark-style resource-management defenses against flooding clients
+  /// (fi::FloodClient). All off by default to preserve the vulnerable
+  /// baseline, mirroring primaryThroughputGuard.
+  ///
+  /// Admission control: each client may have at most `admissionQuota`
+  /// requests admitted per `admissionWindow`, at most one reply-cache
+  /// resend per window (replay suppression), and requests whose operation
+  /// exceeds `maxRequestBytes` are rejected before any protocol work.
+  bool clientAdmissionControl = false;
+  std::uint32_t admissionQuota = 32;
+  sim::Time admissionWindow = sim::msec(100);
+  std::size_t maxRequestBytes = 2048;
+
+  /// Fair round-robin scheduling across clients in the primary's ordering
+  /// queue (Aardvark's fair client scheduling). The deployment also
+  /// provisions per-sender network ingress lanes when this is set, so one
+  /// flooder cannot displace other senders' traffic in a shared queue.
+  bool fairClientScheduling = false;
+
+  /// Bounded pending state with a deterministic drop policy (0 = unbounded,
+  /// the vulnerable baseline): total requests queued for ordering (newest
+  /// rejected when full) and parked pre-prepares awaiting request
+  /// authentication (highest sequence evicted when full).
+  std::size_t maxOrderingQueue = 0;
+  std::size_t maxParkedPrePrepares = 0;
+
+  /// Per-peer budget of SyncSeq/retransmission bytes pushed per status
+  /// window — bounds the amplification a replayed lagging STATUS can elicit
+  /// (the cap is on bytes, not just syncChunk count). Always enforced; the
+  /// generous default never throttles normal catch-up. 0 = unlimited.
+  std::size_t syncBytesPerPeer = 256 * 1024;
 
   /// Take a checkpoint every this many sequence numbers.
   std::uint64_t checkpointInterval = 128;

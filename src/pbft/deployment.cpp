@@ -17,12 +17,24 @@ std::unique_ptr<Service> Deployment::makeService(ServiceKind kind) {
   return std::make_unique<CounterService>();
 }
 
+sim::LinkModel Deployment::effectiveLink(const DeploymentConfig& config) {
+  sim::LinkModel link = config.link;
+  if (config.pbft.fairClientScheduling) {
+    // Aardvark's deployment shape: per-sender client lanes serviced
+    // round-robin, with replica-to-replica agreement traffic on its own
+    // NIC so a client flood cannot displace it.
+    link.fairIngress = true;
+    link.ingressPriorityNodes = config.pbft.replicaCount();
+  }
+  return link;
+}
+
 Deployment::Deployment(DeploymentConfig config)
     : config_(std::move(config)),
       keychain_(util::hashCombine(util::fnv1a("avd.deployment"),
                                   config_.seed)),
       simulator_(config_.seed),
-      network_(&simulator_, config_.link) {
+      network_(&simulator_, effectiveLink(config_)) {
   const std::uint32_t n = config_.pbft.replicaCount();
 
   replicas_.reserve(n);
@@ -159,6 +171,14 @@ RunResult Deployment::collect() const {
 
   result.network = network_.counters();
   result.eventsExecuted = simulator_.executedEvents();
+  result.queueDrops = result.network.droppedQueueOverflow;
+  result.peakQueueDepth = result.network.peakIngressDepth;
+  for (const auto& replica : replicas_) {
+    const ReplicaStats& stats = replica->stats();
+    result.quotaDrops +=
+        stats.quotaDrops + stats.oversizedRejected + stats.orderingDropped;
+    result.replaysSuppressed += stats.replaysSuppressed;
+  }
   return result;
 }
 

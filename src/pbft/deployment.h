@@ -63,6 +63,17 @@ struct RunResult {
   bool safetyViolated = false;
   sim::NetworkCounters network;
   std::uint64_t eventsExecuted = 0;
+  /// Resource-exhaustion observability (flood tools / defenses).
+  /// Ingress-queue overflow drops across all nodes (= network counter,
+  /// surfaced for campaign outcomes).
+  std::uint64_t queueDrops = 0;
+  /// Replica-side admission rejections: quota + oversized + bounded
+  /// ordering-queue drops, summed over replicas.
+  std::uint64_t quotaDrops = 0;
+  /// Reply-cache resends suppressed by replay suppression (all replicas).
+  std::uint64_t replaysSuppressed = 0;
+  /// Highest ingress-queue depth any node reached.
+  std::uint64_t peakQueueDepth = 0;
   /// Total replica crash–restart cycles over the run (churn faults).
   std::uint64_t restarts = 0;
   /// Seconds from the LAST replica restart to the first correct-client
@@ -111,6 +122,10 @@ class Deployment {
 
  private:
   static std::unique_ptr<Service> makeService(ServiceKind kind);
+  /// The link model actually installed: fairClientScheduling also turns on
+  /// per-sender ingress lanes (Aardvark's resource isolation spans the
+  /// network and the scheduler — one switch enables the coherent defense).
+  static sim::LinkModel effectiveLink(const DeploymentConfig& config);
 
   DeploymentConfig config_;
   crypto::Keychain keychain_;

@@ -58,7 +58,10 @@ void Replica::onRestart() {
   authedRequests_.clear();
   pendingPrePrepares_.clear();
   pendingByDigest_.clear();
-  orderingQueue_.clear();
+  parkedBytes_ = 0;
+  syncBudget_.clear();
+  replyCacheFrozen_.clear();
+  orderingClear();
   batchTimerArmed_ = false;
   requestTimerArmed_ = false;
   checkpointVotes_.clear();
@@ -213,10 +216,32 @@ void Replica::onRequest(util::NodeId from, const RequestPtr& request) {
     return;
   }
 
+  // Aardvark-style admission control (off by default): reject oversized
+  // operations before any further work, and charge every authenticated
+  // arrival — fresh or replayed — against the client's per-window quota, so
+  // a flooding client exhausts its own allowance instead of the replica.
+  if (config_.clientAdmissionControl &&
+      request->operation.size() > config_.maxRequestBytes) {
+    ++stats_.oversizedRejected;
+    return;
+  }
+
   ClientRecord& record = clients_[request->client];
+  if (config_.clientAdmissionControl && !admitRequest(record)) {
+    ++stats_.quotaDrops;
+    return;
+  }
+
   if (request->timestamp < record.lastExecutedTs) return;
   if (request->timestamp == record.lastExecutedTs) {
     if (record.lastReply != nullptr) {
+      // Replay suppression: under admission control, at most one cached
+      // reply is resent per client per window — a replay storm gets one
+      // answer and then silence.
+      if (config_.clientAdmissionControl && !admitResend(record)) {
+        ++stats_.replaysSuppressed;
+        return;
+      }
       ++stats_.repliesResent;
       send(request->client, record.lastReply);
     }
@@ -337,17 +362,124 @@ void Replica::onRequestExecuted(util::NodeId client,
 
 // --- Ordering (primary) -----------------------------------------------------
 
+std::size_t Replica::orderingSize() const noexcept {
+  return config_.fairClientScheduling ? fairQueued_ : orderingQueue_.size();
+}
+
+bool Replica::orderingPush(const RequestPtr& request) {
+  if (config_.maxOrderingQueue > 0 &&
+      orderingSize() >= config_.maxOrderingQueue) {
+    // Deterministic drop policy: the newest arrival is rejected; the client
+    // retransmits once the queue has drained.
+    ++stats_.orderingDropped;
+    return false;
+  }
+  if (config_.fairClientScheduling) {
+    fairQueues_[request->client].push_back(request);
+    ++fairQueued_;
+  } else {
+    orderingQueue_.push_back(request);
+  }
+  stats_.peakOrderingQueue =
+      std::max<std::uint64_t>(stats_.peakOrderingQueue, orderingSize());
+  return true;
+}
+
+std::vector<RequestPtr> Replica::orderingTake(std::size_t take) {
+  std::vector<RequestPtr> batch;
+  batch.reserve(std::min(take, orderingSize()));
+  if (!config_.fairClientScheduling) {
+    while (batch.size() < take && !orderingQueue_.empty()) {
+      batch.push_back(std::move(orderingQueue_.front()));
+      orderingQueue_.pop_front();
+    }
+    return batch;
+  }
+  // Aardvark's fair client scheduling: one request per client per pass,
+  // round-robin by client id, so no single client can monopolize a batch.
+  while (batch.size() < take && fairQueued_ > 0) {
+    auto it = fairQueues_.upper_bound(fairCursor_);
+    if (it == fairQueues_.end()) it = fairQueues_.begin();
+    fairCursor_ = it->first;
+    batch.push_back(std::move(it->second.front()));
+    it->second.pop_front();
+    --fairQueued_;
+    if (it->second.empty()) fairQueues_.erase(it);
+  }
+  return batch;
+}
+
+RequestPtr Replica::orderingTakeFor(util::NodeId client) {
+  if (!config_.fairClientScheduling) {
+    auto pick = orderingQueue_.begin();
+    if (client != util::kNoNode) {
+      pick = std::find_if(orderingQueue_.begin(), orderingQueue_.end(),
+                          [client](const RequestPtr& request) {
+                            return request->client == client;
+                          });
+    }
+    if (pick == orderingQueue_.end()) return nullptr;
+    RequestPtr request = std::move(*pick);
+    orderingQueue_.erase(pick);
+    return request;
+  }
+  if (client == util::kNoNode) {
+    auto batch = orderingTake(1);
+    return batch.empty() ? nullptr : std::move(batch.front());
+  }
+  const auto it = fairQueues_.find(client);
+  if (it == fairQueues_.end()) return nullptr;
+  RequestPtr request = std::move(it->second.front());
+  it->second.pop_front();
+  --fairQueued_;
+  if (it->second.empty()) fairQueues_.erase(it);
+  return request;
+}
+
+void Replica::orderingClear() {
+  orderingQueue_.clear();
+  fairQueues_.clear();
+  fairQueued_ = 0;
+}
+
+bool Replica::admitRequest(ClientRecord& record) {
+  const std::int64_t window =
+      config_.admissionWindow > 0 ? now() / config_.admissionWindow : 0;
+  if (record.admissionWindow != window) {
+    record.admissionWindow = window;
+    record.admittedInWindow = 0;
+    record.resendsInWindow = 0;
+  }
+  if (record.admittedInWindow >= config_.admissionQuota) return false;
+  ++record.admittedInWindow;
+  return true;
+}
+
+bool Replica::admitResend(ClientRecord& record) {
+  // admitRequest already rolled the window forward for this arrival.
+  if (record.resendsInWindow >= 1) return false;
+  ++record.resendsInWindow;
+  return true;
+}
+
+std::size_t Replica::replyCacheBytes() const noexcept {
+  std::size_t total = 0;
+  for (const auto& [client, record] : clients_) {
+    if (record.lastReply != nullptr) total += record.lastReply->wireSize();
+  }
+  return total;
+}
+
 void Replica::enqueueForOrdering(const RequestPtr& request) {
   ClientRecord& record = clients_[request->client];
   if (request->timestamp <=
       std::max(record.lastQueuedTs, record.lastExecutedTs)) {
     return;  // already in flight or executed
   }
+  if (!orderingPush(request)) return;  // bounded queue rejected it
   record.lastQueuedTs = request->timestamp;
-  orderingQueue_.push_back(request);
   if (behavior_.slowPrimary) return;  // the drip timer does the ordering
-  if (orderingQueue_.size() >=
-      static_cast<std::size_t>(config_.maxBatch)) {
+  if (orderingSize() >= static_cast<std::size_t>(config_.maxBatch)) {
     flushBatch();
   } else {
     scheduleBatchFlush();
@@ -355,7 +487,7 @@ void Replica::enqueueForOrdering(const RequestPtr& request) {
 }
 
 void Replica::scheduleBatchFlush() {
-  if (batchTimerArmed_ || orderingQueue_.empty() || !isPrimary() ||
+  if (batchTimerArmed_ || orderingEmpty() || !isPrimary() ||
       behavior_.slowPrimary) {
     return;
   }
@@ -368,17 +500,9 @@ void Replica::scheduleBatchFlush() {
 
 void Replica::flushBatch() {
   if (!isPrimary()) return;
-  while (!orderingQueue_.empty() &&
+  while (!orderingEmpty() &&
          nextSeq_ <= stableSeq_ + config_.watermarkWindow) {
-    std::vector<RequestPtr> batch;
-    const std::size_t take = std::min<std::size_t>(orderingQueue_.size(),
-                                                   config_.maxBatch);
-    batch.reserve(take);
-    for (std::size_t i = 0; i < take; ++i) {
-      batch.push_back(std::move(orderingQueue_.front()));
-      orderingQueue_.pop_front();
-    }
-    orderBatch(std::move(batch));
+    orderBatch(orderingTake(config_.maxBatch));
   }
 }
 
@@ -438,19 +562,12 @@ void Replica::dripOneRequest() {
         behavior_.slowPrimaryFraction);
     dripTimer_ = setTimer(std::max<sim::Time>(drip, 1), [this] { dripOneRequest(); });
   }
-  if (!isPrimary() || orderingQueue_.empty()) return;
+  if (!isPrimary() || orderingEmpty()) return;
   if (nextSeq_ > stableSeq_ + config_.watermarkWindow) return;
 
-  auto pick = orderingQueue_.begin();
-  if (behavior_.colludingClient != util::kNoNode) {
-    pick = std::find_if(orderingQueue_.begin(), orderingQueue_.end(),
-                        [this](const RequestPtr& request) {
-                          return request->client == behavior_.colludingClient;
-                        });
-    if (pick == orderingQueue_.end()) return;  // nothing from the colluder yet
-  }
-  std::vector<RequestPtr> batch{*pick};
-  orderingQueue_.erase(pick);
+  RequestPtr pick = orderingTakeFor(behavior_.colludingClient);
+  if (pick == nullptr) return;  // nothing from the colluder yet
+  std::vector<RequestPtr> batch{std::move(pick)};
   orderBatch(std::move(batch));
 }
 
@@ -516,8 +633,31 @@ bool Replica::acceptPrePrepare(const PrePreparePtr& prePrepare) {
     }
   }
   if (!missing.empty()) {
+    if (config_.maxParkedPrePrepares > 0 &&
+        pendingPrePrepares_.size() >= config_.maxParkedPrePrepares &&
+        !pendingPrePrepares_.contains(seq)) {
+      // Bounded parking, deterministic drop policy: keep the lowest
+      // sequences (they unblock execution first) — evict the highest parked
+      // entry, or refuse this one if it would itself be the highest. Stale
+      // pendingByDigest_ entries for the evicted sequence are harmless:
+      // retries skip sequences no longer parked.
+      const auto last = std::prev(pendingPrePrepares_.end());
+      if (last->first <= seq) {
+        ++stats_.parkedEvicted;
+        return false;
+      }
+      parkedBytes_ -= last->second->wireSize();
+      pendingPrePrepares_.erase(last);
+      ++stats_.parkedEvicted;
+    }
     ++stats_.prePreparesPended;
-    pendingPrePrepares_[seq] = prePrepare;
+    if (const auto [it, inserted] =
+            pendingPrePrepares_.try_emplace(seq, prePrepare);
+        inserted) {
+      parkedBytes_ += prePrepare->wireSize();
+      stats_.peakParkedBytes =
+          std::max<std::uint64_t>(stats_.peakParkedBytes, parkedBytes_);
+    }
     for (const std::uint64_t digest : missing) {
       pendingByDigest_[digest].insert(seq);
     }
@@ -560,6 +700,7 @@ void Replica::retryPendingPrePrepares(std::uint64_t digest) {
     const PrePreparePtr prePrepare = pendingIt->second;
     // Remove before retrying: acceptPrePrepare may legitimately re-park the
     // pre-prepare on a different still-missing request.
+    parkedBytes_ -= prePrepare->wireSize();
     pendingPrePrepares_.erase(pendingIt);
     acceptPrePrepare(prePrepare);
   }
@@ -655,6 +796,7 @@ bool Replica::adoptQuorumCertifiedPending(util::SeqNum seq) {
     }
   }
   entry.recordPrepared();
+  parkedBytes_ -= pendingIt->second->wireSize();
   pendingPrePrepares_.erase(pendingIt);
   ++stats_.prePreparesAdoptedByQuorum;
   maybeExecute();
@@ -670,7 +812,7 @@ void Replica::maybeExecute() {
     executeEntry(lastExecuted_ + 1, *entry);
   }
   // Execution progress may have freed watermark-window space.
-  if (isPrimary() && !orderingQueue_.empty()) scheduleBatchFlush();
+  if (isPrimary() && !orderingEmpty()) scheduleBatchFlush();
 }
 
 void Replica::executeEntry(util::SeqNum seq, LogEntry& entry) {
@@ -764,12 +906,42 @@ void Replica::onStatus(util::NodeId from, const StatusMessage& status) {
 
   if (status.lastExecuted >= lastExecuted_) return;
 
+  // Per-peer amplification budget: a STATUS costs its sender a few dozen
+  // bytes but elicits up to syncChunk full batches plus agreement
+  // retransmissions. Capping the *count* is not enough — batches carry
+  // whole request payloads — so total pushed bytes per peer per status
+  // window are bounded. A replayed lagging STATUS (the flood tool's
+  // amplification trigger) now earns one budget's worth of bytes per
+  // window instead of an unbounded stream.
+  const std::int64_t syncWindow =
+      config_.statusInterval > 0 ? now() / config_.statusInterval : 0;
+  std::size_t budgetUsed = 0;
+  if (config_.syncBytesPerPeer > 0) {
+    auto& [window, used] = syncBudget_[from];
+    if (window != syncWindow) {
+      window = syncWindow;
+      used = 0;
+    }
+    budgetUsed = used;
+  }
+  bool budgetHit = false;
+  const auto charge = [&](std::size_t bytes) {
+    if (config_.syncBytesPerPeer == 0) return true;
+    if (budgetUsed + bytes > config_.syncBytesPerPeer) {
+      budgetHit = true;
+      return false;
+    }
+    budgetUsed += bytes;
+    return true;
+  };
+
   // Push attestations for the sequences the peer missed. Only sequences
   // still in our log can be served this way; anything older falls under
   // checkpoint-based state transfer.
   std::uint32_t pushed = 0;
   for (util::SeqNum seq = status.lastExecuted + 1;
-       seq <= lastExecuted_ && pushed < config_.syncChunk; ++seq) {
+       seq <= lastExecuted_ && pushed < config_.syncChunk && !budgetHit;
+       ++seq) {
     const LogEntry* const entry = log_.find(seq);
     if (entry == nullptr || !entry->executed || entry->prePrepare == nullptr) {
       continue;
@@ -780,6 +952,7 @@ void Replica::onStatus(util::NodeId from, const StatusMessage& status) {
     sync->batch = entry->prePrepare->batch;
     sync->replica = id();
     sync->mac = macs_.generate(from, syncSeqDigest(*sync));
+    if (!charge(sync->wireSize())) break;
     send(from, std::move(sync));
     ++pushed;
   }
@@ -792,12 +965,13 @@ void Replica::onStatus(util::NodeId from, const StatusMessage& status) {
   // the same.
   std::uint32_t retransmitted = 0;
   for (util::SeqNum seq = std::max(status.lastExecuted, lastExecuted_) + 1;
-       retransmitted < config_.syncChunk; ++seq) {
+       retransmitted < config_.syncChunk && !budgetHit; ++seq) {
     const LogEntry* const entry = log_.find(seq);
     if (entry == nullptr) break;  // contiguous in-flight range exhausted
     if (entry->view != view_ || entry->executed) continue;
     bool sentSomething = false;
-    if (entry->prePrepare != nullptr && currentPrimary() == id()) {
+    if (entry->prePrepare != nullptr && currentPrimary() == id() &&
+        charge(entry->prePrepare->wireSize())) {
       send(from, entry->prePrepare);
       sentSomething = true;
     }
@@ -811,10 +985,12 @@ void Replica::onStatus(util::NodeId from, const StatusMessage& status) {
       prepare->auth = macs_.authenticate(
           phaseDigest(MsgKind::kPrepare, view_, seq, entry->digest, id()),
           n());
-      send(from, std::move(prepare));
-      sentSomething = true;
+      if (charge(prepare->wireSize())) {
+        send(from, std::move(prepare));
+        sentSomething = true;
+      }
     }
-    if (entry->commitSent && !behavior_.silentCommits) {
+    if (entry->commitSent && !behavior_.silentCommits && !budgetHit) {
       auto commit = std::make_shared<CommitMessage>();
       commit->view = view_;
       commit->seq = seq;
@@ -823,10 +999,17 @@ void Replica::onStatus(util::NodeId from, const StatusMessage& status) {
       commit->auth = macs_.authenticate(
           phaseDigest(MsgKind::kCommit, view_, seq, entry->digest, id()),
           n());
-      send(from, std::move(commit));
-      sentSomething = true;
+      if (charge(commit->wireSize())) {
+        send(from, std::move(commit));
+        sentSomething = true;
+      }
     }
     if (sentSomething) ++retransmitted;
+  }
+
+  if (config_.syncBytesPerPeer > 0) {
+    syncBudget_[from].second = budgetUsed;
+    if (budgetHit) ++stats_.syncBytesCapped;
   }
 }
 
@@ -876,7 +1059,11 @@ void Replica::drainSyncVotes() {
       entry.prepareSent = true;
       entry.commitSent = true;
       entry.recordPrepared();
-      pendingPrePrepares_.erase(next);
+      if (const auto pendingIt = pendingPrePrepares_.find(next);
+          pendingIt != pendingPrePrepares_.end()) {
+        parkedBytes_ -= pendingIt->second->wireSize();
+        pendingPrePrepares_.erase(pendingIt);
+      }
       ++stats_.sequencesSynced;
       executeEntry(next, entry);
     }
@@ -953,8 +1140,35 @@ void Replica::checkCheckpointStable(util::SeqNum seq) {
                              checkpointVotes_.upper_bound(stableSeq_));
       ownCheckpoints_.erase(ownCheckpoints_.begin(),
                             ownCheckpoints_.lower_bound(stableSeq_));
-      pendingPrePrepares_.erase(pendingPrePrepares_.begin(),
-                                pendingPrePrepares_.upper_bound(stableSeq_));
+      const auto pendingEnd = pendingPrePrepares_.upper_bound(stableSeq_);
+      for (auto it = pendingPrePrepares_.begin(); it != pendingEnd; ++it) {
+        parkedBytes_ -= it->second->wireSize();
+      }
+      pendingPrePrepares_.erase(pendingPrePrepares_.begin(), pendingEnd);
+      // Reply-cache GC: entries whose timestamp was already frozen in the
+      // PREVIOUS stable checkpoint are evicted now — one full checkpoint
+      // window of grace, so a client retransmitting across the eviction
+      // still finds its cached reply. lastExecutedTs survives, preserving
+      // at-most-once execution. This is what bounds reply-cache growth
+      // under a replay storm from many one-shot clients.
+      for (const auto& [client, frozenTs] : replyCacheFrozen_) {
+        const auto clientIt = clients_.find(client);
+        if (clientIt == clients_.end()) continue;
+        ClientRecord& record = clientIt->second;
+        if (record.lastReply != nullptr &&
+            record.lastReply->timestamp <= frozenTs) {
+          record.lastReply = nullptr;
+          ++stats_.replyCacheEvicted;
+        }
+      }
+      replyCacheFrozen_.clear();
+      if (const auto frozenIt = ownCheckpoints_.find(stableSeq_);
+          frozenIt != ownCheckpoints_.end()) {
+        for (const auto& [client, timestamp] :
+             frozenIt->second.clientTimestamps) {
+          replyCacheFrozen_[client] = timestamp;
+        }
+      }
       persistStableState();
       if (isPrimary()) scheduleBatchFlush();
     } else if (seq > lastExecuted_ && !stateTransferInFlight_) {
@@ -1230,6 +1444,7 @@ void Replica::installNewView(util::ViewId newView,
   log_.resetUnexecutedForNewView();
   pendingPrePrepares_.clear();
   pendingByDigest_.clear();
+  parkedBytes_ = 0;
 
   util::SeqNum highest = std::max(lastExecuted_, stableSeq_);
   for (const PrePreparePtr& prePrepare : prePrepares) {
@@ -1241,13 +1456,13 @@ void Replica::installNewView(util::ViewId newView,
     nextSeq_ = highest + 1;
     // Requests we saw directly but that never executed must be re-proposed;
     // clients will also retransmit, but this removes a round trip.
-    orderingQueue_.clear();
+    orderingClear();
     for (auto& [client, record] : clients_) {
       record.lastQueuedTs = record.lastExecutedTs;
       if (record.pendingDirect != nullptr &&
-          record.pendingDirect->timestamp > record.lastExecutedTs) {
+          record.pendingDirect->timestamp > record.lastExecutedTs &&
+          orderingPush(record.pendingDirect)) {
         record.lastQueuedTs = record.pendingDirect->timestamp;
-        orderingQueue_.push_back(record.pendingDirect);
       }
     }
     if (!behavior_.slowPrimary) scheduleBatchFlush();

@@ -101,6 +101,25 @@ struct ReplicaStats {
   std::uint64_t crashedOnViewChange = 0;
   /// Sequences executed via f+1 sync attestations (lost-message recovery).
   std::uint64_t sequencesSynced = 0;
+
+  // --- Resource accounting (flood tools / Aardvark-style defenses) --------
+  /// Requests rejected by per-client admission quotas.
+  std::uint64_t quotaDrops = 0;
+  /// Reply-cache resends suppressed by the per-window replay cap.
+  std::uint64_t replaysSuppressed = 0;
+  /// Requests rejected for exceeding Config::maxRequestBytes.
+  std::uint64_t oversizedRejected = 0;
+  /// Requests rejected because the ordering queue hit maxOrderingQueue.
+  std::uint64_t orderingDropped = 0;
+  /// Parked pre-prepares evicted (or refused) at maxParkedPrePrepares.
+  std::uint64_t parkedEvicted = 0;
+  /// Status rounds whose sync pushes hit the per-peer byte budget.
+  std::uint64_t syncBytesCapped = 0;
+  /// Reply-cache entries evicted at stable-checkpoint advance.
+  std::uint64_t replyCacheEvicted = 0;
+  /// High-water marks.
+  std::uint64_t peakOrderingQueue = 0;
+  std::uint64_t peakParkedBytes = 0;
 };
 
 class Replica final : public sim::Node {
@@ -127,6 +146,9 @@ class Replica final : public sim::Node {
   util::SeqNum stableCheckpoint() const noexcept { return stableSeq_; }
   bool inViewChange() const noexcept { return inViewChange_; }
   const ReplicaStats& stats() const noexcept { return stats_; }
+  /// Total bytes of cached last-replies — regression observability for the
+  /// reply-cache eviction satellite (bounded under a long replay storm).
+  std::size_t replyCacheBytes() const noexcept;
   Service& service() noexcept { return *service_; }
   crypto::MacService& macs() noexcept { return macs_; }
   const StableStorage& stableStorage() const noexcept { return stable_; }
@@ -148,6 +170,11 @@ class Replica final : public sim::Node {
     bool timerArmed = false;
     /// Highest timestamp handed to the primary's batching queue.
     util::RequestId lastQueuedTs = 0;
+    /// Admission control: window index and usage (requests admitted, cached
+    /// replies resent) within it.
+    std::int64_t admissionWindow = -1;
+    std::uint32_t admittedInWindow = 0;
+    std::uint32_t resendsInWindow = 0;
   };
 
   std::uint32_t n() const noexcept { return config_.replicaCount(); }
@@ -175,6 +202,26 @@ class Replica final : public sim::Node {
   void flushBatch();
   void orderBatch(std::vector<RequestPtr> batch);
   void dripOneRequest();  // slow-primary behaviour
+
+  // Ordering-queue facade: a single FIFO deque by default, per-client FIFO
+  // lanes drained round-robin under Config::fairClientScheduling.
+  std::size_t orderingSize() const noexcept;
+  bool orderingEmpty() const noexcept { return orderingSize() == 0; }
+  /// Appends one request, honouring maxOrderingQueue (newest rejected);
+  /// returns whether it was queued.
+  bool orderingPush(const RequestPtr& request);
+  /// Removes and returns up to `take` requests in service order.
+  std::vector<RequestPtr> orderingTake(std::size_t take);
+  /// Removes and returns the next request of `client` (kNoNode = any), or
+  /// nullptr. Used by the slow-primary drip.
+  RequestPtr orderingTakeFor(util::NodeId client);
+  void orderingClear();
+
+  // --- Admission control (Aardvark-style, Config::clientAdmissionControl) ---
+  /// Charges one admission-window slot for `client`; false = over quota.
+  bool admitRequest(ClientRecord& record);
+  /// Charges one reply-resend slot; false = replay suppressed this window.
+  bool admitResend(ClientRecord& record);
 
   // --- Agreement ------------------------------------------------------------
   bool acceptPrePrepare(const PrePreparePtr& prePrepare);
@@ -261,8 +308,13 @@ class Replica final : public sim::Node {
   std::map<util::SeqNum, PrePreparePtr> pendingPrePrepares_;
   std::unordered_map<std::uint64_t, std::set<util::SeqNum>> pendingByDigest_;
 
-  // Primary batching.
+  // Primary batching. orderingQueue_ is the default shared FIFO;
+  // fairQueues_/fairQueued_/fairCursor_ replace it under fair scheduling
+  // (one lane per client, drained round-robin).
   std::deque<RequestPtr> orderingQueue_;
+  std::map<util::NodeId, std::deque<RequestPtr>> fairQueues_;
+  std::size_t fairQueued_ = 0;
+  util::NodeId fairCursor_ = 0;
   sim::TimerId batchTimer_ = 0;
   bool batchTimerArmed_ = false;
   sim::TimerId dripTimer_ = 0;
@@ -312,6 +364,18 @@ class Replica final : public sim::Node {
 
   /// Executed-count snapshot at the start of the current guard window.
   std::uint64_t guardWindowBaseline_ = 0;
+
+  /// Per-peer sync-push byte budget: peer -> (status-window index, bytes
+  /// pushed within it). Bounds status-round amplification.
+  std::map<util::NodeId, std::pair<std::int64_t, std::size_t>> syncBudget_;
+  /// Wire bytes currently parked in pendingPrePrepares_ (peak tracked in
+  /// stats_.peakParkedBytes).
+  std::size_t parkedBytes_ = 0;
+  /// Frozen client-timestamp snapshot of the PREVIOUS stable checkpoint.
+  /// Reply-cache entries at or below these timestamps are evicted when the
+  /// next checkpoint stabilizes — one full checkpoint window of grace, so a
+  /// client retransmitting across the eviction still finds its reply.
+  std::map<util::NodeId, util::RequestId> replyCacheFrozen_;
 
   std::map<util::SeqNum, std::uint64_t> executedDigests_;
   ReplicaStats stats_;

@@ -46,7 +46,12 @@ void Network::send(util::NodeId from, util::NodeId to, MessagePtr message) {
         static_cast<std::uint64_t>(model_.jitter) + 1));
   }
 
-  simulator_->schedule(delay, [this, from, to, message = std::move(message)] {
+  simulator_->schedule(delay,
+                       [this, from, to, message = std::move(message)]() mutable {
+    if (model_.ingressEnabled() && from >= model_.ingressPriorityNodes) {
+      enqueueIngress(from, to, std::move(message));
+      return;
+    }
     Node* const receiver = node(to);
     if (receiver == nullptr || !receiver->alive()) {
       ++counters_.droppedDeadNode;
@@ -55,6 +60,90 @@ void Network::send(util::NodeId from, util::NodeId to, MessagePtr message) {
     ++counters_.delivered;
     receiver->receive(from, message);
   });
+}
+
+void Network::enqueueIngress(util::NodeId from, util::NodeId to,
+                             MessagePtr message) {
+  if (to >= ingress_.size()) ingress_.resize(to + 1);
+  IngressQueue& queue = ingress_[to];
+  const util::NodeId laneKey = model_.fairIngress ? from : util::NodeId{0};
+  const std::size_t size = message->wireSize();
+
+  // Capacity and byte budget apply per lane: in shared mode that is the
+  // whole queue (a flood displaces everyone's traffic — the vulnerable
+  // baseline); in fair mode each sender can only fill its own lane.
+  IngressLane& lane = queue.lanes[laneKey];
+  const bool overCapacity =
+      model_.ingressCapacity > 0 && lane.queue.size() >= model_.ingressCapacity;
+  const bool overBudget = model_.ingressByteBudget > 0 && !lane.queue.empty() &&
+                          lane.bytes + size > model_.ingressByteBudget;
+  if (overCapacity || overBudget) {
+    ++counters_.droppedQueueOverflow;
+    ++queue.stats.drops;
+    if (lane.queue.empty()) queue.lanes.erase(laneKey);
+    return;
+  }
+
+  lane.queue.emplace_back(from, std::move(message));
+  lane.bytes += size;
+  ++queue.depth;
+  queue.bytes += size;
+  queue.stats.peakDepth = std::max<std::uint64_t>(queue.stats.peakDepth,
+                                                  queue.depth);
+  queue.stats.peakBytes = std::max<std::uint64_t>(queue.stats.peakBytes,
+                                                  queue.bytes);
+  counters_.peakIngressDepth =
+      std::max<std::uint64_t>(counters_.peakIngressDepth, queue.depth);
+  counters_.peakIngressBytes =
+      std::max<std::uint64_t>(counters_.peakIngressBytes, queue.bytes);
+
+  if (!queue.serving) {
+    queue.serving = true;
+    simulator_->schedule(model_.ingressServiceTime,
+                         [this, to] { serviceIngress(to); });
+  }
+}
+
+void Network::serviceIngress(util::NodeId to) {
+  IngressQueue& queue = ingress_[to];
+  assert(queue.depth > 0);
+
+  // Pick the next lane: strict FIFO in shared mode, round-robin across
+  // sender lanes in fair mode (empty lanes are erased eagerly, so every
+  // lane present holds at least one message).
+  auto it = queue.lanes.begin();
+  if (model_.fairIngress) {
+    it = queue.lanes.upper_bound(queue.cursor);
+    if (it == queue.lanes.end()) it = queue.lanes.begin();
+    queue.cursor = it->first;
+  }
+
+  auto [from, message] = std::move(it->second.queue.front());
+  it->second.queue.pop_front();
+  const std::size_t size = message->wireSize();
+  it->second.bytes -= size;
+  if (it->second.queue.empty()) queue.lanes.erase(it);
+  --queue.depth;
+  queue.bytes -= size;
+
+  Node* const receiver = node(to);
+  if (receiver == nullptr || !receiver->alive()) {
+    ++counters_.droppedDeadNode;
+  } else {
+    ++counters_.delivered;
+    receiver->receive(from, message);
+  }
+
+  if (queue.depth > 0) {
+    simulator_->schedule(model_.ingressServiceTime,
+                         [this, to] { serviceIngress(to); });
+  } else {
+    queue.serving = false;
+  }
+}
+
+IngressStats Network::ingressStats(util::NodeId id) const noexcept {
+  return id < ingress_.size() ? ingress_[id].stats : IngressStats{};
 }
 
 }  // namespace avd::sim

@@ -10,7 +10,10 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <deque>
+#include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
@@ -21,11 +24,41 @@
 
 namespace avd::sim {
 
-/// Latency model applied to every link.
+/// Latency model applied to every link, plus the receiver's ingress-queue
+/// resource model. With the ingress fields at their zero defaults the
+/// network behaves exactly as before: messages are delivered straight from
+/// the event queue, which can absorb any volume. Enabling them bounds each
+/// node's receive path, so a flood *displaces* useful traffic instead of
+/// vanishing into an infinite event queue — the resource-exhaustion fault
+/// surface the flood tools attack.
 struct LinkModel {
   Time baseLatency = msec(1);
   /// Uniform extra delay in [0, jitter].
   Time jitter = 0;
+  /// Max messages queued at a receiver (per sender lane when `fairIngress`,
+  /// shared otherwise). 0 = unbounded.
+  std::uint32_t ingressCapacity = 0;
+  /// Max bytes queued at a receiver (per lane / shared as above). 0 = no
+  /// byte budget.
+  std::size_t ingressByteBudget = 0;
+  /// Time the receiver spends servicing each queued message before the next
+  /// one is delivered. 0 = infinitely fast service (queue never backs up
+  /// except transiently within one timestamp).
+  Time ingressServiceTime = 0;
+  /// Aardvark-style resource isolation: one ingress lane per sender,
+  /// serviced round-robin, so one flooding sender can only exhaust its own
+  /// lane. Off = one shared FIFO queue (the vulnerable baseline).
+  bool fairIngress = false;
+  /// Senders with id < this value bypass the bounded ingress queue and are
+  /// delivered directly — Aardvark's separate replica-to-replica NIC, which
+  /// keeps agreement traffic out of the client ingress path. 0 = everyone
+  /// queues (the vulnerable baseline).
+  std::uint32_t ingressPriorityNodes = 0;
+
+  bool ingressEnabled() const noexcept {
+    return ingressCapacity > 0 || ingressByteBudget > 0 ||
+           ingressServiceTime > 0 || fairIngress;
+  }
 };
 
 /// Hook invoked for every message send. Implementations may drop the
@@ -54,6 +87,19 @@ struct NetworkCounters {
   std::uint64_t droppedDeadNode = 0;
   std::uint64_t tamperedByFaults = 0;
   std::uint64_t bytesSent = 0;
+  /// Messages dropped on arrival because the receiver's bounded ingress
+  /// queue was full (message capacity or byte budget).
+  std::uint64_t droppedQueueOverflow = 0;
+  /// High-water marks across all nodes (0 when ingress is unbounded).
+  std::uint64_t peakIngressDepth = 0;
+  std::uint64_t peakIngressBytes = 0;
+};
+
+/// Per-node ingress observability for tests and the flood bench.
+struct IngressStats {
+  std::uint64_t drops = 0;
+  std::uint64_t peakDepth = 0;
+  std::uint64_t peakBytes = 0;
 };
 
 class Network {
@@ -92,12 +138,35 @@ class Network {
   const NetworkCounters& counters() const noexcept { return counters_; }
   const LinkModel& linkModel() const noexcept { return model_; }
 
+  /// Ingress-queue stats for one receiver (all zero when ingress is off or
+  /// the node never queued a message).
+  IngressStats ingressStats(util::NodeId id) const noexcept;
+
  private:
+  /// One sender's FIFO lane within a receiver's ingress queue. In shared
+  /// (non-fair) mode a single lane keyed by sender 0 holds all traffic.
+  struct IngressLane {
+    std::deque<std::pair<util::NodeId, MessagePtr>> queue;
+    std::size_t bytes = 0;
+  };
+  struct IngressQueue {
+    std::map<util::NodeId, IngressLane> lanes;  // non-empty lanes only
+    std::size_t depth = 0;                      // messages across all lanes
+    std::size_t bytes = 0;
+    util::NodeId cursor = 0;  // fair mode: last lane serviced
+    bool serving = false;     // a service-completion event is booked
+    IngressStats stats;
+  };
+
+  void enqueueIngress(util::NodeId from, util::NodeId to, MessagePtr message);
+  void serviceIngress(util::NodeId to);
+
   Simulator* simulator_;
   LinkModel model_;
   std::vector<Node*> nodes_;
   std::vector<std::shared_ptr<NetworkFault>> faults_;
   NetworkCounters counters_;
+  std::vector<IngressQueue> ingress_;
 };
 
 }  // namespace avd::sim

@@ -315,6 +315,8 @@ TEST(CampaignJournal, DoneEventRoundTripsBitExactly) {
   event.outcome.viewChanges = 11;
   event.outcome.restarts = 5;
   event.outcome.recoveryLatencySec = 0.125 + 1e-17;
+  event.outcome.queueDrops = 123456;
+  event.outcome.quotaDrops = 789;
   event.outcome.safetyViolated = true;
   event.bestImpact = 0.9999999999999999;
   event.failed = true;
@@ -336,6 +338,8 @@ TEST(CampaignJournal, DoneEventRoundTripsBitExactly) {
   EXPECT_EQ(decoded->done.outcome.restarts, 5u);
   EXPECT_EQ(decoded->done.outcome.recoveryLatencySec,
             event.outcome.recoveryLatencySec);
+  EXPECT_EQ(decoded->done.outcome.queueDrops, 123456u);
+  EXPECT_EQ(decoded->done.outcome.quotaDrops, 789u);
   EXPECT_TRUE(decoded->done.outcome.safetyViolated);
   EXPECT_EQ(decoded->done.bestImpact, event.bestImpact);
   EXPECT_TRUE(decoded->done.failed);
@@ -356,6 +360,9 @@ TEST(CampaignJournal, DoneLinesFromBeforeChurnSupportStillDecode) {
   ASSERT_EQ(decoded->kind, JournalEvent::Kind::kDone);
   EXPECT_EQ(decoded->done.outcome.restarts, 0u);
   EXPECT_EQ(decoded->done.outcome.recoveryLatencySec, 0.0);
+  // Same for journals written before flood support.
+  EXPECT_EQ(decoded->done.outcome.queueDrops, 0u);
+  EXPECT_EQ(decoded->done.outcome.quotaDrops, 0u);
 }
 
 TEST(CampaignJournal, MalformedLinesAreRejected) {

@@ -210,6 +210,29 @@ TEST(LintR5, ChurnAndDedupSourcesAreInScope) {
   }
 }
 
+TEST(LintR5, FloodAndNetworkSchedulerSourcesAreInScope) {
+  // The resource-exhaustion additions book simulator events (flood tools)
+  // and pick the next ingress lane to service (network scheduler): hash
+  // iteration order there would break same-seed replay of flood campaigns.
+  for (const char* path :
+       {"src/faultinject/flood.cpp", "src/sim/network.cpp"}) {
+    const auto findings = lintFixture("unordered_iter.cc", path);
+    EXPECT_EQ(countRule(findings, "unordered-iter"), 2u) << path;
+  }
+}
+
+TEST(LintR5, FloodHeaderDeclarationsAreTrackedAcrossFiles) {
+  const std::vector<SourceFile> files = {
+      {"src/faultinject/flood.h",
+       "class F { std::unordered_map<int, int> lanes_; };"},
+      {"src/sim/network.cpp",
+       "int F::f() { int s = 0; for (auto& [k, v] : lanes_) s += v; "
+       "return s; }"},
+  };
+  const auto findings = lintFiles(files);
+  EXPECT_EQ(countRule(findings, "unordered-iter"), 1u);
+}
+
 TEST(LintR5, StableStorageHeaderDeclarationsAreTrackedAcrossFiles) {
   const std::vector<SourceFile> files = {
       {"src/pbft/stable_storage.h",
@@ -419,6 +442,14 @@ TEST(LintR8, ValueCapturesOfThisAndPlainKeysAreClean) {
 
 TEST(LintR9, FixtureSeedsUnclampedReserveAndLoopBound) {
   const auto findings = lintFixture("tainted_size.cc", "src/pbft/wire.cpp");
+  EXPECT_EQ(countRule(findings, "tainted-size"), 2u);
+}
+
+TEST(LintR9, FloodToolSourcesAreCovered) {
+  // R9 is repo-wide, but pin the flood tools explicitly: they synthesize
+  // wire payloads from attacker-chosen sizes, exactly the shape R9 guards.
+  const auto findings =
+      lintFixture("tainted_size.cc", "src/faultinject/flood.cpp");
   EXPECT_EQ(countRule(findings, "tainted-size"), 2u);
 }
 

@@ -1,6 +1,6 @@
 // avd_cli — command-line front end to the AVD platform.
 //
-//   avd_cli explore --system pbft|pbft-churn|quorum
+//   avd_cli explore --system pbft|pbft-churn|pbft-flood|quorum
 //                   --strategy avd|random|genetic
 //                   [--tests N] [--seed S] [--csv FILE] [--json FILE]
 //                   [--threshold T]
@@ -8,10 +8,13 @@
 //       export) the per-test history and summary.
 //
 //   avd_cli attack --name NAME [--clients N] [--seed S]
+//                  [--rate R] [--bytes B] [--kind K] [--target T]
 //       Replay one of the named, known attack scenarios and print its
-//       measured damage. `avd_cli list` shows the names.
+//       measured damage. `avd_cli list` shows the names. The flood
+//       attacks take --rate/--bytes/--kind/--target overrides.
 //
-//   avd_cli campaign [--system pbft|pbft-churn|quorum] [--tests N] [--seed S]
+//   avd_cli campaign [--system pbft|pbft-churn|pbft-flood|quorum]
+//                    [--tests N] [--seed S]
 //                    [--workers W] [--out DIR] [--resume DIR]
 //                    [--checkpoint-every N] [--timeout-ms MS] [--min-impact X]
 //       Run AVD exploration as a resumable, parallel campaign: W executor
@@ -49,6 +52,7 @@
 #include "campaign/runner.h"
 #include "faultinject/behaviors.h"
 #include "faultinject/churn.h"
+#include "faultinject/flood.h"
 #include "pbft/deployment.h"
 
 using namespace avd;
@@ -106,14 +110,15 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: avd_cli explore|campaign|attack|power|list [--flag value ...]\n"
-      "  explore   --system pbft|pbft-churn|quorum\n"
+      "  explore   --system pbft|pbft-churn|pbft-flood|quorum\n"
       "            --strategy avd|random|genetic\n"
       "            --tests N  --seed S  --threshold T  --csv FILE --json FILE\n"
-      "  campaign  --system pbft|pbft-churn|quorum  --tests N  --seed S\n"
-      "            --workers W\n"
+      "  campaign  --system pbft|pbft-churn|pbft-flood|quorum\n"
+      "            --tests N  --seed S  --workers W\n"
       "            --out DIR  --resume DIR  --checkpoint-every N\n"
       "            --timeout-ms MS  --min-impact X\n"
       "  attack    --name NAME  --clients N  --seed S\n"
+      "            --rate R  --bytes B  --kind K  --target T  (flood only)\n"
       "  power     --budget N  --threshold T  --seeds a,b,c\n"
       "unknown flags are errors; run 'avd_cli list' for systems, strategies\n"
       "and attacks\n");
@@ -149,13 +154,24 @@ std::unique_ptr<core::ScenarioExecutor> makeExecutor(
     return std::make_unique<core::PbftAttackExecutor>(
         core::makeChurnHyperspace(), options);
   }
+  if (system == "pbft-flood" || system == "pbft-flood-defended") {
+    // Resource-exhaustion hyperspace over a bounded-ingress deployment; the
+    // -defended variant runs the same space against the admission-control +
+    // fair-scheduling profile (the ablation pair).
+    core::PbftExecutorOptions options =
+        core::makeFloodExecutorOptions(system == "pbft-flood-defended");
+    options.baseSeed = seed;
+    return std::make_unique<core::PbftAttackExecutor>(
+        core::makeFloodHyperspace(), options);
+  }
   if (system == "quorum") {
     core::QuorumExecutorOptions options;
     options.baseSeed = seed;
     return std::make_unique<core::QuorumApiExecutor>(
         core::makeQuorumApiHyperspace(), options);
   }
-  std::fprintf(stderr, "unknown system '%s' (pbft|pbft-churn|quorum)\n",
+  std::fprintf(stderr,
+               "unknown system '%s' (pbft|pbft-churn|pbft-flood|quorum)\n",
                system.c_str());
   std::exit(2);
 }
@@ -245,8 +261,10 @@ int cmdCampaign(const Args& args) {
     options.totalTests = manifest->totalTests;
     options.workers = manifest->workers;
   }
-  if (system != "pbft" && system != "pbft-churn" && system != "quorum") {
-    std::fprintf(stderr, "unknown system '%s' (pbft|pbft-churn|quorum)\n",
+  if (system != "pbft" && system != "pbft-churn" && system != "pbft-flood" &&
+      system != "pbft-flood-defended" && system != "quorum") {
+    std::fprintf(stderr,
+                 "unknown system '%s' (pbft|pbft-churn|pbft-flood|quorum)\n",
                  system.c_str());
     return 2;
   }
@@ -323,6 +341,18 @@ int cmdAttack(const Args& args) {
     // No message-level attack: repeated crash-restart cycles against one
     // backup exercise durable-state recovery and the rejoin protocol.
     config = fi::makeBigMacScenario(clients, 0, seed);
+  } else if (name == "flood" || name == "flood-defended") {
+    // Resource exhaustion against a bounded-ingress deployment; the
+    // -defended variant enables admission control + fair scheduling.
+    config = fi::makeBigMacScenario(clients, 0, seed);
+    const core::PbftExecutorOptions bounded = core::makeFloodExecutorOptions();
+    config.link.ingressCapacity = bounded.link.ingressCapacity;
+    config.link.ingressByteBudget = bounded.link.ingressByteBudget;
+    config.link.ingressServiceTime = bounded.link.ingressServiceTime;
+    if (name == "flood-defended") {
+      fi::enableFloodDefenses(config.pbft);
+      config.link.fairIngress = true;
+    }
   } else if (name == "baseline") {
     config = fi::makeBigMacScenario(clients, 0, seed);
   } else {
@@ -332,6 +362,30 @@ int cmdAttack(const Args& args) {
   }
 
   pbft::Deployment deployment(config);
+  std::unique_ptr<fi::FloodClient> flood;
+  if (name == "flood" || name == "flood-defended") {
+    fi::FloodOptions floodOptions;
+    const auto kind = args.getInt("kind", 1);
+    floodOptions.kind =
+        kind >= 1 && kind <= 4 ? static_cast<fi::FloodKind>(kind)
+                               : fi::FloodKind::kRequestSpam;
+    const auto rate = args.getInt("rate", 16000);
+    floodOptions.interval =
+        rate > 0 ? std::max<sim::Time>(sim::sec(1) / rate, 1) : sim::msec(1);
+    floodOptions.payloadBytes = static_cast<std::size_t>(
+        std::max<long long>(args.getInt("bytes", 1), 1));
+    const auto target = args.getInt("target", -1);
+    floodOptions.target =
+        target >= 0 &&
+                target < static_cast<long long>(config.pbft.replicaCount())
+            ? static_cast<util::NodeId>(target)
+            : util::kNoNode;
+    flood = std::make_unique<fi::FloodClient>(
+        config.pbft.replicaCount() + config.totalClients(), config.pbft,
+        &deployment.keychain(), floodOptions);
+    deployment.network().registerNode(flood.get());
+    flood->install();
+  }
   std::shared_ptr<fi::ChurnFault> churn;
   if (name == "churn") {
     fi::ChurnFault::Options churnOptions;
@@ -368,6 +422,17 @@ int cmdAttack(const Args& args) {
     std::printf("  restarts        %12llu\n",
                 static_cast<unsigned long long>(result.restarts));
     std::printf("  recovery latency%12.4f s\n", result.recoveryLatencySec);
+  }
+  if (flood != nullptr) {
+    std::printf("  flood sent      %12llu\n",
+                static_cast<unsigned long long>(flood->messagesSent()));
+    std::printf("  queue drops     %12llu (peak depth %llu)\n",
+                static_cast<unsigned long long>(result.queueDrops),
+                static_cast<unsigned long long>(result.peakQueueDepth));
+    std::printf("  quota drops     %12llu\n",
+                static_cast<unsigned long long>(result.quotaDrops));
+    std::printf("  replays stopped %12llu\n",
+                static_cast<unsigned long long>(result.replaysSuppressed));
   }
   std::printf("  safety violated %12s\n",
               result.safetyViolated ? "YES (BUG!)" : "no");
@@ -418,6 +483,9 @@ int cmdList() {
   std::printf(
       "systems:    pbft (MAC-corruption hyperspace, 204800 scenarios)\n"
       "            pbft-churn (crash-restart timing hyperspace)\n"
+      "            pbft-flood (resource-exhaustion hyperspace over a\n"
+      "                        bounded-ingress deployment; -defended runs\n"
+      "                        the same space with the Aardvark profile)\n"
       "            quorum (timestamp/victims/replica-behaviour space)\n"
       "strategies: avd (Algorithm 1), random, genetic\n"
       "attacks:    baseline        no attack, for reference numbers\n"
@@ -428,7 +496,12 @@ int cmdList() {
       "            slow-primary    one request per 5 s timer period\n"
       "            colluding       slow primary + colluding client: 0 req/s\n"
       "            aardvark-guard  colluding attack vs the throughput guard\n"
-      "            churn           periodic crash-restart of one backup\n");
+      "            churn           periodic crash-restart of one backup\n"
+      "            flood           resource exhaustion (--kind 1 spam,\n"
+      "                            2 replay storm, 3 oversized, 4 status\n"
+      "                            amplify; --rate/--bytes/--target)\n"
+      "            flood-defended  same flood vs admission control + fair\n"
+      "                            scheduling + bounded queues\n");
   return 0;
 }
 
@@ -449,7 +522,9 @@ int main(int argc, char** argv) {
                              "min-impact"}));
   }
   if (command == "attack") {
-    return cmdAttack(Args(argc, argv, 2, {"name", "clients", "seed"}));
+    return cmdAttack(Args(argc, argv, 2,
+                          {"name", "clients", "seed", "rate", "bytes", "kind",
+                           "target"}));
   }
   if (command == "power") {
     return cmdPower(Args(argc, argv, 2, {"budget", "threshold", "seeds"}));

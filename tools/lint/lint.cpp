@@ -233,7 +233,9 @@ bool unorderedIterScope(const std::string& path) {
          pathEndsWith(path, "avd/controller.cpp") ||
          pathEndsWith(path, "campaign/runner.cpp") ||
          pathEndsWith(path, "campaign/dedup.cpp") ||
-         pathEndsWith(path, "faultinject/churn.cpp");
+         pathEndsWith(path, "faultinject/churn.cpp") ||
+         pathEndsWith(path, "faultinject/flood.cpp") ||
+         pathEndsWith(path, "sim/network.cpp");
 }
 
 bool unorderedDeclScope(const std::string& path) {
@@ -242,7 +244,9 @@ bool unorderedDeclScope(const std::string& path) {
          pathEndsWith(path, "avd/controller.h") ||
          pathEndsWith(path, "campaign/runner.h") ||
          pathEndsWith(path, "campaign/dedup.h") ||
-         pathEndsWith(path, "faultinject/churn.h");
+         pathEndsWith(path, "faultinject/churn.h") ||
+         pathEndsWith(path, "faultinject/flood.h") ||
+         pathEndsWith(path, "sim/network.h");
 }
 
 void ruleUnorderedIter(Ctx& ctx, const std::set<std::string>& unordered) {
@@ -804,7 +808,8 @@ const std::vector<RuleInfo>& ruleRegistry() {
       {"unordered-iter",
        "R5: no hash-container iteration in the ordering-sensitive loops of "
        "pbft/replica.cpp, avd/controller.cpp, campaign/runner.cpp, "
-       "campaign/dedup.cpp, or faultinject/churn.cpp"},
+       "campaign/dedup.cpp, faultinject/churn.cpp, faultinject/flood.cpp, "
+       "or sim/network.cpp"},
       {"detached-thread",
        "R6: no std::thread::detach(); every thread must have an owner "
        "that joins it"},
