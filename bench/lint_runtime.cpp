@@ -13,8 +13,10 @@
 #include <string>
 #include <vector>
 
+#include "index.h"
 #include "lexer.h"
 #include "lint.h"
+#include "model.h"
 
 namespace fs = std::filesystem;
 
@@ -81,6 +83,19 @@ int main(int argc, char** argv) {
   }
   const double lexSeconds = now() - lexStart;
 
+  // Phase 1 (semantic index) and phase 3 (protocol model), timed directly:
+  // the v3 model extractor walks the whole index, so its share of the
+  // budget must be visible before it can quietly eat the headroom.
+  const auto indexStart = now();
+  const avd::lint::RepoIndex index = avd::lint::buildIndex(files);
+  const double indexSeconds = now() - indexStart;
+
+  const auto modelStart = now();
+  const avd::lint::ProtocolModel model = avd::lint::extractModel(index);
+  const double modelSeconds = now() - modelStart;
+  const std::size_t modelKinds = model.kinds.size();
+  const std::size_t modelTransitions = model.transitions.size();
+
   // Full pipeline, best of three (first run warms the page cache).
   constexpr int kRuns = 3;
   double bestSeconds = 0.0;
@@ -95,12 +110,20 @@ int main(int argc, char** argv) {
 
   constexpr double kBudgetSeconds = 5.0;
   const bool withinBudget = bestSeconds < kBudgetSeconds;
+  // The rules' share is the pipeline remainder after the phases measured
+  // in isolation (clamped: the isolated runs are not the same wall clock).
+  const double rulesSeconds =
+      std::max(0.0, bestSeconds - lexSeconds - indexSeconds - modelSeconds);
 
   std::printf("=== avd_lint full-tree analysis ===\n");
   std::printf("files:            %zu\n", files.size());
   std::printf("lines:            %zu\n", totalLines);
   std::printf("tokens:           %zu\n", tokens);
   std::printf("lex only:         %.3f s\n", lexSeconds);
+  std::printf("index only:       %.3f s\n", indexSeconds);
+  std::printf("model only:       %.3f s (%zu kinds, %zu transitions)\n",
+              modelSeconds, modelKinds, modelTransitions);
+  std::printf("rules (residual): %.3f s\n", rulesSeconds);
   std::printf("full pipeline:    %.3f s (best of %d)\n", bestSeconds, kRuns);
   std::printf("throughput:       %.0f lines/s\n",
               bestSeconds > 0.0 ? totalLines / bestSeconds : 0.0);
@@ -108,16 +131,20 @@ int main(int argc, char** argv) {
   std::printf("budget:           %s (< %.1f s)\n",
               withinBudget ? "PASS" : "FAIL", kBudgetSeconds);
 
-  char buffer[512];
+  char buffer[768];
   std::snprintf(buffer, sizeof(buffer),
                 "{\n  \"bench\": \"lint_runtime\",\n"
                 "  \"files\": %zu,\n  \"lines\": %zu,\n  \"tokens\": %zu,\n"
                 "  \"bytes\": %zu,\n  \"lex_seconds\": %.6f,\n"
+                "  \"index_seconds\": %.6f,\n  \"model_seconds\": %.6f,\n"
+                "  \"rules_seconds\": %.6f,\n"
+                "  \"model_kinds\": %zu,\n  \"model_transitions\": %zu,\n"
                 "  \"pipeline_seconds\": %.6f,\n  \"lines_per_sec\": %.1f,\n"
                 "  \"unsuppressed_findings\": %zu,\n"
                 "  \"budget_seconds\": %.1f,\n  \"within_budget\": %s\n}\n",
                 files.size(), totalLines, tokens, totalBytes, lexSeconds,
-                bestSeconds,
+                indexSeconds, modelSeconds, rulesSeconds, modelKinds,
+                modelTransitions, bestSeconds,
                 bestSeconds > 0.0 ? totalLines / bestSeconds : 0.0, findings,
                 kBudgetSeconds, withinBudget ? "true" : "false");
   std::ofstream out("BENCH_lint.json", std::ios::trunc);

@@ -1,0 +1,72 @@
+// Runtime coverage over the generated protocol-event taxonomy.
+//
+// Maps one deployment run onto src/avd/gen/protocol_events.h: message
+// events are read from the per-kind delivery counters, transition events
+// from the replica/network stats the extractor identified as each
+// transition's observing counter. The conformance test sums these counts
+// across representative fault scenarios and asserts every taxonomy entry
+// is exercised at least once — the coverage signal a coverage-guided
+// campaign will optimize.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "avd/gen/protocol_events.h"
+#include "pbft/deployment.h"
+
+namespace avd::core {
+
+/// Observed occurrences per ProtocolEvent, indexed by the enum value.
+using EventCounts = std::array<std::uint64_t, gen::kProtocolEventCount>;
+
+/// Counts every taxonomy event observed in one run.
+[[nodiscard]] inline EventCounts eventCounts(const pbft::RunResult& result) {
+  EventCounts counts{};
+  for (const gen::ProtocolEventInfo& info : gen::kProtocolEvents) {
+    std::uint64_t value = 0;
+    if (info.kind == "message") {
+      const auto it = result.network.deliveredByKind.find(info.wireKind);
+      if (it != result.network.deliveredByKind.end()) value = it->second;
+    } else {
+      switch (info.event) {
+        case gen::ProtocolEvent::kViewChange:
+          value = result.viewChangesInitiated;
+          break;
+        case gen::ProtocolEvent::kCheckpoint:
+          value = result.checkpointsTaken;
+          break;
+        case gen::ProtocolEvent::kStateTransfer:
+          value = result.stateTransfers;
+          break;
+        case gen::ProtocolEvent::kParkUnpark:
+          value = result.prePreparesParked;
+          break;
+        case gen::ProtocolEvent::kQuotaDrop:
+          value = result.quotaDrops;
+          break;
+        case gen::ProtocolEvent::kIngressOverflow:
+          value = result.network.droppedQueueOverflow;
+          break;
+        case gen::ProtocolEvent::kCrashRejoin:
+          value = result.restarts;
+          break;
+        default:
+          break;  // message events handled above
+      }
+    }
+    counts[static_cast<std::size_t>(info.event)] = value;
+  }
+  return counts;
+}
+
+/// Element-wise sum, for aggregating coverage across scenario runs.
+[[nodiscard]] inline EventCounts addCounts(const EventCounts& a,
+                                           const EventCounts& b) {
+  EventCounts out{};
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+}  // namespace avd::core

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <fstream>
 
+#include "avd/gen/protocol_events.h"
+
 namespace avd::core {
 
 namespace {
@@ -23,8 +25,17 @@ std::string historyCsv(const Hyperspace& space,
     out += ',';
     out += space.dimension(d).name();
   }
-  out += ",impact,bestImpact,throughputRps,avgLatencySec,viewChanges,"
-         "restarts,recoveryLatencySec,queueDrops,quotaDrops,safetyViolated\n";
+  out += ",impact,bestImpact,throughputRps,avgLatencySec,";
+  out += gen::kJournalKeyViewChanges;
+  out += ',';
+  out += gen::kJournalKeyRestarts;
+  out += ',';
+  out += gen::kJournalKeyRecoveryLatencySec;
+  out += ',';
+  out += gen::kJournalKeyQueueDrops;
+  out += ',';
+  out += gen::kJournalKeyQuotaDrops;
+  out += ",safetyViolated\n";
 
   for (std::size_t i = 0; i < history.size(); ++i) {
     const TestRecord& record = history[i];
@@ -101,8 +112,10 @@ std::string summaryJson(const Hyperspace& space,
     appendDouble(out, best->outcome.impact);
     out += ",\n    \"throughputRps\": ";
     appendDouble(out, best->outcome.throughputRps);
-    out += ",\n    \"restarts\": " + std::to_string(best->outcome.restarts);
-    out += ",\n    \"recoveryLatencySec\": ";
+    out += ",\n    \"" + std::string(gen::kJournalKeyRestarts) +
+           "\": " + std::to_string(best->outcome.restarts);
+    out += ",\n    \"" + std::string(gen::kJournalKeyRecoveryLatencySec) +
+           "\": ";
     appendDouble(out, best->outcome.recoveryLatencySec);
     out += ",\n    \"generatedBy\": \"" + best->generatedBy + "\"\n  }";
   }

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <map>
 
+#include "avd/gen/protocol_events.h"
+
 namespace avd::campaign {
 
 namespace {
@@ -14,31 +16,17 @@ int impactBandOf(double impact) {
   return std::clamp(band, 0, 10);
 }
 
-int viewChangeBandOf(std::uint64_t viewChanges) {
-  if (viewChanges == 0) return 0;
-  if (viewChanges <= 3) return 1;
-  if (viewChanges <= 10) return 2;
-  return 3;
-}
-
-int restartBandOf(std::uint64_t restarts) {
-  if (restarts == 0) return 0;
-  if (restarts <= 2) return 1;
-  if (restarts <= 8) return 2;
-  return 3;
-}
-
-int resourceBandOf(std::uint64_t drops) {
-  if (drops == 0) return 0;
-  if (drops <= 100) return 1;
-  if (drops <= 10000) return 2;
-  return 3;
-}
-
 void appendDouble(std::string& out, double value) {
   char buffer[48];
   std::snprintf(buffer, sizeof(buffer), "%.6g", value);
   out += buffer;
+}
+
+void appendBand(std::string& out, const gen::OutcomeBand& band, int index) {
+  out += ", ";
+  out += band.dedupLabel;
+  out += " ";
+  out += band.bandNames[static_cast<std::size_t>(std::clamp(index, 0, 3))];
 }
 
 }  // namespace
@@ -47,10 +35,11 @@ VulnSignature signatureOf(const core::Hyperspace& space,
                           const core::TestRecord& record) {
   VulnSignature signature;
   signature.impactBand = impactBandOf(record.outcome.impact);
-  signature.viewChangeBand = viewChangeBandOf(record.outcome.viewChanges);
-  signature.restartBand = restartBandOf(record.outcome.restarts);
-  signature.resourceBand =
-      resourceBandOf(record.outcome.queueDrops + record.outcome.quotaDrops);
+  signature.viewChangeBand =
+      gen::bandOf(gen::kViewChangeBand, record.outcome.viewChanges);
+  signature.restartBand = gen::bandOf(gen::kRestartBand, record.outcome.restarts);
+  signature.resourceBand = gen::bandOf(
+      gen::kResourceBand, record.outcome.queueDrops + record.outcome.quotaDrops);
   signature.safetyViolated = record.outcome.safetyViolated;
   signature.activeDims.reserve(space.dimensionCount());
   for (std::size_t d = 0; d < space.dimensionCount(); ++d) {
@@ -72,20 +61,17 @@ std::string signatureLabel(const core::Hyperspace& space,
                ? "1.0"
                : "0." + std::to_string(signature.impactBand + 1);
   }
-  static const char* kViewBands[] = {"none", "1-3", "4-10", ">10"};
-  out += ", view changes ";
-  out += kViewBands[std::clamp(signature.viewChangeBand, 0, 3)];
+  appendBand(out, gen::kViewChangeBand, signature.viewChangeBand);
   if (signature.restartBand > 0) {
-    static const char* kRestartBands[] = {"none", "1-2", "3-8", ">8"};
-    out += ", restarts ";
-    out += kRestartBands[std::clamp(signature.restartBand, 0, 3)];
+    appendBand(out, gen::kRestartBand, signature.restartBand);
   }
   if (signature.resourceBand > 0) {
-    static const char* kResourceBands[] = {"none", "1-100", "101-10k", ">10k"};
-    out += ", resource drops ";
-    out += kResourceBands[std::clamp(signature.resourceBand, 0, 3)];
+    appendBand(out, gen::kResourceBand, signature.resourceBand);
   }
-  if (signature.safetyViolated) out += ", SAFETY VIOLATED";
+  if (signature.safetyViolated) {
+    out += ", ";
+    out += gen::kSafetyLabel;
+  }
   out += ", dims {";
   bool first = true;
   for (std::size_t d = 0; d < signature.activeDims.size(); ++d) {
@@ -134,6 +120,10 @@ std::vector<VulnClass> dedupVulnerabilities(
 
 std::string vulnClassesJson(const core::Hyperspace& space,
                             const std::vector<VulnClass>& classes) {
+  const std::string restartsKey(gen::kJournalKeyRestarts);
+  const std::string recoveryKey(gen::kJournalKeyRecoveryLatencySec);
+  const std::string queueDropsKey(gen::kJournalKeyQueueDrops);
+  const std::string quotaDropsKey(gen::kJournalKeyQuotaDrops);
   std::string out = "[";
   for (std::size_t i = 0; i < classes.size(); ++i) {
     const VulnClass& cls = classes[i];
@@ -143,13 +133,14 @@ std::string vulnClassesJson(const core::Hyperspace& space,
            ", \"exemplarTest\": " + std::to_string(cls.exemplarTest) +
            ", \"impact\": ";
     appendDouble(out, cls.exemplar.outcome.impact);
-    out += ", \"restarts\": " + std::to_string(cls.exemplar.outcome.restarts) +
-           ", \"recoveryLatencySec\": ";
+    out += ", \"" + restartsKey +
+           "\": " + std::to_string(cls.exemplar.outcome.restarts) + ", \"" +
+           recoveryKey + "\": ";
     appendDouble(out, cls.exemplar.outcome.recoveryLatencySec);
-    out += ", \"queueDrops\": " +
-           std::to_string(cls.exemplar.outcome.queueDrops) +
-           ", \"quotaDrops\": " +
-           std::to_string(cls.exemplar.outcome.quotaDrops);
+    out += ", \"" + queueDropsKey +
+           "\": " + std::to_string(cls.exemplar.outcome.queueDrops) + ", \"" +
+           quotaDropsKey +
+           "\": " + std::to_string(cls.exemplar.outcome.quotaDrops);
     out += ", \"point\": {";
     for (std::size_t d = 0; d < space.dimensionCount(); ++d) {
       if (d != 0) out += ", ";

@@ -5,6 +5,8 @@
 #include <filesystem>
 #include <system_error>
 
+#include "avd/gen/protocol_events.h"
+
 namespace avd::campaign {
 
 namespace {
@@ -236,19 +238,19 @@ std::string encodeDone(const DoneEvent& event) {
   appendKey(out, "avgLatencySec");
   appendDouble(out, event.outcome.avgLatencySec);
   out += ',';
-  appendKey(out, "viewChanges");
+  appendKey(out, gen::kJournalKeyViewChanges);
   out += std::to_string(event.outcome.viewChanges);
   out += ',';
-  appendKey(out, "restarts");
+  appendKey(out, gen::kJournalKeyRestarts);
   out += std::to_string(event.outcome.restarts);
   out += ',';
-  appendKey(out, "recoveryLatencySec");
+  appendKey(out, gen::kJournalKeyRecoveryLatencySec);
   appendDouble(out, event.outcome.recoveryLatencySec);
   out += ',';
-  appendKey(out, "queueDrops");
+  appendKey(out, gen::kJournalKeyQueueDrops);
   out += std::to_string(event.outcome.queueDrops);
   out += ',';
-  appendKey(out, "quotaDrops");
+  appendKey(out, gen::kJournalKeyQuotaDrops);
   out += std::to_string(event.outcome.quotaDrops);
   out += ',';
   appendKey(out, "safetyViolated");
@@ -298,14 +300,15 @@ std::string encodeDone(const DoneEvent& event) {
     const auto bestImpact = getDouble(line, "bestImpact");
     const auto throughputRps = getDouble(line, "throughputRps");
     const auto avgLatencySec = getDouble(line, "avgLatencySec");
-    const auto viewChanges = getU64(line, "viewChanges");
+    const auto viewChanges = getU64(line, gen::kJournalKeyViewChanges);
     // Absent in journals written before churn support; default to zero so
     // those campaigns remain resumable.
-    const auto restarts = getU64(line, "restarts");
-    const auto recoveryLatencySec = getDouble(line, "recoveryLatencySec");
+    const auto restarts = getU64(line, gen::kJournalKeyRestarts);
+    const auto recoveryLatencySec =
+        getDouble(line, gen::kJournalKeyRecoveryLatencySec);
     // Absent in journals written before flood support; same treatment.
-    const auto queueDrops = getU64(line, "queueDrops");
-    const auto quotaDrops = getU64(line, "quotaDrops");
+    const auto queueDrops = getU64(line, gen::kJournalKeyQueueDrops);
+    const auto quotaDrops = getU64(line, gen::kJournalKeyQuotaDrops);
     const auto safetyViolated = getBool(line, "safetyViolated");
     const auto failed = getBool(line, "failed");
     const auto timedOut = getBool(line, "timedOut");

@@ -178,6 +178,9 @@ RunResult Deployment::collect() const {
     result.quotaDrops +=
         stats.quotaDrops + stats.oversizedRejected + stats.orderingDropped;
     result.replaysSuppressed += stats.replaysSuppressed;
+    result.checkpointsTaken += stats.checkpointsTaken;
+    result.stateTransfers += stats.stateTransfersCompleted;
+    result.prePreparesParked += stats.prePreparesPended;
   }
   return result;
 }

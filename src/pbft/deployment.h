@@ -76,6 +76,12 @@ struct RunResult {
   std::uint64_t peakQueueDepth = 0;
   /// Total replica crash–restart cycles over the run (churn faults).
   std::uint64_t restarts = 0;
+  /// Protocol-transition observability (see src/avd/gen/protocol_events.h):
+  /// checkpoints taken, state transfers completed, and pre-prepares parked
+  /// pending authentication, summed over replicas.
+  std::uint64_t checkpointsTaken = 0;
+  std::uint64_t stateTransfers = 0;
+  std::uint64_t prePreparesParked = 0;
   /// Seconds from the LAST replica restart to the first correct-client
   /// completion after it — how long the deployment took to come back. 0 when
   /// no restarts happened; the full remaining run time if it never recovered.

@@ -1257,6 +1257,7 @@ void Replica::onStateResponse(util::NodeId from,
   own.snapshot = response.snapshot;
   own.clientTimestamps = response.clientTimestamps;
   stateTransferInFlight_ = false;
+  ++stats_.stateTransfersCompleted;
   checkCheckpointStable(response.seq);
   maybeExecute();
 }

@@ -101,6 +101,9 @@ struct ReplicaStats {
   std::uint64_t crashedOnViewChange = 0;
   /// Sequences executed via f+1 sync attestations (lost-message recovery).
   std::uint64_t sequencesSynced = 0;
+  /// State transfers completed: a quorum-corroborated snapshot was adopted
+  /// after falling behind a stable checkpoint.
+  std::uint64_t stateTransfersCompleted = 0;
 
   // --- Resource accounting (flood tools / Aardvark-style defenses) --------
   /// Requests rejected by per-client admission quotas.

@@ -58,6 +58,7 @@ void Network::send(util::NodeId from, util::NodeId to, MessagePtr message) {
       return;
     }
     ++counters_.delivered;
+    ++counters_.deliveredByKind[message->kind()];
     receiver->receive(from, message);
   });
 }
@@ -131,6 +132,7 @@ void Network::serviceIngress(util::NodeId to) {
     ++counters_.droppedDeadNode;
   } else {
     ++counters_.delivered;
+    ++counters_.deliveredByKind[message->kind()];
     receiver->receive(from, message);
   }
 

@@ -93,6 +93,10 @@ struct NetworkCounters {
   /// High-water marks across all nodes (0 when ingress is unbounded).
   std::uint64_t peakIngressDepth = 0;
   std::uint64_t peakIngressBytes = 0;
+  /// Deliveries per message kind (the wire discriminator, see
+  /// src/avd/gen/protocol_events.h). Ordered so iteration is replayable;
+  /// keys absent = zero deliveries of that kind.
+  std::map<std::uint32_t, std::uint64_t> deliveredByKind;
 };
 
 /// Per-node ingress observability for tests and the flood bench.

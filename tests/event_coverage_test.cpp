@@ -1,0 +1,155 @@
+// Conformance over the generated protocol-event taxonomy.
+//
+// src/avd/gen/protocol_events.h is extracted statically by avd_lint; this
+// suite proves the taxonomy is *observable*: a seeded set of representative
+// fault scenarios — primary churn, an undefended and a defended request
+// flood, and the Big MAC authenticator attack — must emit every taxonomy
+// entry at least once through the runtime counters eventCounts() reads.
+// An entry no scenario can reach is dead weight in the coverage map; a
+// counter that stopped moving is rotted instrumentation (the dynamic twin
+// of lint rule R14).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "avd/event_coverage.h"
+#include "faultinject/behaviors.h"
+#include "faultinject/churn.h"
+#include "faultinject/flood.h"
+#include "pbft/deployment.h"
+
+namespace avd::core {
+namespace {
+
+/// Primary churn over a checkpointing deployment: crash-rejoin, view
+/// change, checkpoint, state transfer, park/unpark, and the status/sync
+/// rejoin traffic.
+pbft::RunResult runPrimaryChurn() {
+  pbft::DeploymentConfig config;
+  config.pbft.f = 1;
+  config.pbft.requestTimeout = sim::msec(400);
+  config.pbft.viewChangeTimeout = sim::msec(400);
+  config.pbft.checkpointInterval = 16;
+  config.pbft.watermarkWindow = 64;
+  config.clientRetx = sim::msec(100);
+  config.correctClients = 8;
+  config.warmup = sim::msec(400);
+  config.measure = sim::sec(4);
+  config.seed = 71;
+
+  pbft::Deployment deployment(config);
+  fi::ChurnFault::Options churn;
+  churn.target = 0;  // the primary: forces a view change and a catch-up
+  churn.firstCrash = sim::msec(900);
+  // Long enough for the surviving replicas to advance their stable
+  // checkpoint past the crashed replica's log, so the rejoin needs a state
+  // transfer rather than ordinary replay.
+  churn.downtime = sim::sec(2);
+  auto fault = std::make_shared<fi::ChurnFault>(
+      &deployment.simulator(), &deployment.network(), churn);
+  fault->install();
+  return deployment.run();
+}
+
+/// Request spam against a bounded receive path. Undefended: the shared
+/// ingress queue overflows. Defended: the admission quotas shed the flood.
+pbft::RunResult runFlood(bool defended) {
+  pbft::DeploymentConfig config;
+  config.pbft.f = 1;
+  config.pbft.requestTimeout = sim::msec(400);
+  config.pbft.viewChangeTimeout = sim::msec(400);
+  config.correctClients = 10;
+  config.clientRetx = sim::msec(100);
+  config.warmup = sim::msec(300);
+  config.measure = sim::msec(1500);
+  config.seed = 17;
+  config.link = sim::LinkModel{sim::usec(500), sim::usec(100)};
+  config.link.ingressCapacity = 64;
+  config.link.ingressByteBudget = 32 * 1024;
+  config.link.ingressServiceTime = sim::usec(100);
+  if (defended) fi::enableFloodDefenses(config.pbft);
+
+  pbft::Deployment deployment(config);
+  fi::FloodOptions options;
+  options.kind = fi::FloodKind::kRequestSpam;
+  options.interval = sim::sec(1) / 16000;
+  fi::FloodClient flood(config.pbft.replicaCount() + config.totalClients(),
+                        config.pbft, &deployment.keychain(), options);
+  deployment.network().registerNode(&flood);
+  flood.install();
+  return deployment.run();
+}
+
+/// The Big MAC attack with the rotating mask: every retransmission round
+/// authenticates at one more replica, so pre-prepares park and resolve
+/// without a view change.
+pbft::RunResult runBigMac() {
+  return pbft::runScenario(
+      fi::makeBigMacScenario(20, fi::rotatingBigMacMask(), 7));
+}
+
+TEST(EventCoverage, SeededScenarioSweepEmitsEveryTaxonomyEntry) {
+  EventCounts total{};
+  total = addCounts(total, eventCounts(runPrimaryChurn()));
+  total = addCounts(total, eventCounts(runFlood(/*defended=*/false)));
+  total = addCounts(total, eventCounts(runFlood(/*defended=*/true)));
+  total = addCounts(total, eventCounts(runBigMac()));
+
+  for (const gen::ProtocolEventInfo& info : gen::kProtocolEvents) {
+    EXPECT_GT(total[static_cast<std::size_t>(info.event)], 0u)
+        << "taxonomy entry '" << info.name << "' (counter " << info.counter
+        << ") was never emitted by the scenario sweep";
+  }
+}
+
+TEST(EventCoverage, MessageCountsMatchTheDeliveryCounters) {
+  const pbft::RunResult result = runPrimaryChurn();
+  const EventCounts counts = eventCounts(result);
+
+  std::uint64_t messageTotal = 0;
+  for (const gen::ProtocolEventInfo& info : gen::kProtocolEvents) {
+    if (info.kind == "message") {
+      messageTotal += counts[static_cast<std::size_t>(info.event)];
+    }
+  }
+  std::uint64_t delivered = 0;
+  for (const auto& [kind, count] : result.network.deliveredByKind) {
+    delivered += count;
+  }
+  EXPECT_EQ(messageTotal, delivered)
+      << "every delivered message maps onto exactly one taxonomy entry";
+  EXPECT_EQ(delivered, result.network.delivered);
+}
+
+TEST(EventCoverage, TransitionCountsMirrorTheRunResultFields) {
+  const pbft::RunResult result = runPrimaryChurn();
+  const EventCounts counts = eventCounts(result);
+
+  using gen::ProtocolEvent;
+  EXPECT_EQ(counts[static_cast<std::size_t>(ProtocolEvent::kViewChange)],
+            result.viewChangesInitiated);
+  EXPECT_EQ(counts[static_cast<std::size_t>(ProtocolEvent::kCheckpoint)],
+            result.checkpointsTaken);
+  EXPECT_EQ(counts[static_cast<std::size_t>(ProtocolEvent::kStateTransfer)],
+            result.stateTransfers);
+  EXPECT_EQ(counts[static_cast<std::size_t>(ProtocolEvent::kCrashRejoin)],
+            result.restarts);
+  EXPECT_EQ(counts[static_cast<std::size_t>(ProtocolEvent::kIngressOverflow)],
+            result.network.droppedQueueOverflow);
+}
+
+// Regression for the R14 true positive this PR fixed: a rejoining replica
+// that adopts a quorum-corroborated snapshot must count the completed
+// state transfer (previously only the in-flight flag was cleared, so the
+// transition was invisible to coverage).
+TEST(EventCoverage, CompletedStateTransfersAreCounted) {
+  const pbft::RunResult result = runPrimaryChurn();
+  EXPECT_GT(result.stateTransfers, 0u)
+      << "primary churn past a stable checkpoint must complete a state "
+         "transfer";
+  EXPECT_GT(result.checkpointsTaken, 0u);
+  EXPECT_GT(result.restarts, 0u);
+}
+
+}  // namespace
+}  // namespace avd::core

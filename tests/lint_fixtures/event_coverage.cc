@@ -1,0 +1,14 @@
+// R14 positive fixture: the view-change trigger exists but no counter
+// increment matches the transition — the instrumentation has rotted and
+// coverage-guided search cannot observe the transition. Linted, never
+// compiled.
+#include <cstdint>
+
+namespace fixture {
+
+void Replica::startViewChange() {
+  view_ = view_ + 1;
+  broadcastViewChangeMessage();
+}
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// R14 negative fixture: the view-change transition increments its
+// observing counter where it completes. Linted, never compiled.
+#include <cstdint>
+
+namespace fixture {
+
+void Replica::startViewChange() {
+  view_ = view_ + 1;
+  ++stats_.viewChangesInitiated;
+  broadcastViewChangeMessage();
+}
+
+}  // namespace fixture

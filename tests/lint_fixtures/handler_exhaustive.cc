@@ -1,0 +1,66 @@
+// R12 positive fixture: the dispatch plane has a hole in every direction —
+// a kind that is sent but never parsed, a kind that is parsed but never
+// dispatched, and a dispatch arm on a kind no decoder produces. Linted,
+// never compiled.
+#include <cstdint>
+#include <memory>
+
+namespace fixture {
+
+enum class MsgKind : std::uint8_t {
+  kPing = 1,
+  kPong = 2,
+  kStatus = 3,
+};
+
+MsgKind Ping::kind() const { return MsgKind::kPing; }
+MsgKind Pong::kind() const { return MsgKind::kPong; }
+
+void encodeBody(Writer& writer, const Body& body, MsgKind kind) {
+  switch (kind) {
+    case MsgKind::kPong:
+      writer.u32(body.id);
+      break;
+    case MsgKind::kStatus:
+      writer.u64(body.seq);
+      break;
+    default:
+      break;
+  }
+}
+
+void decodeBody(Reader& reader, Body& body, MsgKind kind) {
+  switch (kind) {
+    case MsgKind::kPong:
+      body.id = reader.u32();
+      break;
+    case MsgKind::kStatus:
+      body.seq = reader.u64();
+      break;
+    default:
+      break;
+  }
+}
+
+// Sends kPing, which no decode arm parses: the receiver rejects it.
+void Node::broadcastPing() {
+  auto message = std::make_shared<Ping>();
+  publish(message);
+}
+
+// Dispatches kPing (never parseable, the arm is dead) and kPong; kStatus
+// is parsed above but never reaches a dispatch arm.
+void Node::receive(std::uint32_t from, const MessagePtr& message) {
+  switch (message->kind()) {
+    case MsgKind::kPing:
+      handlePing(from);
+      break;
+    case MsgKind::kPong:
+      handlePong(from);
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,57 @@
+// R12 negative fixture: the dispatch plane is closed — every sent kind has
+// a decode arm, every decoded kind has a dispatch arm, and every dispatch
+// arm names a parseable kind. Linted, never compiled.
+#include <cstdint>
+#include <memory>
+
+namespace fixture {
+
+enum class MsgKind : std::uint8_t {
+  kPing = 1,
+  kPong = 2,
+};
+
+MsgKind Ping::kind() const { return MsgKind::kPing; }
+MsgKind Pong::kind() const { return MsgKind::kPong; }
+
+void encodeBody(Writer& writer, const Body& body, MsgKind kind) {
+  switch (kind) {
+    case MsgKind::kPing:
+      writer.u32(body.id);
+      break;
+    case MsgKind::kPong:
+      writer.u64(body.seq);
+      break;
+  }
+}
+
+void decodeBody(Reader& reader, Body& body, MsgKind kind) {
+  switch (kind) {
+    case MsgKind::kPing:
+      body.id = reader.u32();
+      break;
+    case MsgKind::kPong:
+      body.seq = reader.u64();
+      break;
+  }
+}
+
+void Node::broadcastPing() {
+  auto message = std::make_shared<Ping>();
+  publish(message);
+}
+
+void Node::receive(std::uint32_t from, const MessagePtr& message) {
+  switch (message->kind()) {
+    case MsgKind::kPing:
+      handlePing(from);
+      break;
+    case MsgKind::kPong:
+      handlePong(from);
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// R13 positive fixture: one threshold that normalizes to a non-canonical
+// linear form and one vote count compared against a bare magic number.
+// Linted, never compiled.
+#include <cstdint>
+
+namespace fixture {
+
+// Normalizes to 3f+2 — matches no canonical certificate formula.
+bool oddCertificate(std::uint32_t acks, std::uint32_t f) {
+  return acks >= 3 * f + 2;
+}
+
+// A magic-number quorum: stops scaling the moment f changes.
+bool enoughVotes(std::uint32_t votes) {
+  return votes >= 3;
+}
+
+}  // namespace fixture

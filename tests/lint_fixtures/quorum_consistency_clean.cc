@@ -1,0 +1,22 @@
+// R13 negative fixture: every threshold spells a canonical certificate
+// formula — the strong 2f+1, the weak f+1, the prepared 2f, and a call to
+// the quorum-named helper. Linted, never compiled.
+#include <cstdint>
+
+namespace fixture {
+
+std::uint32_t quorum(std::uint32_t f) { return 2 * f + 1; }
+
+bool strongCertificate(std::uint32_t votes, std::uint32_t f) {
+  return votes >= 2 * f + 1;
+}
+
+bool weakCertificate(std::uint32_t votes, std::uint32_t f) {
+  return votes >= f + 1;
+}
+
+bool preparedCertificate(std::uint32_t matching, std::uint32_t f) {
+  return matching >= 2 * f;
+}
+
+}  // namespace fixture

@@ -1,0 +1,63 @@
+// R11 positive fixture: a field-reordered put/get helper pair, a repeated
+// field written in a loop but read once, and a kind whose decoder drops a
+// trailing field. Linted, never compiled.
+#include <cstdint>
+
+namespace fixture {
+
+enum class MsgKind : std::uint8_t {
+  kPing = 1,
+  kBatch = 2,
+};
+
+// Field-reordered helper pair: the encoder writes id then seq, the decoder
+// reads seq first — every later field desynchronizes.
+void putHeader(Writer& writer, const Header& header) {
+  writer.u32(header.id);
+  writer.u64(header.seq);
+}
+
+[[nodiscard]] Header getHeader(Reader& reader) {
+  Header header;
+  header.seq = reader.u64();
+  header.id = reader.u32();
+  return header;
+}
+
+// Loop asymmetry: the tag list is written four times but read once.
+void putTags(Writer& writer, const Tags& tags) {
+  for (int i = 0; i < 4; ++i) writer.u64(tags.value(i));
+}
+
+[[nodiscard]] Tags getTags(Reader& reader) {
+  Tags tags;
+  tags.first = reader.u64();
+  return tags;
+}
+
+void encodeBody(Writer& writer, const Body& body, MsgKind kind) {
+  switch (kind) {
+    case MsgKind::kPing:
+      writer.u32(body.id);
+      writer.u64(body.nonce);
+      break;
+    case MsgKind::kBatch:
+      writer.u32(body.id);
+      writer.str(body.payload);
+      break;
+  }
+}
+
+void decodeBody(Reader& reader, Body& body, MsgKind kind) {
+  switch (kind) {
+    case MsgKind::kPing:
+      body.id = reader.u32();  // the trailing nonce is never read
+      break;
+    case MsgKind::kBatch:
+      body.id = reader.u32();
+      body.payload = reader.str();
+      break;
+  }
+}
+
+}  // namespace fixture

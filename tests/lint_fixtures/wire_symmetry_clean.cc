@@ -1,0 +1,61 @@
+// R11 negative fixture: the same codec shape as wire_symmetry.cc with the
+// helper pair, the loop, and the switch arms symmetric. Linted, never
+// compiled.
+#include <cstdint>
+
+namespace fixture {
+
+enum class MsgKind : std::uint8_t {
+  kPing = 1,
+  kBatch = 2,
+};
+
+void putHeader(Writer& writer, const Header& header) {
+  writer.u32(header.id);
+  writer.u64(header.seq);
+}
+
+[[nodiscard]] Header getHeader(Reader& reader) {
+  Header header;
+  header.id = reader.u32();
+  header.seq = reader.u64();
+  return header;
+}
+
+void putTags(Writer& writer, const Tags& tags) {
+  for (int i = 0; i < 4; ++i) writer.u64(tags.value(i));
+}
+
+[[nodiscard]] Tags getTags(Reader& reader) {
+  Tags tags;
+  for (int i = 0; i < 4; ++i) tags.set(i, reader.u64());
+  return tags;
+}
+
+void encodeBody(Writer& writer, const Body& body, MsgKind kind) {
+  switch (kind) {
+    case MsgKind::kPing:
+      writer.u32(body.id);
+      writer.u64(body.nonce);
+      break;
+    case MsgKind::kBatch:
+      writer.u32(body.id);
+      writer.str(body.payload);
+      break;
+  }
+}
+
+void decodeBody(Reader& reader, Body& body, MsgKind kind) {
+  switch (kind) {
+    case MsgKind::kPing:
+      body.id = reader.u32();
+      body.nonce = reader.u64();
+      break;
+    case MsgKind::kBatch:
+      body.id = reader.u32();
+      body.payload = reader.str();
+      break;
+  }
+}
+
+}  // namespace fixture

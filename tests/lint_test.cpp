@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "lexer.h"
 #include "lint.h"
 
 namespace avd::lint {
@@ -43,9 +44,13 @@ std::size_t countRule(const std::vector<Finding>& findings,
 
 // --- Registry ---------------------------------------------------------------
 
-TEST(LintRegistry, ContainsTheTenRulesPlusMeta) {
+TEST(LintRegistry, ContainsTheFourteenRulesPlusMeta) {
   const auto& rules = ruleRegistry();
-  ASSERT_EQ(rules.size(), 11u);
+  ASSERT_EQ(rules.size(), 15u);
+  EXPECT_TRUE(isKnownRule("wire-symmetry"));
+  EXPECT_TRUE(isKnownRule("handler-exhaustive"));
+  EXPECT_TRUE(isKnownRule("quorum-consistency"));
+  EXPECT_TRUE(isKnownRule("event-coverage"));
   EXPECT_TRUE(isKnownRule("nondeterminism"));
   EXPECT_TRUE(isKnownRule("unchecked-parse"));
   EXPECT_TRUE(isKnownRule("uncapped-reserve"));
@@ -512,6 +517,169 @@ TEST(LintR10, StaleSuppressionCannotSuppressItself) {
       "}\n");
   EXPECT_GE(countRule(findings, "stale-suppression"), 1u);
   EXPECT_EQ(unsuppressedCount(findings), findings.size());
+}
+
+// --- R11 wire-symmetry -------------------------------------------------------
+
+TEST(LintR11, FixtureSeedsReorderLoopAndTrailingFieldViolations) {
+  const auto findings =
+      lintFixture("wire_symmetry.cc", "src/pbft/wire_fixture.cpp");
+  EXPECT_EQ(countRule(findings, "wire-symmetry"), 3u)
+      << "reordered helper pair, loop-depth asymmetry, dropped trailing field";
+  EXPECT_EQ(findings.size(), countRule(findings, "wire-symmetry"))
+      << "no other rule fires on this fixture";
+}
+
+TEST(LintR11, SymmetricCodecIsClean) {
+  const auto findings =
+      lintFixture("wire_symmetry_clean.cc", "src/pbft/wire_fixture.cpp");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintR11, ReorderingOneWireFieldBreaksTheCleanFixture) {
+  // The acceptance property: flipping any two fields of a clean codec must
+  // fail R11. Swap the decoder's id/seq reads of the clean fixture.
+  std::string source = readFixture("wire_symmetry_clean.cc");
+  const std::string ordered =
+      "header.id = reader.u32();\n  header.seq = reader.u64();";
+  const std::string swapped =
+      "header.seq = reader.u64();\n  header.id = reader.u32();";
+  const std::size_t at = source.find(ordered);
+  ASSERT_NE(at, std::string::npos);
+  source.replace(at, ordered.size(), swapped);
+  const auto findings = lintSource("src/pbft/wire_fixture.cpp", source);
+  EXPECT_EQ(countRule(findings, "wire-symmetry"), 1u);
+}
+
+// --- R12 handler-exhaustive --------------------------------------------------
+
+TEST(LintR12, FixtureSeedsAllThreeDispatchHoles) {
+  const auto findings =
+      lintFixture("handler_exhaustive.cc", "src/pbft/node_fixture.cpp");
+  EXPECT_EQ(countRule(findings, "handler-exhaustive"), 3u)
+      << "sent-but-unparsed, parsed-but-undispatched, dispatched-but-unparsed";
+  EXPECT_EQ(findings.size(), countRule(findings, "handler-exhaustive"))
+      << "no other rule fires on this fixture";
+}
+
+TEST(LintR12, ClosedDispatchPlaneIsClean) {
+  const auto findings =
+      lintFixture("handler_exhaustive_clean.cc", "src/pbft/node_fixture.cpp");
+  EXPECT_TRUE(findings.empty());
+}
+
+// --- R13 quorum-consistency --------------------------------------------------
+
+TEST(LintR13, FixtureSeedsNonCanonicalFormAndMagicNumber) {
+  const auto findings =
+      lintFixture("quorum_consistency.cc", "src/pbft/quorum_fixture.cpp");
+  EXPECT_EQ(countRule(findings, "quorum-consistency"), 2u)
+      << "3f+2 threshold and votes >= 3";
+  EXPECT_EQ(findings.size(), countRule(findings, "quorum-consistency"))
+      << "no other rule fires on this fixture";
+}
+
+TEST(LintR13, CanonicalCertificateFormulasAreClean) {
+  const auto findings =
+      lintFixture("quorum_consistency_clean.cc", "src/pbft/quorum_fixture.cpp");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintR13, QuorumScanIsScopedToPbftSources) {
+  // The same magic comparison outside pbft/ is not a protocol quorum.
+  const auto findings =
+      lintFixture("quorum_consistency.cc", "src/sim/quorum_fixture.cpp");
+  EXPECT_EQ(countRule(findings, "quorum-consistency"), 0u);
+}
+
+// --- R14 event-coverage ------------------------------------------------------
+
+TEST(LintR14, TransitionWithoutEmissionIsFlagged) {
+  const auto findings =
+      lintFixture("event_coverage.cc", "src/pbft/replica_fixture.cpp");
+  EXPECT_EQ(countRule(findings, "event-coverage"), 1u);
+  EXPECT_EQ(findings.size(), countRule(findings, "event-coverage"))
+      << "no other rule fires on this fixture";
+}
+
+TEST(LintR14, CounterIncrementAtTheTransitionIsClean) {
+  const auto findings =
+      lintFixture("event_coverage_clean.cc", "src/pbft/replica_fixture.cpp");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintR14, DeletingTheEmissionSiteBreaksTheCleanFixture) {
+  // The acceptance property: removing the counter increment from a clean
+  // transition must fail R14.
+  std::string source = readFixture("event_coverage_clean.cc");
+  const std::string emission = "++stats_.viewChangesInitiated;\n";
+  const std::size_t at = source.find(emission);
+  ASSERT_NE(at, std::string::npos);
+  source.erase(at, emission.size());
+  const auto findings = lintSource("src/pbft/replica_fixture.cpp", source);
+  EXPECT_EQ(countRule(findings, "event-coverage"), 1u);
+}
+
+TEST(LintR14, PlainFlagAssignmentIsNotAnEmission) {
+  // `inFlight_ = false` mentions no counter increment; only ++/+= count.
+  const auto findings = lintSource(
+      "src/pbft/replica_fixture.cpp",
+      "void Replica::startViewChange() {\n"
+      "  viewChangeInFlight_ = true;\n"
+      "}\n");
+  EXPECT_EQ(countRule(findings, "event-coverage"), 1u);
+}
+
+// --- Lexer hardening ---------------------------------------------------------
+
+TEST(LintLexer, RawStringLiteralIsOneTokenAndHidesItsContent) {
+  const auto result = lex(
+      "src/x/a.cpp",
+      "const char* s = R\"avd(++viewChanges \" // not a comment)avd\";\n");
+  std::size_t strings = 0;
+  for (const Token& token : result.tokens) {
+    if (token.kind == TokKind::kString) ++strings;
+    EXPECT_NE(token.text, "viewChanges") << "raw content leaked as tokens";
+  }
+  EXPECT_EQ(strings, 1u);
+}
+
+TEST(LintLexer, MalformedRawStringDelimiterRecoversWithoutDesync) {
+  // A 17-char delimiter exceeds the C++ cap: the R degrades to an ordinary
+  // identifier, the quote to a normal string, and lexing continues.
+  const auto result = lex(
+      "src/x/a.cpp", "auto s = R\"aaaaaaaaaaaaaaaaa(x)\"; int tail = 1;\n");
+  bool sawTail = false;
+  for (const Token& token : result.tokens) {
+    sawTail = sawTail || token.text == "tail";
+  }
+  EXPECT_TRUE(sawTail);
+}
+
+TEST(LintLexer, DigitSeparatorsStayOneNumberToken) {
+  const auto result = lex("src/x/a.cpp", "long big = 1'000'000;\n");
+  bool sawNumber = false;
+  for (const Token& token : result.tokens) {
+    if (token.kind == TokKind::kNumber) {
+      sawNumber = true;
+      EXPECT_EQ(token.text, "1'000'000");
+    }
+    EXPECT_NE(token.kind, TokKind::kChar) << "separator misread as char";
+  }
+  EXPECT_TRUE(sawNumber);
+}
+
+TEST(LintLexer, IfConstexprBodyIsStillLinted) {
+  const auto findings = lintSource(
+      "src/avd/a.cpp",
+      "template <bool kFlag>\n"
+      "int f() {\n"
+      "  if constexpr (kFlag) {\n"
+      "    return std::rand();\n"
+      "  }\n"
+      "  return 0;\n"
+      "}\n");
+  EXPECT_EQ(countRule(findings, "nondeterminism"), 1u);
 }
 
 // --- Baseline ratchet --------------------------------------------------------

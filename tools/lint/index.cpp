@@ -14,7 +14,8 @@ const std::set<std::string>& keywordSet() {
       "sizeof",   "alignof", "decltype", "noexcept", "throw",  "new",
       "delete",   "static_assert",       "operator", "defined", "else",
       "do",       "case",    "goto",     "co_await", "co_return",
-      "co_yield", "typeid",  "alignas",  "requires", "explicit"};
+      "co_yield", "typeid",  "alignas",  "requires", "explicit",
+      "constexpr"};  // `if constexpr (...)` must not look like a call
   return kKeywords;
 }
 

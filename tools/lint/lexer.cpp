@@ -140,11 +140,31 @@ LexResult lex(const std::string& path, std::string_view src) {
                      out.suppressions);
       continue;
     }
-    // Raw string literal: R"delim( ... )delim".
+    // Raw string literal: R"delim( ... )delim". A valid delimiter is at
+    // most 16 chars and cannot contain space, parentheses, backslash,
+    // quote, or newline (C++ [lex.string]); on a malformed prefix the 'R'
+    // lexes as a plain identifier and the quote as an ordinary string, so
+    // one bad literal can never swallow the rest of the file.
     if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
       std::size_t j = i + 2;
       std::string delim;
-      while (j < n && src[j] != '(') delim.push_back(src[j++]);
+      bool wellFormed = true;
+      while (j < n && src[j] != '(') {
+        const char d = src[j];
+        if (delim.size() >= 16 || d == ' ' || d == ')' || d == '\\' ||
+            d == '"' || d == '\n') {
+          wellFormed = false;
+          break;
+        }
+        delim.push_back(d);
+        ++j;
+      }
+      if (j >= n) wellFormed = false;
+      if (!wellFormed) {
+        push(TokKind::kIdent, "R");
+        ++i;
+        continue;
+      }
       const std::string closer = ")" + delim + "\"";
       const std::size_t end = src.find(closer, j);
       const std::size_t stop = end == std::string_view::npos ? n : end + closer.size();

@@ -7,6 +7,7 @@
 
 #include "index.h"
 #include "lexer.h"
+#include "model.h"
 
 namespace avd::lint {
 namespace {
@@ -754,6 +755,222 @@ void ruleTaintedSize(const RepoIndex& index,
 }
 
 // ---------------------------------------------------------------------------
+// R11 `wire-symmetry` — every field the encoder writes for a message kind
+// must be read back by the decoder in the same order, width, and loop
+// nesting (and vice versa). This is the static twin of the corpus
+// round-trip oracle: a reordered or widened field desynchronizes the read
+// cursor for every later field, which the corpus only catches for inputs
+// it happens to contain. put*/get* helper pairs are checked first, then
+// each kind's switch arms with helpers flattened in.
+
+void ruleWireSymmetry(const ProtocolModel& model,
+                      std::map<std::string, std::vector<Finding>>& byFile) {
+  if (!model.hasCodec()) return;
+
+  // Helper pairs, matched by suffix (putAuth <-> getAuth).
+  std::map<std::string, std::pair<std::string, std::string>> pairs;
+  for (const auto& [name, arm] : model.helpers) {
+    (void)arm;
+    const std::string suffix = helperSuffix(name);
+    if (suffix.empty()) continue;
+    if (name.compare(0, 3, "put") == 0) pairs[suffix].first = name;
+    else pairs[suffix].second = name;
+  }
+
+  std::set<std::string> badHelpers;
+  const auto compareSides =
+      [&](const std::string& what, const CodecArm& encode,
+          const CodecArm& decode) -> bool {
+    const std::vector<WireOp> w = flattenOps(model, encode.ops, badHelpers);
+    const std::vector<WireOp> r = flattenOps(model, decode.ops, badHelpers);
+    const std::size_t common = std::min(w.size(), r.size());
+    for (std::size_t i = 0; i < common; ++i) {
+      if (w[i].op != r[i].op) {
+        byFile[r[i].file].push_back(
+            {r[i].file, r[i].line, "wire-symmetry",
+             what + " field #" + std::to_string(i + 1) +
+                 ": encoder writes '" + w[i].op + "' but decoder reads '" +
+                 r[i].op + "'; the wire layouts have diverged"});
+        return false;
+      }
+      if (w[i].loopDepth != r[i].loopDepth) {
+        byFile[r[i].file].push_back(
+            {r[i].file, r[i].line, "wire-symmetry",
+             what + " field #" + std::to_string(i + 1) + " ('" + w[i].op +
+                 "'): encoder loop depth " + std::to_string(w[i].loopDepth) +
+                 " vs decoder loop depth " + std::to_string(r[i].loopDepth) +
+                 "; a repeated field is read a different number of times "
+                 "than it is written"});
+        return false;
+      }
+    }
+    if (w.size() != r.size()) {
+      const CodecArm& at = w.size() > r.size() ? decode : encode;
+      byFile[at.file].push_back(
+          {at.file, at.line, "wire-symmetry",
+           what + ": encoder writes " + std::to_string(w.size()) +
+               " fields but decoder reads " + std::to_string(r.size()) +
+               "; trailing fields are silently dropped or invented"});
+      return false;
+    }
+    return true;
+  };
+
+  for (const auto& [suffix, names] : pairs) {
+    if (names.first.empty() || names.second.empty()) continue;
+    const CodecArm& put = model.helpers.at(names.first);
+    const CodecArm& get = model.helpers.at(names.second);
+    if (!compareSides("wire helper pair " + names.first + "/" + names.second,
+                      put, get)) {
+      // Collapse the pair to a placeholder so one broken helper does not
+      // cascade into every kind that calls it.
+      badHelpers.insert(suffix);
+    }
+  }
+
+  for (const std::string& kind : model.kinds) {
+    const auto enc = model.encodeArms.find(kind);
+    const auto dec = model.decodeArms.find(kind);
+    const bool hasEnc = enc != model.encodeArms.end();
+    const bool hasDec = dec != model.decodeArms.end();
+    if (hasEnc && !hasDec) {
+      byFile[enc->second.file].push_back(
+          {enc->second.file, enc->second.line, "wire-symmetry",
+           "message kind " + kind +
+               " has an encode arm but no decode arm; every encodable kind "
+               "must be parseable"});
+      continue;
+    }
+    if (!hasEnc && hasDec) {
+      byFile[dec->second.file].push_back(
+          {dec->second.file, dec->second.line, "wire-symmetry",
+           "message kind " + kind +
+               " has a decode arm but no encode arm; dead parser or missing "
+               "encoder"});
+      continue;
+    }
+    if (hasEnc && hasDec) {
+      compareSides("message kind " + kind, enc->second, dec->second);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R12 `handler-exhaustive` — the dispatch plane must be closed: every kind
+// a handler can send has a decode arm (a registered parser), every kind
+// with a decode arm is reachable through some receive() dispatch arm, and
+// every kind a dispatch arm names is actually parseable. A hole in any
+// direction is a message that can be produced but never consumed (or
+// parsed but never acted on) — exactly the silent-drop class the dynamic
+// campaign can only find if a scenario happens to exercise the kind.
+
+void ruleHandlerExhaustive(const ProtocolModel& model,
+                           std::map<std::string, std::vector<Finding>>& byFile) {
+  if (model.kindEnum.empty() || model.decodeArms.empty()) return;
+
+  for (const SendSite& send : model.sends) {
+    if (!model.decodeArms.contains(send.kind)) {
+      byFile[send.file].push_back(
+          {send.file, send.line, "handler-exhaustive",
+           send.function + " sends " + send.kind +
+               " but no decode arm parses it; the receiver will reject the "
+               "message as malformed"});
+    }
+  }
+
+  if (!model.receiveArms.empty()) {
+    std::set<std::string> handled;
+    for (const auto& [owner, kinds] : model.receiveArms) {
+      (void)owner;
+      handled.insert(kinds.begin(), kinds.end());
+    }
+    for (const auto& [kind, arm] : model.decodeArms) {
+      if (!handled.contains(kind)) {
+        byFile[arm.file].push_back(
+            {arm.file, arm.line, "handler-exhaustive",
+             "message kind " + kind +
+                 " is parsed but no receive() dispatch arm handles it; the "
+                 "kind is unreachable and will be silently dropped"});
+      }
+    }
+    for (const auto& [owner, kinds] : model.receiveArms) {
+      for (const std::string& kind : kinds) {
+        if (!model.decodeArms.contains(kind)) {
+          byFile[model.kindEnumFile].push_back(
+              {model.kindEnumFile, 1, "handler-exhaustive",
+               owner + "::receive dispatches on " + kind +
+                   " but no decode arm parses it; the arm can never fire"});
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R13 `quorum-consistency` — every quorum-threshold comparison must
+// normalize to a canonical certificate formula: the forms returned by the
+// quorum-named helpers (2f+1 in this codebase) plus the PBFT weak
+// certificate f+1 and the prepared-predicate 2f (self + 2f matching).
+// A vote count compared against a bare integer literal is flagged as a
+// magic-number quorum: it silently stops scaling when f changes.
+
+void ruleQuorumConsistency(const ProtocolModel& model,
+                           std::map<std::string, std::vector<Finding>>& byFile) {
+  std::set<std::pair<int, int>> canonical(model.namedQuorumForms.begin(),
+                                          model.namedQuorumForms.end());
+  canonical.insert({2, 1});  // strong certificate 2f+1
+  canonical.insert({1, 1});  // weak certificate f+1
+  canonical.insert({2, 0});  // prepared: self + 2f matching
+
+  const auto formula = [](int a, int b) {
+    std::string s = a == 1 ? "f" : std::to_string(a) + "f";
+    if (b != 0) s += "+" + std::to_string(b);
+    return s;
+  };
+
+  for (const QuorumSite& site : model.quorums) {
+    if (canonical.contains({site.a, site.b})) continue;
+    byFile[site.file].push_back(
+        {site.file, site.line, "quorum-consistency",
+         "threshold '" + site.spelling + "' in " + site.function +
+             " normalizes to " + formula(site.a, site.b) +
+             ", which matches no canonical certificate formula (2f+1 strong, "
+             "2f prepared, f+1 weak); inconsistent thresholds split the "
+             "certificate"});
+  }
+  for (const MagicQuorumSite& site : model.magicQuorums) {
+    byFile[site.file].push_back(
+        {site.file, site.line, "quorum-consistency",
+         "vote count '" + site.counted + "' is compared against the magic "
+         "number " + std::to_string(site.literal) +
+             "; spell the quorum as a function of f (e.g. config.quorum()) "
+             "so it scales with the replica set"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R14 `event-coverage` — every model-extracted protocol transition must
+// have at least one runtime counter emission site (an increment of a
+// counter whose name matches the transition). Coverage-guided exploration
+// keys off these counters; a transition that fires without incrementing
+// anything is invisible to the search and its instrumentation has rotted.
+
+void ruleEventCoverage(const ProtocolModel& model,
+                       std::map<std::string, std::vector<Finding>>& byFile) {
+  for (const Transition& transition : model.transitions) {
+    if (!transition.emissions.empty()) continue;
+    byFile[transition.file].push_back(
+        {transition.file, transition.line, "event-coverage",
+         "protocol transition '" + transition.name + "' (" +
+             transition.function +
+             ") has no runtime counter emission; increment a counter such "
+             "as " + transition.counter +
+             " where the transition completes so coverage-guided search can "
+             "observe it"});
+  }
+}
+
+// ---------------------------------------------------------------------------
 // R10 `stale-suppression` — every `avd-lint allow(rule)` directive must
 // still suppress at least one finding of that rule on its covered lines.
 // A stale directive is worse than none: it documents a defect that no
@@ -824,6 +1041,22 @@ const std::vector<RuleInfo>& ruleRegistry() {
        "R9: a ByteReader length read must be clamped against a k*Cap "
        "constant or remaining() before sizing an allocation or bounding a "
        "loop"},
+      {"wire-symmetry",
+       "R11: every field encode* writes for a message kind is read by the "
+       "matching decode* in the same order, width, and loop nesting — and "
+       "vice versa (static twin of the corpus round-trip oracle)"},
+      {"handler-exhaustive",
+       "R12: every kind a handler sends has a registered decode arm, every "
+       "parsed kind reaches a receive() dispatch arm, and every dispatched "
+       "kind is parseable"},
+      {"quorum-consistency",
+       "R13: quorum thresholds normalize to a canonical certificate formula "
+       "(2f+1 / 2f / f+1); vote counts must not be compared against magic "
+       "integer literals"},
+      {"event-coverage",
+       "R14: every model-extracted protocol transition (view change, "
+       "checkpoint, state transfer, park/unpark, quota drop, ingress "
+       "overflow, crash/rejoin) has a runtime counter emission site"},
       {"stale-suppression",
        "R10: an avd-lint allow() directive that no longer suppresses a "
        "finding is itself an error"},
@@ -870,6 +1103,15 @@ std::vector<Finding> lintFiles(const std::vector<SourceFile>& files,
   ruleLockOrder(index, byFile);
   ruleTimerCapture(index, byFile);
   ruleTaintedSize(index, byFile);
+
+  // Phase 3: protocol-model extraction and the conformance rules
+  // (R11-R14). The model is empty when no pbft/sim sources are in the
+  // set, which makes every phase-3 rule vacuous.
+  const ProtocolModel model = extractModel(index);
+  ruleWireSymmetry(model, byFile);
+  ruleHandlerExhaustive(model, byFile);
+  ruleQuorumConsistency(model, byFile);
+  ruleEventCoverage(model, byFile);
 
   // Phase 2c: suppression audit (R10) over the pre-suppression findings,
   // then suppression application and directive errors.

@@ -2,7 +2,8 @@
 //
 // Usage:
 //   avd_lint [--json] [--include-suppressed] [--list-rules]
-//            [--baseline findings.json] <path>...
+//            [--baseline findings.json] [--gen-events out.h]
+//            [--check-events checked-in.h] <path>...
 //
 // Paths may be files or directories (directories are walked recursively for
 // .h/.cpp files). Exit status is 0 when no unsuppressed finding exists,
@@ -12,6 +13,12 @@
 // With --baseline, findings that match the committed baseline (by file,
 // rule, and message — line-insensitive) are accepted and only *new*
 // findings fail: the gate becomes a ratchet that can never loosen.
+//
+// With --gen-events, the protocol-event taxonomy extracted from the given
+// paths is written to the output header (src/avd/gen/protocol_events.h in
+// the tree) instead of linting. --check-events regenerates the taxonomy
+// and diffs it against the checked-in header: exit 1 on drift (the
+// `lint.gen` CTest gate).
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
@@ -20,7 +27,9 @@
 #include <string>
 #include <vector>
 
+#include "index.h"
 #include "lint.h"
+#include "model.h"
 
 namespace {
 
@@ -44,7 +53,9 @@ bool readFile(const fs::path& path, std::string& out) {
 
 int usage() {
   std::cerr << "usage: avd_lint [--json] [--include-suppressed] "
-               "[--list-rules] [--baseline findings.json] <file-or-dir>...\n";
+               "[--list-rules] [--baseline findings.json] "
+               "[--gen-events out.h] [--check-events checked-in.h] "
+               "<file-or-dir>...\n";
   return 2;
 }
 
@@ -54,6 +65,8 @@ int main(int argc, char** argv) {
   bool json = false;
   bool includeSuppressed = false;
   std::string baselinePath;
+  std::string genEventsPath;
+  std::string checkEventsPath;
   std::vector<fs::path> roots;
 
   for (int i = 1; i < argc; ++i) {
@@ -68,6 +81,19 @@ int main(int argc, char** argv) {
         return usage();
       }
       baselinePath = argv[++i];
+    } else if (arg == "--gen-events") {
+      if (i + 1 >= argc) {
+        std::cerr << "avd_lint: --gen-events requires an output path\n";
+        return usage();
+      }
+      genEventsPath = argv[++i];
+    } else if (arg == "--check-events") {
+      if (i + 1 >= argc) {
+        std::cerr << "avd_lint: --check-events requires the checked-in "
+                     "header path\n";
+        return usage();
+      }
+      checkEventsPath = argv[++i];
     } else if (arg == "--list-rules") {
       for (const auto& rule : avd::lint::ruleRegistry()) {
         std::cout << rule.id << "\t" << rule.summary << "\n";
@@ -111,6 +137,34 @@ int main(int argc, char** argv) {
       std::cerr << "avd_lint: cannot read '" << file.path << "'\n";
       return 2;
     }
+  }
+
+  if (!genEventsPath.empty() || !checkEventsPath.empty()) {
+    const avd::lint::RepoIndex index = avd::lint::buildIndex(files);
+    const avd::lint::ProtocolModel model = avd::lint::extractModel(index);
+    const std::string header = avd::lint::generateEventsHeader(model);
+    if (!genEventsPath.empty()) {
+      std::ofstream out(genEventsPath, std::ios::binary);
+      if (!out || !(out << header)) {
+        std::cerr << "avd_lint: cannot write '" << genEventsPath << "'\n";
+        return 2;
+      }
+      return 0;
+    }
+    std::string checkedIn;
+    if (!readFile(checkEventsPath, checkedIn)) {
+      std::cerr << "avd_lint: cannot read '" << checkEventsPath << "'\n";
+      return 2;
+    }
+    if (checkedIn != header) {
+      std::cerr << "avd_lint: '" << checkEventsPath
+                << "' is stale: the protocol-event taxonomy extracted from "
+                   "the sources differs from the checked-in header.\n"
+                   "Regenerate with: avd_lint --gen-events "
+                << checkEventsPath << " <paths>\n";
+      return 1;
+    }
+    return 0;
   }
 
   avd::lint::Options options;
