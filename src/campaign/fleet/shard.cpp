@@ -1,0 +1,89 @@
+#include "campaign/fleet/shard.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <vector>
+
+namespace avd::campaign::fleet {
+
+std::string shardPath(const std::string& dir, std::uint64_t slot,
+                      std::uint64_t incarnation) {
+  return dir + "/shard-w" + std::to_string(slot) + "-i" +
+         std::to_string(incarnation) + ".jsonl";
+}
+
+namespace {
+
+/// Parses "shard-w<slot>-i<incarnation>.jsonl"; nullopt for other names.
+[[nodiscard]] std::optional<std::pair<std::uint64_t, std::uint64_t>>
+parseShardName(const std::string& name) {
+  if (name.rfind("shard-w", 0) != 0) return std::nullopt;
+  const std::size_t iAt = name.find("-i", 7);
+  if (iAt == std::string::npos) return std::nullopt;
+  const std::size_t ext = name.rfind(".jsonl");
+  if (ext == std::string::npos || ext <= iAt + 2) return std::nullopt;
+  const std::string slotStr = name.substr(7, iAt - 7);
+  const std::string incStr = name.substr(iAt + 2, ext - iAt - 2);
+  char* end = nullptr;
+  const std::uint64_t slot = std::strtoull(slotStr.c_str(), &end, 10);
+  if (end != slotStr.c_str() + slotStr.size() || slotStr.empty()) {
+    return std::nullopt;
+  }
+  const std::uint64_t inc = std::strtoull(incStr.c_str(), &end, 10);
+  if (end != incStr.c_str() + incStr.size() || incStr.empty()) {
+    return std::nullopt;
+  }
+  return std::make_pair(slot, inc);
+}
+
+}  // namespace
+
+MergedShards mergeShards(const std::string& dir) {
+  MergedShards merged;
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (parseShardName(name)) names.push_back(name);
+  }
+  // Sorted name order makes the merge independent of directory iteration
+  // order, so two resumes over the same files fold identically.
+  std::sort(names.begin(), names.end());
+
+  for (const std::string& name : names) {
+    const auto ids = parseShardName(name);
+    auto& next = merged.nextIncarnation[ids->first];
+    next = std::max(next, ids->second + 1);
+    const auto loaded = loadJournal(dir + "/" + name);
+    if (!loaded) {
+      ++merged.corruptShards;
+      continue;
+    }
+    ++merged.shardFiles;
+    if (loaded->truncatedTail) ++merged.tornShards;
+    for (const JournalEvent& event : loaded->events) {
+      if (event.kind != JournalEvent::Kind::kDone) continue;
+      const auto [it, inserted] =
+          merged.outcomes.emplace(event.done.test, event.done);
+      (void)it;
+      if (!inserted) ++merged.duplicates;
+    }
+  }
+  return merged;
+}
+
+void removeShards(const std::string& dir) {
+  std::vector<std::filesystem::path> doomed;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (parseShardName(entry.path().filename().string())) {
+      doomed.push_back(entry.path());
+    }
+  }
+  for (const auto& path : doomed) {
+    std::filesystem::remove(path, ec);
+  }
+}
+
+}  // namespace avd::campaign::fleet

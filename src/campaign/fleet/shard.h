@@ -1,0 +1,53 @@
+// Per-worker outcome shards and their deterministic merge.
+//
+// Every fleet worker appends each completed outcome — the exact journal
+// "done" line bytes — to its own shard file before sending the outcome
+// frame to the coordinator. Shards are the recovery channel: if the
+// coordinator dies, `avd_cli campaign --resume` merges the shards and
+// re-folds every outcome the coordinator's journal lost, so a completed
+// scenario is never re-executed.
+//
+// Shard files are named shard-w<slot>-i<incarnation>.jsonl. The
+// incarnation suffix matters: a respawned worker writes a *fresh* file, so
+// a predecessor's torn tail (kill -9 mid-append) stays at the end of its
+// own file where loadJournal's torn-tail tolerance can drop it. Appending
+// to the dead worker's shard would put valid lines after the torn one,
+// which reads as corruption.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "campaign/journal.h"
+
+namespace avd::campaign::fleet {
+
+std::string shardPath(const std::string& dir, std::uint64_t slot,
+                      std::uint64_t incarnation);
+
+struct MergedShards {
+  /// Outcomes keyed by test id. First occurrence (sorted file name order,
+  /// line order within a file) wins; duplicates from crash-reassignment
+  /// are identical anyway because outcomes are pure functions of points.
+  std::map<std::uint64_t, DoneEvent> outcomes;
+  /// Next unused incarnation per slot, so a resumed coordinator never
+  /// truncates a shard that still holds unmergeed history.
+  std::map<std::uint64_t, std::uint64_t> nextIncarnation;
+  std::size_t shardFiles = 0;
+  std::size_t tornShards = 0;     // shards ending in a dropped torn line
+  std::size_t corruptShards = 0;  // unreadable shards, skipped whole
+  std::size_t duplicates = 0;     // outcomes for an already-seen test id
+};
+
+/// Merges every shard-*.jsonl in `dir`. Deterministic for a given set of
+/// files; tolerant of a torn final line per shard; a missing shard is
+/// simply absent (its outcomes get re-executed on resume).
+[[nodiscard]] MergedShards mergeShards(const std::string& dir);
+
+/// Deletes every shard file in `dir`. Called when a *fresh* campaign
+/// truncates the journal: the old shards describe the overwritten
+/// campaign, and a later resume must not merge them.
+void removeShards(const std::string& dir);
+
+}  // namespace avd::campaign::fleet

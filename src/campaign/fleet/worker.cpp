@@ -1,0 +1,165 @@
+#include "campaign/fleet/worker.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <thread>
+#include <utility>
+
+#include "campaign/fleet/protocol.h"
+#include "campaign/fleet/shard.h"
+#include "common/framing.h"
+#include "common/lockdep.h"
+
+namespace avd::campaign::fleet {
+
+namespace {
+
+// Heartbeats and busy-time measurement are operational liveness signals,
+// never exploration state: they decide when the coordinator gives up on
+// this process, not which scenarios run or what they produce.
+// avd-lint: allow(nondeterminism)
+using BeatClock = std::chrono::steady_clock;
+
+/// Shared between the executing thread and the heartbeat thread.
+struct BusyState {
+  lockdep::Mutex mutex{"fleet::worker::BusyState"};
+  std::uint64_t busyTest = 0;  // guarded by mutex; 0 = idle
+  BeatClock::time_point busySince;  // guarded by mutex
+};
+
+}  // namespace
+
+int runWorker(int fd, const WorkerExecutorFactory& makeExecutor,
+              const WorkerHooks& hooks) {
+  // Hello / welcome handshake, blocking: nothing useful can happen before
+  // the coordinator tells this worker who it is.
+  if (!util::writeFrame(fd, encodeHello(Hello{}))) {
+    ::close(fd);
+    return kWorkerExitLostPeer;
+  }
+  const auto welcomeFrame = util::readFrame(fd);
+  if (!welcomeFrame || kindOf(*welcomeFrame) != MessageKind::kWelcome) {
+    ::close(fd);
+    return kWorkerExitLostPeer;
+  }
+  const auto welcome = decodeWelcome(*welcomeFrame);
+  if (!welcome) {
+    ::close(fd);
+    return kWorkerExitBadConfig;
+  }
+
+  std::unique_ptr<core::ScenarioExecutor> executor;
+  try {
+    executor = makeExecutor(welcome->system, welcome->seed);
+  } catch (...) {
+    executor = nullptr;
+  }
+  if (!executor) {
+    ::close(fd);
+    return kWorkerExitBadConfig;
+  }
+
+  JournalWriter shard;
+  if (!welcome->outDir.empty() &&
+      !shard.openFresh(
+          shardPath(welcome->outDir, welcome->slot, welcome->incarnation))) {
+    ::close(fd);
+    return kWorkerExitBadConfig;
+  }
+
+  // writeFrame is two sends (header, payload); the heartbeat thread and
+  // the outcome path must not interleave halves of different frames.
+  lockdep::Mutex writeMutex{"fleet::worker::writeMutex"};
+  BusyState busy;
+  std::atomic<bool> stop{false};
+
+  std::thread beater([&] {
+    const auto interval =
+        std::chrono::milliseconds(std::max<std::uint64_t>(
+            1, welcome->heartbeatMs));
+    while (!stop.load(std::memory_order_relaxed)) {
+      Heartbeat beat;
+      {
+        const std::lock_guard<lockdep::Mutex> guard(busy.mutex);
+        beat.busyTest = busy.busyTest;
+        if (busy.busyTest != 0) {
+          beat.busyMs = static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::milliseconds>(
+                  BeatClock::now() - busy.busySince)
+                  .count());
+        }
+      }
+      {
+        const std::lock_guard<lockdep::Mutex> guard(writeMutex);
+        if (!util::writeFrame(fd, encodeHeartbeat(beat))) break;
+      }
+      std::this_thread::sleep_for(interval);
+    }
+  });
+  const auto finish = [&](int code) {
+    stop.store(true, std::memory_order_relaxed);
+    beater.join();
+    shard.close();
+    ::close(fd);
+    return code;
+  };
+
+  for (;;) {
+    const auto frame = util::readFrame(fd);
+    if (!frame) return finish(kWorkerExitLostPeer);
+    const MessageKind kind = kindOf(*frame);
+    if (kind == MessageKind::kShutdown) return finish(kWorkerExitClean);
+    if (kind == MessageKind::kUnknown) return finish(kWorkerExitLostPeer);
+    if (kind != MessageKind::kAssign) continue;  // tolerate benign extras
+    const auto assign = decodeAssign(*frame);
+    if (!assign) return finish(kWorkerExitLostPeer);
+
+    {
+      const std::lock_guard<lockdep::Mutex> guard(busy.mutex);
+      busy.busyTest = assign->test;
+      busy.busySince = BeatClock::now();
+    }
+    DoneEvent done;
+    done.test = assign->test;
+    try {
+      done.outcome = executor->execute(assign->point);
+    } catch (const std::exception& e) {
+      done.failed = true;
+      done.error = e.what();
+    } catch (...) {
+      done.failed = true;
+      done.error = "unknown executor exception";
+    }
+    {
+      const std::lock_guard<lockdep::Mutex> guard(busy.mutex);
+      busy.busyTest = 0;
+    }
+
+    // Shard-before-frame ordering is the recovery contract: any outcome
+    // the coordinator ever folded is also on disk in a shard, so a
+    // coordinator kill plus --resume can re-fold it instead of
+    // re-executing.
+    if (hooks.crashBeforeShardWrite &&
+        hooks.crashBeforeShardWrite(assign->test)) {
+      return finish(kWorkerExitSimulated);
+    }
+    if (shard.isOpen() && !shard.append(encodeDone(done))) {
+      return finish(kWorkerExitBadConfig);
+    }
+    if (hooks.crashAfterShardWrite &&
+        hooks.crashAfterShardWrite(assign->test)) {
+      return finish(kWorkerExitSimulated);
+    }
+    {
+      const std::lock_guard<lockdep::Mutex> guard(writeMutex);
+      if (!util::writeFrame(fd, encodeDone(done))) {
+        return finish(kWorkerExitLostPeer);
+      }
+    }
+  }
+}
+
+}  // namespace avd::campaign::fleet

@@ -1,185 +1,47 @@
 #include "campaign/journal.h"
 
-#include <cstdio>
-#include <cstdlib>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <filesystem>
+#include <fstream>
 #include <system_error>
 
 #include "avd/gen/protocol_events.h"
+#include "campaign/jsonval.h"
 
 namespace avd::campaign {
 
 namespace {
 
-// --- encoding ---------------------------------------------------------------
+using namespace jsonl;
 
-/// %.17g survives a text round trip bit-exactly for every finite double, so
-/// a replayed journal reconstructs µ and the plugin gain sums to the bit.
-void appendDouble(std::string& out, double value) {
-  char buffer[64];
-  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
-  out += buffer;
-}
-
-void appendEscaped(std::string& out, std::string_view s) {
-  out += '"';
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          static constexpr char kHex[] = "0123456789abcdef";
-          out += "\\u00";
-          out.push_back(kHex[(c >> 4) & 0xF]);
-          out.push_back(kHex[c & 0xF]);
-        } else {
-          out.push_back(c);
-        }
-    }
-  }
-  out += '"';
-}
-
-void appendKey(std::string& out, std::string_view key) {
-  out += '"';
-  out += key;
-  out += "\":";
-}
-
-void appendBool(std::string& out, bool value) {
-  out += value ? "true" : "false";
-}
-
-// --- decoding ---------------------------------------------------------------
-//
-// A minimal extractor for the fixed single-line schema this file writes.
-// Keys are matched as the literal byte pattern `"key":`; quotes inside
-// string *values* are always written escaped (`\"`), so the pattern can
-// only match at a real key.
-
-std::size_t findKey(std::string_view line, std::string_view key) {
-  std::string pattern;
-  pattern.reserve(key.size() + 3);
-  pattern += '"';
-  pattern += key;
-  pattern += "\":";
-  const std::size_t at = line.find(pattern);
-  return at == std::string_view::npos ? std::string_view::npos
-                                      : at + pattern.size();
-}
-
-[[nodiscard]] std::optional<double> getDouble(std::string_view line,
-                                              std::string_view key) {
-  const std::size_t at = findKey(line, key);
-  if (at == std::string_view::npos) return std::nullopt;
-  const std::string value(line.substr(at, 64));
-  char* end = nullptr;
-  const double parsed = std::strtod(value.c_str(), &end);
-  if (end == value.c_str()) return std::nullopt;
-  return parsed;
-}
-
-[[nodiscard]] std::optional<std::uint64_t> getU64(std::string_view line,
-                                                  std::string_view key) {
-  const std::size_t at = findKey(line, key);
-  if (at == std::string_view::npos) return std::nullopt;
-  const std::string value(line.substr(at, 32));
-  char* end = nullptr;
-  const std::uint64_t parsed = std::strtoull(value.c_str(), &end, 10);
-  if (end == value.c_str()) return std::nullopt;
-  return parsed;
-}
-
-[[nodiscard]] std::optional<std::int64_t> getI64(std::string_view line,
-                                                 std::string_view key) {
-  const std::size_t at = findKey(line, key);
-  if (at == std::string_view::npos) return std::nullopt;
-  const std::string value(line.substr(at, 32));
-  char* end = nullptr;
-  const std::int64_t parsed = std::strtoll(value.c_str(), &end, 10);
-  if (end == value.c_str()) return std::nullopt;
-  return parsed;
-}
-
-[[nodiscard]] std::optional<bool> getBool(std::string_view line,
-                                          std::string_view key) {
-  const std::size_t at = findKey(line, key);
-  if (at == std::string_view::npos) return std::nullopt;
-  if (line.substr(at, 4) == "true") return true;
-  if (line.substr(at, 5) == "false") return false;
-  return std::nullopt;
-}
-
-[[nodiscard]] std::optional<std::string> getString(std::string_view line,
-                                                   std::string_view key) {
-  std::size_t at = findKey(line, key);
-  if (at == std::string_view::npos || at >= line.size() || line[at] != '"') {
-    return std::nullopt;
-  }
-  ++at;
-  std::string out;
-  while (at < line.size() && line[at] != '"') {
-    char c = line[at];
-    if (c == '\\' && at + 1 < line.size()) {
-      const char next = line[at + 1];
-      at += 2;
-      switch (next) {
-        case '"': c = '"'; break;
-        case '\\': c = '\\'; break;
-        case 'n': c = '\n'; break;
-        case 't': c = '\t'; break;
-        case 'u': {
-          if (at + 4 > line.size()) return std::nullopt;
-          const std::string hex(line.substr(at, 4));
-          at += 4;
-          c = static_cast<char>(std::strtoul(hex.c_str(), nullptr, 16));
-          break;
-        }
-        default: return std::nullopt;
-      }
-      out.push_back(c);
-      continue;
-    }
-    out.push_back(c);
-    ++at;
-  }
-  if (at >= line.size()) return std::nullopt;  // unterminated string
-  return out;
-}
-
-[[nodiscard]] std::optional<core::Point> getPoint(std::string_view line,
-                                                  std::string_view key) {
-  std::size_t at = findKey(line, key);
-  if (at == std::string_view::npos || at >= line.size() || line[at] != '[') {
-    return std::nullopt;
-  }
-  ++at;
-  core::Point point;
-  while (at < line.size() && line[at] != ']') {
-    const std::string value(line.substr(at, 32));
-    char* end = nullptr;
-    const std::uint64_t parsed = std::strtoull(value.c_str(), &end, 10);
-    if (end == value.c_str()) return std::nullopt;
-    point.push_back(parsed);
-    at += static_cast<std::size_t>(end - value.c_str());
-    if (at < line.size() && line[at] == ',') ++at;
-  }
-  if (at >= line.size()) return std::nullopt;  // unterminated array
-  return point;
-}
-
-bool writeFileAtomic(const std::string& path, const std::string& contents) {
+/// Writes contents to `path` durably: temp file, fsync, atomic rename. A
+/// crash at any instant leaves either the old file or the new file — never
+/// a torn mix — and a rename that was observed implies the bytes are on
+/// disk (the fsync precedes it).
+bool writeFileAtomicDurable(const std::string& path,
+                            const std::string& contents) {
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return false;
-    out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
-    out.flush();
-    if (!out) return false;
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                        0644);
+  if (fd < 0) return false;
+  const char* at = contents.data();
+  std::size_t left = contents.size();
+  while (left > 0) {
+    const ssize_t wrote = ::write(fd, at, left);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return false;
+    }
+    at += wrote;
+    left -= static_cast<std::size_t>(wrote);
   }
+  const bool synced = ::fsync(fd) == 0;
+  ::close(fd);
+  if (!synced) return false;
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);
   return !ec;
@@ -374,13 +236,24 @@ std::string encodeDone(const DoneEvent& event) {
 
 // --- writer -----------------------------------------------------------------
 
+JournalWriter::~JournalWriter() { close(); }
+
+void JournalWriter::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
 bool JournalWriter::openFresh(const std::string& path) {
-  out_.open(path, std::ios::binary | std::ios::trunc);
-  return static_cast<bool>(out_);
+  close();
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  return fd_ >= 0;
 }
 
 bool JournalWriter::openResume(const std::string& path,
                                std::uint64_t keepBytes) {
+  close();
   std::error_code ec;
   const auto size = std::filesystem::file_size(path, ec);
   if (ec) return false;
@@ -388,16 +261,36 @@ bool JournalWriter::openResume(const std::string& path,
     std::filesystem::resize_file(path, keepBytes, ec);
     if (ec) return false;
   }
-  out_.open(path, std::ios::binary | std::ios::app);
-  return static_cast<bool>(out_);
+  fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC, 0644);
+  return fd_ >= 0;
 }
 
 bool JournalWriter::append(const std::string& line) {
-  if (!out_) return false;
-  out_.write(line.data(), static_cast<std::streamsize>(line.size()));
-  out_.put('\n');
-  out_.flush();
-  return static_cast<bool>(out_);
+  if (fd_ < 0) return false;
+  // One write() per line (payload + newline in one buffer): a crashed
+  // writer leaves at most one torn line, which loadJournal drops as the
+  // tail.
+  std::string buffer;
+  buffer.reserve(line.size() + 1);
+  buffer += line;
+  buffer += '\n';
+  const char* at = buffer.data();
+  std::size_t left = buffer.size();
+  while (left > 0) {
+    const ssize_t wrote = ::write(fd_, at, left);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    at += wrote;
+    left -= static_cast<std::size_t>(wrote);
+  }
+  return true;
+}
+
+bool JournalWriter::sync() {
+  if (fd_ < 0) return false;
+  return ::fsync(fd_) == 0;
 }
 
 // --- manifest / checkpoint --------------------------------------------------
@@ -417,6 +310,9 @@ bool writeManifest(const std::string& dir, const Manifest& manifest) {
   appendKey(out, "system");
   appendEscaped(out, manifest.system);
   out += ',';
+  appendKey(out, "mode");
+  appendEscaped(out, manifest.mode);
+  out += ',';
   appendKey(out, "seed");
   out += std::to_string(manifest.seed);
   out += ',';
@@ -431,8 +327,17 @@ bool writeManifest(const std::string& dir, const Manifest& manifest) {
   out += ',';
   appendKey(out, "scenarioTimeoutMs");
   out += std::to_string(manifest.scenarioTimeoutMs);
+  out += ',';
+  appendKey(out, "batch");
+  out += std::to_string(manifest.batch);
+  out += ',';
+  appendKey(out, "spawn");
+  out += std::to_string(manifest.spawn);
+  out += ',';
+  appendKey(out, "heartbeatMs");
+  out += std::to_string(manifest.heartbeatMs);
   out += "}\n";
-  return writeFileAtomic(manifestPath(dir), out);
+  return writeFileAtomicDurable(manifestPath(dir), out);
 }
 
 [[nodiscard]] std::optional<Manifest> loadManifest(const std::string& dir) {
@@ -457,6 +362,12 @@ bool writeManifest(const std::string& dir, const Manifest& manifest) {
   manifest.workers = *workers;
   manifest.checkpointEvery = *checkpointEvery;
   manifest.scenarioTimeoutMs = *scenarioTimeoutMs;
+  // Fleet fields are absent in pre-fleet manifests; default to the
+  // single-process mode so those campaign directories stay resumable.
+  manifest.mode = getString(*contents, "mode").value_or("process");
+  manifest.batch = getU64(*contents, "batch").value_or(4);
+  manifest.spawn = getU64(*contents, "spawn").value_or(0);
+  manifest.heartbeatMs = getU64(*contents, "heartbeatMs").value_or(200);
   return manifest;
 }
 
@@ -470,8 +381,17 @@ bool writeCheckpoint(const std::string& dir, const Checkpoint& checkpoint) {
   out += ',';
   appendKey(out, "maxImpact");
   appendDouble(out, checkpoint.maxImpact);
+  out += ',';
+  appendKey(out, "respawns");
+  out += std::to_string(checkpoint.respawns);
+  out += ',';
+  appendKey(out, "reassigned");
+  out += std::to_string(checkpoint.reassigned);
+  out += ',';
+  appendKey(out, "workerCrashes");
+  out += std::to_string(checkpoint.workerCrashes);
   out += "}\n";
-  return writeFileAtomic(checkpointPath(dir), out);
+  return writeFileAtomicDurable(checkpointPath(dir), out);
 }
 
 [[nodiscard]] std::optional<Checkpoint> loadCheckpoint(const std::string& dir) {
@@ -485,6 +405,10 @@ bool writeCheckpoint(const std::string& dir, const Checkpoint& checkpoint) {
   checkpoint.generated = *generated;
   checkpoint.completed = *completed;
   checkpoint.maxImpact = *maxImpact;
+  // Absent before the fleet: default zero.
+  checkpoint.respawns = getU64(*contents, "respawns").value_or(0);
+  checkpoint.reassigned = getU64(*contents, "reassigned").value_or(0);
+  checkpoint.workerCrashes = getU64(*contents, "workerCrashes").value_or(0);
   return checkpoint;
 }
 

@@ -18,7 +18,6 @@
 #pragma once
 
 #include <cstdint>
-#include <fstream>
 #include <optional>
 #include <string>
 #include <vector>
@@ -78,23 +77,37 @@ struct LoadedJournal {
 [[nodiscard]] std::optional<LoadedJournal> loadJournal(
     const std::string& path);
 
-/// Append-only line writer; every append is flushed so a killed process
-/// loses at most the line being written.
+/// Append-only line writer over a raw descriptor: each line goes to the
+/// kernel in one write() (a kill -9 leaves at most one torn line, which
+/// loadJournal drops as the tail), and sync() makes everything appended so
+/// far survive power loss. Callers fsync at checkpoint cadence rather than
+/// per line — the journal's replay semantics tolerate losing un-synced
+/// suffix lines, they just cost re-execution.
 class JournalWriter {
  public:
+  JournalWriter() = default;
+  ~JournalWriter();
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
   /// Creates/truncates `path`.
   [[nodiscard]] bool openFresh(const std::string& path);
   /// Truncates `path` to `keepBytes` (dropping a torn tail) and appends.
   [[nodiscard]] bool openResume(const std::string& path,
                                 std::uint64_t keepBytes);
   [[nodiscard]] bool append(const std::string& line);
-  bool isOpen() const { return out_.is_open(); }
+  /// fsync. Called at checkpoint cadence by the runner/coordinator.
+  bool sync();
+  void close();
+  bool isOpen() const { return fd_ >= 0; }
 
  private:
-  std::ofstream out_;
+  int fd_ = -1;
 };
 
 /// Immutable campaign configuration, written once at campaign start.
+/// The fleet fields (`mode`, `batch`, `spawn`, `heartbeatMs`) default on
+/// load when absent, so pre-fleet campaign directories stay resumable.
 struct Manifest {
   std::uint64_t version = 1;
   std::string system;  // executor label, e.g. "quorum"; free-form
@@ -103,6 +116,10 @@ struct Manifest {
   std::uint64_t workers = 1;
   std::uint64_t checkpointEvery = 16;
   std::uint64_t scenarioTimeoutMs = 0;
+  std::string mode = "process";     // "process" (in-process runner) | "fleet"
+  std::uint64_t batch = 4;          // fleet: scenarios per assignment batch
+  std::uint64_t spawn = 0;          // fleet: workers the coordinator spawns
+  std::uint64_t heartbeatMs = 200;  // fleet: worker heartbeat interval
 };
 
 /// Monotonic campaign progress, refreshed every `checkpointEvery` reports.
@@ -113,6 +130,10 @@ struct Checkpoint {
   std::uint64_t generated = 0;  // scenarios acquired ("gen" events)
   std::uint64_t completed = 0;  // scenarios reported ("done" events)
   double maxImpact = 0.0;       // µ
+  // Robustness counters (zero for a healthy run; absent pre-fleet).
+  std::uint64_t respawns = 0;       // worker slots revived after crash/wedge
+  std::uint64_t reassigned = 0;     // scenarios re-executed on another worker
+  std::uint64_t workerCrashes = 0;  // worker deaths observed
 };
 
 bool writeManifest(const std::string& dir, const Manifest& manifest);

@@ -46,6 +46,40 @@ void appendOrThrow(JournalWriter* journal, const std::string& line) {
 
 }  // namespace
 
+ReplayState replayJournal(core::Controller& controller,
+                          const std::vector<JournalEvent>& events) {
+  ReplayState state;
+  for (const JournalEvent& event : events) {
+    if (event.kind == JournalEvent::Kind::kGen) {
+      core::GeneratedScenario scenario = controller.acquireScenario();
+      if (scenario.point != event.gen.point ||
+          scenario.generatedBy != event.gen.generatedBy ||
+          event.gen.test != state.nextTest) {
+        throw std::runtime_error(
+            "campaign: journal diverges from deterministic replay (wrong "
+            "seed, edited journal, or changed hyperspace)");
+      }
+      state.pending.emplace(event.gen.test, std::move(scenario));
+      ++state.nextTest;
+    } else {
+      const auto it = state.pending.find(event.done.test);
+      if (it == state.pending.end()) {
+        throw std::runtime_error(
+            "campaign: journal reports a scenario that was never generated");
+      }
+      controller.reportOutcome(std::move(it->second), event.done.outcome);
+      state.pending.erase(it);
+      if (controller.maxImpact() != event.done.bestImpact) {
+        throw std::runtime_error(
+            "campaign: replayed best impact diverges from journal");
+      }
+      state.replayedFailed += event.done.failed ? 1 : 0;
+      state.replayedTimedOut += event.done.timedOut ? 1 : 0;
+    }
+  }
+  return state;
+}
+
 CampaignRunner::CampaignRunner(ExecutorFactory factory,
                                CampaignOptions options, PluginFactory plugins)
     : factory_(std::move(factory)),
@@ -138,38 +172,7 @@ CampaignResult CampaignRunner::resume() {
   // acquire/report interleaving, so feeding the recorded outcomes back in
   // recorded order reconstructs Π/Ω/Ψ/µ and the plugin fitness exactly —
   // without executing anything.
-  std::map<std::uint64_t, core::GeneratedScenario> pending;
-  std::uint64_t nextTest = 1;
-  std::size_t replayedFailed = 0;
-  std::size_t replayedTimedOut = 0;
-  for (const JournalEvent& event : loaded->events) {
-    if (event.kind == JournalEvent::Kind::kGen) {
-      core::GeneratedScenario scenario = controller.acquireScenario();
-      if (scenario.point != event.gen.point ||
-          scenario.generatedBy != event.gen.generatedBy ||
-          event.gen.test != nextTest) {
-        throw std::runtime_error(
-            "campaign: journal diverges from deterministic replay (wrong "
-            "seed, edited journal, or changed hyperspace)");
-      }
-      pending.emplace(event.gen.test, std::move(scenario));
-      ++nextTest;
-    } else {
-      const auto it = pending.find(event.done.test);
-      if (it == pending.end()) {
-        throw std::runtime_error(
-            "campaign: journal reports a scenario that was never generated");
-      }
-      controller.reportOutcome(std::move(it->second), event.done.outcome);
-      pending.erase(it);
-      if (controller.maxImpact() != event.done.bestImpact) {
-        throw std::runtime_error(
-            "campaign: replayed best impact diverges from journal");
-      }
-      replayedFailed += event.done.failed ? 1 : 0;
-      replayedTimedOut += event.done.timedOut ? 1 : 0;
-    }
-  }
+  ReplayState replayed = replayJournal(controller, loaded->events);
 
   JournalWriter journal;
   if (!journal.openResume(journalPath(options_.outDir),
@@ -178,8 +181,9 @@ CampaignResult CampaignRunner::resume() {
                              options_.outDir + "'");
   }
 
-  return drive(controller, executors, &journal, std::move(pending), nextTest,
-               replayedFailed, replayedTimedOut);
+  return drive(controller, executors, &journal, std::move(replayed.pending),
+               replayed.nextTest, replayed.replayedFailed,
+               replayed.replayedTimedOut);
 }
 
 CampaignResult CampaignRunner::drive(
@@ -200,10 +204,16 @@ CampaignResult CampaignRunner::drive(
     if (options_.outDir.empty()) return;
     const std::size_t completed = controller.executedTests();
     if (!force && completed % options_.checkpointEvery != 0) return;
+    // Durability order matters: the journal must be on disk before the
+    // checkpoint that summarizes it, or a crash could leave a checkpoint
+    // claiming progress the journal lost.
+    if (journal != nullptr) journal->sync();
     Checkpoint checkpoint;
     checkpoint.generated = nextTest - 1;
     checkpoint.completed = completed;
     checkpoint.maxImpact = controller.maxImpact();
+    checkpoint.respawns = result.respawns;
+    checkpoint.workerCrashes = result.workerCrashes;
     writeCheckpoint(options_.outDir, checkpoint);
   };
 
@@ -277,10 +287,20 @@ CampaignResult CampaignRunner::drive(
     for (std::size_t w = 0; w < executors.size(); ++w) freeWorkers.push_back(w);
     std::map<std::uint64_t, InFlight> inFlight;  // driver-thread only
 
+    // Respawn budget for watchdog-retired slots. A retired slot's executor
+    // may still be running its wedged scenario on a pool thread, so a
+    // respawn is a *fresh* executor appended to the vector — the poisoned
+    // index is never reused.
+    std::size_t respawnsLeft = withWatchdog ? options_.maxWorkerRespawns : 0;
+    std::uint64_t respawnBackoffMs = 50;
+    std::vector<WatchClock::time_point> pendingRespawns;
+
     // Declared after the state its tasks capture: the pool destructor joins
     // every worker (including a wedged one finishing late), and that join
-    // must happen while mutex/cv/completions are still alive.
-    util::ThreadPool pool(executors.size());
+    // must happen while mutex/cv/completions are still alive. Sized for the
+    // full respawn budget because each wedged scenario can hold one pool
+    // thread until it finishes on its own.
+    util::ThreadPool pool(executors.size() + respawnsLeft);
 
     const auto submitOne = [&](std::uint64_t test,
                                core::GeneratedScenario scenario,
@@ -338,14 +358,15 @@ CampaignResult CampaignRunner::drive(
         submitOne(test, std::move(scenario), worker);
       }
 
-      if (inFlight.empty()) {
-        // Nothing running and nothing issuable: every worker slot was
-        // retired by the watchdog. Give up with partial results.
+      if (inFlight.empty() && pendingRespawns.empty()) {
+        // Nothing running, nothing issuable, and no slot coming back:
+        // every worker slot wedged and the respawn budget is spent. Give
+        // up with partial results.
         result.aborted = true;
         break;
       }
 
-      // Wait for a completion (or the nearest watchdog deadline).
+      // Wait for a completion (or the nearest watchdog/respawn deadline).
       std::vector<Completion> drained;
       {
         std::unique_lock<lockdep::Mutex> lock(mutex);
@@ -354,6 +375,9 @@ CampaignResult CampaignRunner::drive(
             WatchClock::time_point nearest = WatchClock::time_point::max();
             for (const auto& [test, entry] : inFlight) {
               nearest = std::min(nearest, entry.deadline);
+            }
+            for (const auto& at : pendingRespawns) {
+              nearest = std::min(nearest, at);
             }
             cv.wait_until(lock, nearest,
                           [&] { return !completions.empty(); });
@@ -392,12 +416,39 @@ CampaignResult CampaignRunner::drive(
           }
           // Retire the scenario with a zero-impact outcome and poison the
           // worker slot: its executor may still be running the wedged
-          // deployment, so it must never be handed another scenario.
+          // deployment, so it must never be handed another scenario. When
+          // respawn budget remains, schedule a replacement slot after a
+          // capped-exponential backoff instead of shrinking the pool for
+          // good.
           core::GeneratedScenario scenario = std::move(it->second.scenario);
           const std::uint64_t test = it->first;
           it = inFlight.erase(it);
           reportAndJournal(test, std::move(scenario), core::Outcome{}, false,
                            true, "scenario exceeded watchdog budget");
+          if (respawnsLeft > 0) {
+            --respawnsLeft;
+            pendingRespawns.push_back(
+                now + std::chrono::milliseconds(respawnBackoffMs));
+            respawnBackoffMs = std::min<std::uint64_t>(respawnBackoffMs * 2,
+                                                       1000);
+          }
+        }
+        // Revive slots whose backoff has elapsed: a brand-new executor on a
+        // brand-new index, immediately eligible for the next refill.
+        for (auto it = pendingRespawns.begin();
+             it != pendingRespawns.end();) {
+          if (*it > now) {
+            ++it;
+            continue;
+          }
+          executors.push_back(factory_());
+          if (!executors.back()) {
+            throw std::runtime_error(
+                "campaign: executor factory returned null on respawn");
+          }
+          freeWorkers.push_back(executors.size() - 1);
+          ++result.respawns;
+          it = pendingRespawns.erase(it);
         }
       }
     }

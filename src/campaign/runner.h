@@ -65,6 +65,12 @@ struct CampaignOptions {
   std::size_t checkpointEvery = 16;
   /// Per-scenario wall-clock budget; 0 disables the watchdog.
   std::uint64_t scenarioTimeoutMs = 0;
+  /// Watchdog-retired worker slots are revived with a fresh executor after
+  /// a capped-exponential backoff, up to this many times per campaign;
+  /// after that, wedged slots stay retired (and a campaign whose every
+  /// slot is retired still aborts). 0 restores the old poison-forever
+  /// behavior.
+  std::size_t maxWorkerRespawns = 4;
   /// Minimum impact for a scenario to enter vulnerability triage.
   double dedupMinImpact = 0.5;
   core::ControllerOptions controller;
@@ -80,9 +86,36 @@ struct CampaignResult {
   /// True when every worker slot wedged and the campaign gave up early;
   /// history holds the completed prefix.
   bool aborted = false;
+  /// Worker slots revived after a crash or wedge (in-process respawns plus
+  /// fleet process respawns).
+  std::size_t respawns = 0;
+  /// Scenarios re-executed on another worker after their original worker
+  /// died mid-batch (fleet only; outcomes are pure functions of points, so
+  /// re-execution is safe).
+  std::size_t reassigned = 0;
+  /// Worker process deaths observed by the fleet coordinator.
+  std::size_t workerCrashes = 0;
   /// Deduplicated vulnerability classes (impact >= dedupMinImpact).
   std::vector<VulnClass> classes;
 };
+
+/// Controller state reconstructed by replaying a journal (no re-execution).
+struct ReplayState {
+  /// Scenarios with a journaled "gen" but no "done" — in flight at the
+  /// kill; the resuming driver re-executes them first.
+  std::map<std::uint64_t, core::GeneratedScenario> pending;
+  std::uint64_t nextTest = 1;  // next un-generated 1-based test number
+  std::size_t replayedFailed = 0;
+  std::size_t replayedTimedOut = 0;
+};
+
+/// Feeds journaled events through `controller` in recorded order, verifying
+/// each regenerated scenario and folded best-impact against the journal.
+/// Shared by CampaignRunner::resume and the fleet coordinator. Throws
+/// std::runtime_error on divergence (wrong seed, edited journal, changed
+/// hyperspace).
+ReplayState replayJournal(core::Controller& controller,
+                          const std::vector<JournalEvent>& events);
 
 class CampaignRunner {
  public:

@@ -1,0 +1,115 @@
+#include "common/framing.h"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/types.h>
+
+namespace avd::util {
+
+namespace {
+
+void encodeLength(std::uint32_t length, unsigned char out[4]) {
+  out[0] = static_cast<unsigned char>(length >> 24);
+  out[1] = static_cast<unsigned char>(length >> 16);
+  out[2] = static_cast<unsigned char>(length >> 8);
+  out[3] = static_cast<unsigned char>(length);
+}
+
+std::uint32_t decodeLength(const unsigned char in[4]) {
+  return (static_cast<std::uint32_t>(in[0]) << 24) |
+         (static_cast<std::uint32_t>(in[1]) << 16) |
+         (static_cast<std::uint32_t>(in[2]) << 8) |
+         static_cast<std::uint32_t>(in[3]);
+}
+
+bool sendAll(int fd, const void* data, std::size_t size) {
+  const char* at = static_cast<const char*>(data);
+  while (size > 0) {
+    const ssize_t sent = ::send(fd, at, size, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (sent == 0) return false;
+    at += sent;
+    size -= static_cast<std::size_t>(sent);
+  }
+  return true;
+}
+
+bool recvAll(int fd, void* data, std::size_t size) {
+  char* at = static_cast<char*>(data);
+  while (size > 0) {
+    const ssize_t got = ::recv(fd, at, size, 0);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (got == 0) return false;  // orderly EOF mid-frame or between frames
+    at += got;
+    size -= static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool writeFrame(int fd, std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes) return false;
+  unsigned char header[4];
+  encodeLength(static_cast<std::uint32_t>(payload.size()), header);
+  return sendAll(fd, header, sizeof(header)) &&
+         sendAll(fd, payload.data(), payload.size());
+}
+
+[[nodiscard]] std::optional<std::string> readFrame(int fd) {
+  unsigned char header[4];
+  if (!recvAll(fd, header, sizeof(header))) return std::nullopt;
+  const std::uint32_t length = decodeLength(header);
+  if (length > kMaxFrameBytes) return std::nullopt;
+  std::string payload(length, '\0');
+  if (length > 0 && !recvAll(fd, payload.data(), length)) return std::nullopt;
+  return payload;
+}
+
+bool FrameReader::pump(int fd) {
+  char chunk[4096];
+  for (;;) {
+    const ssize_t got = ::recv(fd, chunk, sizeof(chunk), MSG_DONTWAIT);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      return false;
+    }
+    if (got == 0) return false;  // peer closed
+    buffer_.insert(buffer_.end(), chunk, chunk + got);
+    if (static_cast<std::size_t>(got) < sizeof(chunk)) return true;
+  }
+}
+
+std::optional<std::string> FrameReader::next() {
+  if (corrupt_) return std::nullopt;
+  const std::size_t available = buffer_.size() - consumed_;
+  if (available < 4) return std::nullopt;
+  unsigned char header[4];
+  std::memcpy(header, buffer_.data() + consumed_, 4);
+  const std::uint32_t length = decodeLength(header);
+  if (length > kMaxFrameBytes) {
+    corrupt_ = true;
+    return std::nullopt;
+  }
+  if (available < 4 + static_cast<std::size_t>(length)) return std::nullopt;
+  std::string payload(buffer_.data() + consumed_ + 4, length);
+  consumed_ += 4 + static_cast<std::size_t>(length);
+  // Compact once the consumed prefix dominates, so the buffer does not grow
+  // without bound across a long campaign.
+  if (consumed_ > 64 * 1024 && consumed_ * 2 > buffer_.size()) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  return payload;
+}
+
+}  // namespace avd::util

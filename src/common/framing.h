@@ -1,0 +1,60 @@
+// Length-prefixed message framing over byte-stream sockets.
+//
+// The campaign fleet (src/campaign/fleet/) speaks a simple framed protocol
+// between the coordinator and its worker processes: every message is a
+// 4-byte big-endian payload length followed by the payload bytes. Frames
+// ride on SOCK_STREAM transports only (Unix socketpair for locally spawned
+// workers, TCP for remote ones), so a frame either arrives whole or the
+// peer is gone — there is no partial-delivery ambiguity above this layer.
+//
+// Robustness rules baked in here rather than left to callers:
+//  * every read/write loops over short transfers and retries EINTR;
+//  * writes use MSG_NOSIGNAL so a dead peer yields EPIPE, not SIGPIPE;
+//  * a declared length above kMaxFrameBytes is treated as peer corruption
+//    and fails the read — a byzantine or desynchronized peer cannot make
+//    the coordinator allocate an attacker-chosen buffer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace avd::util {
+
+/// Upper bound on one frame's payload. Fleet frames are one JSON object
+/// (hundreds of bytes); anything near this cap means a corrupt stream.
+inline constexpr std::size_t kMaxFrameBytes = 1u << 20;  // 1 MiB
+
+/// Writes one frame, blocking until fully sent. False on any error (the
+/// peer is treated as dead; the caller decides recovery).
+[[nodiscard]] bool writeFrame(int fd, std::string_view payload);
+
+/// Blocking read of one whole frame. nullopt on EOF, error, or an
+/// over-cap declared length.
+[[nodiscard]] std::optional<std::string> readFrame(int fd);
+
+/// Incremental frame decoder for a non-blocking event loop. Feed it bytes
+/// as they arrive; pop complete frames as they become available.
+class FrameReader {
+ public:
+  /// Drains whatever is currently readable from `fd` (MSG_DONTWAIT) into
+  /// the buffer. Returns false when the peer is gone (EOF or a hard
+  /// error); EAGAIN/EWOULDBLOCK is a normal true return.
+  [[nodiscard]] bool pump(int fd);
+
+  /// Pops the next complete frame, or nullopt if none is buffered yet.
+  [[nodiscard]] std::optional<std::string> next();
+
+  /// True once a declared length exceeded kMaxFrameBytes; the stream is
+  /// unrecoverable and the connection should be dropped.
+  bool corrupt() const noexcept { return corrupt_; }
+
+ private:
+  std::vector<char> buffer_;
+  std::size_t consumed_ = 0;  // bytes of buffer_ already returned
+  bool corrupt_ = false;
+};
+
+}  // namespace avd::util

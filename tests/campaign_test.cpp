@@ -467,6 +467,41 @@ TEST(CampaignResume, EmptyJournalResumesFromScratch) {
   killResumeRoundTrip(0, 0, "empty");
 }
 
+TEST(CampaignResume, CrashDuringCheckpointRecovers) {
+  // A kill -9 inside writeCheckpoint leaves a stale checkpoint .tmp file
+  // (the atomic-rename never happened) alongside a torn journal. Resume
+  // must ignore the leftover, trust the journal, and still converge to the
+  // uninterrupted run's bytes — including a fresh, valid checkpoint.
+  CampaignOptions options;
+  options.seed = 5;
+  options.totalTests = 60;
+  options.checkpointEvery = 8;
+
+  const std::string full = scratchDir("ckpt_full");
+  options.outDir = full;
+  const CampaignResult uninterrupted =
+      CampaignRunner(ridgeFactory(), options).run();
+
+  const std::string cut = scratchDir("ckpt_cut");
+  options.outDir = cut;
+  CampaignRunner(ridgeFactory(), options).run();
+  const std::string journal = readAll(journalPath(cut));
+  writeAll(journalPath(cut), journal.substr(0, cutOffset(journal, 33, 9)));
+  writeAll(checkpointPath(cut) + ".tmp", "{\"generated\":999,\"comp");
+
+  CampaignOptions resumeOptions;
+  resumeOptions.outDir = cut;
+  const CampaignResult resumed =
+      CampaignRunner(ridgeFactory(), resumeOptions).resume();
+  EXPECT_EQ(resumed.executed, 60u);
+  EXPECT_EQ(readAll(journalPath(cut)), readAll(journalPath(full)));
+  EXPECT_EQ(resumed.maxImpact, uninterrupted.maxImpact);
+
+  const auto checkpoint = loadCheckpoint(cut);
+  ASSERT_TRUE(checkpoint.has_value());
+  EXPECT_EQ(checkpoint->completed, 60u);
+}
+
 TEST(CampaignResume, MissingDirectoryThrows) {
   CampaignOptions options;
   options.outDir =
@@ -561,11 +596,53 @@ TEST(CampaignIsolation, AllWorkersWedgedAbortsWithPartialResults) {
   options.totalTests = 10;
   options.workers = 2;
   options.scenarioTimeoutMs = 80;
+  options.maxWorkerRespawns = 0;  // poison-forever, the pre-respawn behavior
   CampaignRunner runner(
       [] { return std::make_unique<SleepyExecutor>(true); }, options);
   const CampaignResult result = runner.run();
   EXPECT_TRUE(result.aborted);
   EXPECT_EQ(result.timedOut, 2u) << "one timeout per poisoned worker";
+  EXPECT_LT(result.executed, 10u);
+}
+
+TEST(CampaignIsolation, RespawnRevivesAWedgedSlotInsteadOfAborting) {
+  // A single worker whose first executor wedges on every scenario used to
+  // poison the slot permanently and abort the campaign. With a respawn
+  // budget the slot gets a fresh executor (here: an instant one) and the
+  // campaign completes, counting the respawn.
+  std::atomic<int> built{0};
+  CampaignOptions options;
+  options.seed = 9;
+  options.totalTests = 15;
+  options.workers = 1;
+  options.scenarioTimeoutMs = 100;
+  options.maxWorkerRespawns = 4;
+  CampaignRunner runner(
+      [&built] {
+        return std::make_unique<SleepyExecutor>(built.fetch_add(1) == 0);
+      },
+      options);
+  const CampaignResult result = runner.run();
+  EXPECT_FALSE(result.aborted);
+  EXPECT_EQ(result.executed, 15u);
+  EXPECT_EQ(result.timedOut, 1u);
+  EXPECT_GE(result.respawns, 1u);
+}
+
+TEST(CampaignIsolation, RespawnBudgetExhaustionStillAborts) {
+  // Every executor incarnation wedges: respawning can't help, and the
+  // all-wedged abort must survive (a respawn loop must not spin forever).
+  CampaignOptions options;
+  options.seed = 9;
+  options.totalTests = 10;
+  options.workers = 1;
+  options.scenarioTimeoutMs = 80;
+  options.maxWorkerRespawns = 2;
+  CampaignRunner runner(
+      [] { return std::make_unique<SleepyExecutor>(true); }, options);
+  const CampaignResult result = runner.run();
+  EXPECT_TRUE(result.aborted);
+  EXPECT_EQ(result.respawns, 2u) << "the whole budget was spent trying";
   EXPECT_LT(result.executed, 10u);
 }
 

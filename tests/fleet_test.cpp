@@ -1,0 +1,724 @@
+// Fleet tests: framing, wire protocol, shard merge edge cases, and the
+// coordinator's chaos guarantees — worker kill -9 (before and after the
+// shard append), coordinator kill + resume, wedge containment, graceful
+// drain, and the remote TCP path.
+//
+// Workers run as threads over socketpairs (Launcher with pid = -1), which
+// keeps the tests hermetic and lets crash hooks share state with the test
+// body; the avd_cli binary exercises the real fork+exec path and CI's
+// release leg kills real processes.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "avd/controller.h"
+#include "avd/plugin.h"
+#include "campaign/fleet/coordinator.h"
+#include "campaign/fleet/protocol.h"
+#include "campaign/fleet/shard.h"
+#include "campaign/fleet/worker.h"
+#include "campaign/journal.h"
+#include "campaign/runner.h"
+#include "common/framing.h"
+#include "common/proc.h"
+
+namespace avd::campaign::fleet {
+namespace {
+
+// --- helpers -----------------------------------------------------------------
+
+/// Same synthetic ridge landscape as campaign_test.cpp: deterministic,
+/// instant, structured enough for the controller to climb.
+class RidgeExecutor final : public core::ScenarioExecutor {
+ public:
+  RidgeExecutor() {
+    space_.add(core::Dimension::range("x", 0, 99));
+    space_.add(core::Dimension::range("y", 0, 99));
+  }
+
+  core::Outcome execute(const core::Point& point) override {
+    const double dx = std::abs(static_cast<double>(point[0]) - 70.0);
+    const double dy = std::abs(static_cast<double>(point[1]) - 30.0);
+    core::Outcome outcome;
+    const double ridge = std::max(0.0, 1.0 - dx / 10.0);
+    const double along = 1.0 - 0.6 * dy / 99.0;
+    outcome.impact = ridge * along;
+    outcome.throughputRps = 1000.0 * (1.0 - outcome.impact);
+    return outcome;
+  }
+
+  const core::Hyperspace& space() const noexcept override { return space_; }
+
+ private:
+  core::Hyperspace space_;
+};
+
+ExecutorFactory ridgeFactory() {
+  return [] { return std::make_unique<RidgeExecutor>(); };
+}
+
+WorkerExecutorFactory ridgeWorkerFactory() {
+  return [](const std::string&, std::uint64_t) {
+    return std::make_unique<RidgeExecutor>();
+  };
+}
+
+std::string scratchDir(const std::string& name) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "avd_fleet_test" / name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+std::string readAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void writeAll(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  ASSERT_TRUE(out.good());
+}
+
+/// Byte offset one past the `n`-th newline, plus `extra` bytes into the
+/// next line (a kill -9 landing mid-append).
+std::size_t cutOffset(const std::string& journal, std::size_t lines,
+                      std::size_t extra) {
+  std::size_t at = 0;
+  for (std::size_t i = 0; i < lines; ++i) {
+    at = journal.find('\n', at);
+    EXPECT_NE(at, std::string::npos);
+    ++at;
+  }
+  return std::min(journal.size(), at + extra);
+}
+
+/// Runs workers as threads over socketpairs. pid = -1 tells the
+/// coordinator failure detection to rely on EOF and heartbeats; its "kill"
+/// degrades to closing the coordinator-side fd, after which the worker
+/// thread sees EOF (or a send failure) and returns, so join() terminates.
+class ThreadFleet {
+ public:
+  ~ThreadFleet() {
+    for (std::thread& thread : threads_) thread.join();
+  }
+
+  Launcher launcher(WorkerExecutorFactory factory, WorkerHooks hooks = {}) {
+    return [this, factory, hooks](std::size_t) {
+      return launchOne(factory, hooks);
+    };
+  }
+
+  std::optional<util::SpawnedProcess> launchOne(WorkerExecutorFactory factory,
+                                                WorkerHooks hooks = {}) {
+    int fds[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) return std::nullopt;
+    const int workerFd = fds[1];
+    const std::lock_guard<std::mutex> hold(mutex_);
+    threads_.emplace_back([workerFd, factory, hooks] {
+      (void)runWorker(workerFd, factory, hooks);
+    });
+    return util::SpawnedProcess{-1, fds[0]};
+  }
+
+ private:
+  std::mutex mutex_;
+  std::vector<std::thread> threads_;
+};
+
+FleetOptions ridgeFleetOptions(std::uint64_t seed, std::size_t tests,
+                               std::size_t spawn, const std::string& dir) {
+  FleetOptions options;
+  options.campaign.seed = seed;
+  options.campaign.totalTests = tests;
+  options.campaign.outDir = dir;
+  options.campaign.system = "ridge";
+  options.campaign.checkpointEvery = 8;
+  options.spawn = spawn;
+  options.heartbeatMs = 50;
+  return options;
+}
+
+// --- framing -----------------------------------------------------------------
+
+TEST(FleetFraming, FramesRoundTripOverASocketpair) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const std::string payload = "{\"event\":\"hello\",\"version\":1}";
+  ASSERT_TRUE(util::writeFrame(fds[0], payload));
+  ASSERT_TRUE(util::writeFrame(fds[0], ""));  // empty frames are legal
+  const auto first = util::readFrame(fds[1]);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(*first, payload);
+  const auto second = util::readFrame(fds[1]);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_TRUE(second->empty());
+  ::close(fds[0]);
+  EXPECT_FALSE(util::readFrame(fds[1]).has_value()) << "EOF is nullopt";
+  ::close(fds[1]);
+}
+
+TEST(FleetFraming, FrameReaderReassemblesPartialDelivery) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const std::string payload(300, 'x');
+  std::string wire;
+  wire.push_back(0);
+  wire.push_back(0);
+  wire.push_back(static_cast<char>(300 / 256));
+  wire.push_back(static_cast<char>(300 % 256));
+  wire += payload;
+
+  util::FrameReader reader;
+  // Deliver the frame in three fragments; no frame may surface early.
+  for (const auto& range : {wire.substr(0, 2), wire.substr(2, 150)}) {
+    ASSERT_EQ(::send(fds[0], range.data(), range.size(), 0),
+              static_cast<ssize_t>(range.size()));
+    ASSERT_TRUE(reader.pump(fds[1]));
+    EXPECT_FALSE(reader.next().has_value());
+  }
+  const std::string rest = wire.substr(152);
+  ASSERT_EQ(::send(fds[0], rest.data(), rest.size(), 0),
+            static_cast<ssize_t>(rest.size()));
+  ASSERT_TRUE(reader.pump(fds[1]));
+  const auto frame = reader.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(*frame, payload);
+  EXPECT_FALSE(reader.corrupt());
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(FleetFraming, OversizedDeclaredLengthMarksTheStreamCorrupt) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const char huge[4] = {0x7f, 0x00, 0x00, 0x00};  // ~2 GiB declared
+  ASSERT_EQ(::send(fds[0], huge, 4, 0), 4);
+  util::FrameReader reader;
+  ASSERT_TRUE(reader.pump(fds[1]));
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_TRUE(reader.corrupt())
+      << "a byzantine peer must not make the coordinator allocate 2 GiB";
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+// --- protocol ----------------------------------------------------------------
+
+TEST(FleetProtocol, ControlMessagesRoundTrip) {
+  const std::string hello = encodeHello(Hello{kProtocolVersion});
+  EXPECT_EQ(kindOf(hello), MessageKind::kHello);
+  const auto helloBack = decodeHello(hello);
+  ASSERT_TRUE(helloBack.has_value());
+  EXPECT_EQ(helloBack->version, kProtocolVersion);
+
+  Welcome welcome;
+  welcome.slot = 3;
+  welcome.incarnation = 7;
+  welcome.system = "pbft-flood";
+  welcome.seed = 0xdeadbeefULL;
+  welcome.outDir = "/tmp/with \"quotes\" and\nnewline";
+  welcome.heartbeatMs = 125;
+  const std::string welcomeWire = encodeWelcome(welcome);
+  EXPECT_EQ(kindOf(welcomeWire), MessageKind::kWelcome);
+  const auto welcomeBack = decodeWelcome(welcomeWire);
+  ASSERT_TRUE(welcomeBack.has_value());
+  EXPECT_EQ(welcomeBack->slot, 3u);
+  EXPECT_EQ(welcomeBack->incarnation, 7u);
+  EXPECT_EQ(welcomeBack->system, welcome.system);
+  EXPECT_EQ(welcomeBack->seed, welcome.seed);
+  EXPECT_EQ(welcomeBack->outDir, welcome.outDir);
+  EXPECT_EQ(welcomeBack->heartbeatMs, 125u);
+
+  Assign assign;
+  assign.test = 42;
+  assign.point = {0, 19, 3};
+  const std::string assignWire = encodeAssign(assign);
+  EXPECT_EQ(kindOf(assignWire), MessageKind::kAssign);
+  const auto assignBack = decodeAssign(assignWire);
+  ASSERT_TRUE(assignBack.has_value());
+  EXPECT_EQ(assignBack->test, 42u);
+  EXPECT_EQ(assignBack->point, assign.point);
+
+  const std::string beat = encodeHeartbeat(Heartbeat{9, 1234});
+  EXPECT_EQ(kindOf(beat), MessageKind::kHeartbeat);
+  const auto beatBack = decodeHeartbeat(beat);
+  ASSERT_TRUE(beatBack.has_value());
+  EXPECT_EQ(beatBack->busyTest, 9u);
+  EXPECT_EQ(beatBack->busyMs, 1234u);
+
+  EXPECT_EQ(kindOf(encodeShutdown()), MessageKind::kShutdown);
+}
+
+TEST(FleetProtocol, OutcomeFramesAreJournalDoneLines) {
+  DoneEvent done;
+  done.test = 5;
+  done.outcome.impact = 0.625;
+  const std::string wire = encodeDone(done);
+  EXPECT_EQ(kindOf(wire), MessageKind::kOutcome);
+  const auto decoded = decodeLine(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->kind, JournalEvent::Kind::kDone);
+  EXPECT_EQ(decoded->done.test, 5u);
+}
+
+TEST(FleetProtocol, GarbageIsUnknown) {
+  EXPECT_EQ(kindOf(""), MessageKind::kUnknown);
+  EXPECT_EQ(kindOf("not json"), MessageKind::kUnknown);
+  EXPECT_EQ(kindOf("{\"event\":\"mystery\"}"), MessageKind::kUnknown);
+  EXPECT_FALSE(decodeAssign("{\"event\":\"assign\"}").has_value())
+      << "assign without test/point is a protocol violation, not a default";
+}
+
+// --- shard merge -------------------------------------------------------------
+
+std::string doneLine(std::uint64_t test, double impact) {
+  DoneEvent done;
+  done.test = test;
+  done.outcome.impact = impact;
+  return encodeDone(done) + "\n";
+}
+
+TEST(FleetShards, MergeIsFirstWinsAcrossFilesAndCountsDuplicates) {
+  const std::string dir = scratchDir("merge");
+  writeAll(shardPath(dir, 0, 0), doneLine(1, 0.25) + doneLine(3, 0.5));
+  writeAll(shardPath(dir, 1, 0), doneLine(2, 0.75) + doneLine(3, 0.5));
+  writeAll(dir + "/journal.jsonl", "unrelated\n");  // not a shard; ignored
+
+  const MergedShards merged = mergeShards(dir);
+  EXPECT_EQ(merged.shardFiles, 2u);
+  EXPECT_EQ(merged.outcomes.size(), 3u);
+  EXPECT_EQ(merged.duplicates, 1u)
+      << "test 3 completed on both workers (reassignment) — folded once";
+  EXPECT_EQ(merged.tornShards, 0u);
+  EXPECT_EQ(merged.corruptShards, 0u);
+  EXPECT_EQ(merged.outcomes.at(2).outcome.impact, 0.75);
+  EXPECT_EQ(merged.nextIncarnation.at(0), 1u);
+  EXPECT_EQ(merged.nextIncarnation.at(1), 1u);
+}
+
+TEST(FleetShards, TornTailShardLosesOnlyTheTornLine) {
+  const std::string dir = scratchDir("torn");
+  writeAll(shardPath(dir, 0, 0),
+           doneLine(1, 0.25) + "{\"event\":\"done\",\"te");  // kill -9 mid-append
+  const MergedShards merged = mergeShards(dir);
+  EXPECT_EQ(merged.shardFiles, 1u);
+  EXPECT_EQ(merged.tornShards, 1u);
+  EXPECT_EQ(merged.outcomes.size(), 1u);
+  EXPECT_TRUE(merged.outcomes.count(1));
+}
+
+TEST(FleetShards, CorruptShardIsSkippedWhole) {
+  const std::string dir = scratchDir("corrupt");
+  writeAll(shardPath(dir, 0, 0), "garbage\n" + doneLine(1, 0.25));
+  writeAll(shardPath(dir, 1, 0), doneLine(2, 0.5));
+  const MergedShards merged = mergeShards(dir);
+  EXPECT_EQ(merged.corruptShards, 1u);
+  EXPECT_EQ(merged.outcomes.size(), 1u) << "only the healthy shard merges";
+  EXPECT_TRUE(merged.outcomes.count(2));
+}
+
+TEST(FleetShards, MissingDirectoryAndMissingShardsMergeEmpty) {
+  const MergedShards merged = mergeShards("/does/not/exist");
+  EXPECT_EQ(merged.shardFiles, 0u);
+  EXPECT_TRUE(merged.outcomes.empty());
+}
+
+TEST(FleetShards, IncarnationCountersSurviveGapsAndRemoveShardsClears) {
+  const std::string dir = scratchDir("incarnation");
+  writeAll(shardPath(dir, 0, 0), doneLine(1, 0.25));
+  writeAll(shardPath(dir, 0, 4), doneLine(2, 0.5));  // incarnations 1-3 died
+  writeAll(dir + "/keepme.txt", "not a shard\n");
+  EXPECT_EQ(mergeShards(dir).nextIncarnation.at(0), 5u);
+
+  removeShards(dir);
+  EXPECT_TRUE(mergeShards(dir).outcomes.empty());
+  EXPECT_TRUE(std::filesystem::exists(dir + "/keepme.txt"))
+      << "removeShards must only touch shard files";
+}
+
+// --- end-to-end over thread workers ------------------------------------------
+
+TEST(FleetEndToEnd, CampaignCompletesAndJournalIsAPureFunctionOfTheSeed) {
+  const std::string dirA = scratchDir("e2e_a");
+  const std::string dirB = scratchDir("e2e_b");
+  for (const std::string& dir : {dirA, dirB}) {
+    ThreadFleet fleet;
+    FleetOptions options = ridgeFleetOptions(11, 40, 2, dir);
+    options.launcher = fleet.launcher(ridgeWorkerFactory());
+    FleetCoordinator coordinator(std::move(options), ridgeFactory());
+    const CampaignResult result = coordinator.run();
+    EXPECT_EQ(result.executed, 40u);
+    EXPECT_EQ(result.history.size(), 40u);
+    EXPECT_FALSE(result.aborted);
+    EXPECT_EQ(result.workerCrashes, 0u);
+    EXPECT_GT(result.maxImpact, 0.0);
+  }
+  const std::string journalA = readAll(journalPath(dirA));
+  EXPECT_FALSE(journalA.empty());
+  EXPECT_EQ(journalA, readAll(journalPath(dirB)))
+      << "fleet journal bytes must be independent of worker timing";
+}
+
+TEST(FleetEndToEnd, InMemoryFleetNeedsNoOutDir) {
+  ThreadFleet fleet;
+  FleetOptions options = ridgeFleetOptions(11, 24, 2, "");
+  options.launcher = fleet.launcher(ridgeWorkerFactory());
+  FleetCoordinator coordinator(std::move(options), ridgeFactory());
+  const CampaignResult result = coordinator.run();
+  EXPECT_EQ(result.executed, 24u);
+  EXPECT_FALSE(result.aborted);
+}
+
+/// Shared chaos scaffold: run a reference fleet uninterrupted, then a
+/// second fleet where `hooks` murders workers at chosen moments, and
+/// require identical journal bytes plus full completion.
+void crashRoundTrip(const WorkerHooks& hooks, const std::string& tag,
+                    std::size_t expectMinCrashes) {
+  const std::string full = scratchDir("crash_full_" + tag);
+  {
+    ThreadFleet fleet;
+    FleetOptions options = ridgeFleetOptions(23, 48, 2, full);
+    options.launcher = fleet.launcher(ridgeWorkerFactory());
+    FleetCoordinator coordinator(std::move(options), ridgeFactory());
+    coordinator.run();
+  }
+
+  const std::string dir = scratchDir("crash_" + tag);
+  ThreadFleet fleet;
+  FleetOptions options = ridgeFleetOptions(23, 48, 2, dir);
+  options.heartbeatMissFactor = 6;  // fail fast: threads die silently
+  options.launcher = fleet.launcher(ridgeWorkerFactory(), hooks);
+  FleetCoordinator coordinator(std::move(options), ridgeFactory());
+  const CampaignResult result = coordinator.run();
+
+  EXPECT_EQ(result.executed, 48u);
+  EXPECT_FALSE(result.aborted);
+  EXPECT_GE(result.workerCrashes, expectMinCrashes);
+  EXPECT_GE(result.reassigned, 1u)
+      << "the dead worker's in-flight scenarios ran elsewhere";
+  // No respawn assertion: with an instant executor the surviving worker
+  // often finishes the whole budget before the respawn backoff expires.
+  EXPECT_EQ(readAll(journalPath(dir)), readAll(journalPath(full)))
+      << "a worker crash must not change the journal bytes";
+}
+
+TEST(FleetChaos, WorkerDeathBeforeShardWriteIsReassignedByteIdentically) {
+  // The outcome is lost entirely: not on disk, never framed. The scenario
+  // must be re-executed elsewhere.
+  auto crashed = std::make_shared<std::atomic<bool>>(false);
+  WorkerHooks hooks;
+  hooks.crashBeforeShardWrite = [crashed](std::uint64_t test) {
+    return test == 5 && !crashed->exchange(true);
+  };
+  crashRoundTrip(hooks, "before", 1);
+}
+
+TEST(FleetChaos, WorkerDeathAfterShardWriteIsReassignedByteIdentically) {
+  // The outcome reached the shard but not the coordinator — the duplicate
+  // from re-execution is byte-identical, so the shard merge stays
+  // idempotent (FleetShards.MergeIsFirstWins covers the fold side).
+  auto crashed = std::make_shared<std::atomic<bool>>(false);
+  WorkerHooks hooks;
+  hooks.crashAfterShardWrite = [crashed](std::uint64_t test) {
+    return test == 5 && !crashed->exchange(true);
+  };
+  crashRoundTrip(hooks, "after", 1);
+}
+
+TEST(FleetChaos, RepeatedCrashesExhaustTheRespawnBudgetAndAbort) {
+  // Every incarnation dies on its first completed scenario; with a tiny
+  // budget the coordinator must abort with partial results instead of
+  // spinning forever.
+  const std::string dir = scratchDir("budget");
+  ThreadFleet fleet;
+  FleetOptions options = ridgeFleetOptions(23, 48, 1, dir);
+  options.heartbeatMissFactor = 6;
+  options.maxWorkerRespawns = 2;
+  options.respawnBackoffBaseMs = 10;
+  WorkerHooks hooks;
+  hooks.crashBeforeShardWrite = [](std::uint64_t) { return true; };
+  options.launcher = fleet.launcher(ridgeWorkerFactory(), hooks);
+  FleetCoordinator coordinator(std::move(options), ridgeFactory());
+  const CampaignResult result = coordinator.run();
+  EXPECT_TRUE(result.aborted);
+  EXPECT_EQ(result.respawns, 2u);
+  EXPECT_GE(result.workerCrashes, 3u) << "initial launch + two respawns";
+  EXPECT_LT(result.executed, 48u);
+}
+
+// --- coordinator kill + resume -----------------------------------------------
+
+/// Counts executions so resume tests can prove shard-recovered outcomes are
+/// folded, not re-executed.
+class CountingRidgeExecutor final : public core::ScenarioExecutor {
+ public:
+  explicit CountingRidgeExecutor(std::shared_ptr<std::atomic<std::size_t>> n)
+      : executions_(std::move(n)) {}
+  core::Outcome execute(const core::Point& point) override {
+    executions_->fetch_add(1);
+    return inner_.execute(point);
+  }
+  const core::Hyperspace& space() const noexcept override {
+    return inner_.space();
+  }
+
+ private:
+  RidgeExecutor inner_;
+  std::shared_ptr<std::atomic<std::size_t>> executions_;
+};
+
+TEST(FleetResume, CoordinatorKillResumesByteIdenticallyFromShards) {
+  // Reference: uninterrupted run.
+  const std::string full = scratchDir("resume_full");
+  {
+    ThreadFleet fleet;
+    FleetOptions options = ridgeFleetOptions(31, 48, 2, full);
+    options.launcher = fleet.launcher(ridgeWorkerFactory());
+    FleetCoordinator coordinator(std::move(options), ridgeFactory());
+    coordinator.run();
+  }
+
+  // "Kill" a second identical run by truncating its journal mid-line while
+  // keeping its shards — exactly the on-disk state a kill -9 of the
+  // coordinator leaves (the shards always hold at least every folded
+  // outcome, because workers append before framing).
+  const std::string dir = scratchDir("resume_cut");
+  {
+    ThreadFleet fleet;
+    FleetOptions options = ridgeFleetOptions(31, 48, 2, dir);
+    options.launcher = fleet.launcher(ridgeWorkerFactory());
+    FleetCoordinator coordinator(std::move(options), ridgeFactory());
+    coordinator.run();
+  }
+  const std::string journal = readAll(journalPath(dir));
+  writeAll(journalPath(dir), journal.substr(0, cutOffset(journal, 25, 17)));
+
+  auto executions = std::make_shared<std::atomic<std::size_t>>(0);
+  const WorkerExecutorFactory counting =
+      [executions](const std::string&, std::uint64_t) {
+        return std::make_unique<CountingRidgeExecutor>(executions);
+      };
+  ThreadFleet fleet;
+  FleetOptions options;
+  options.campaign.outDir = dir;
+  options.launcher = fleet.launcher(counting);
+  FleetCoordinator coordinator(std::move(options), ridgeFactory());
+  const CampaignResult resumed = coordinator.resume();
+
+  EXPECT_EQ(resumed.executed, 48u);
+  EXPECT_FALSE(resumed.aborted);
+  EXPECT_EQ(readAll(journalPath(dir)), readAll(journalPath(full)))
+      << "resumed journal must be byte-identical to the uninterrupted run";
+  EXPECT_EQ(executions->load(), 0u)
+      << "every outcome was in the shards; resume must fold, not re-execute";
+}
+
+TEST(FleetResume, MissingShardsAreReExecutedNotFatal) {
+  const std::string full = scratchDir("noshard_full");
+  {
+    ThreadFleet fleet;
+    FleetOptions options = ridgeFleetOptions(31, 32, 2, full);
+    options.launcher = fleet.launcher(ridgeWorkerFactory());
+    FleetCoordinator coordinator(std::move(options), ridgeFactory());
+    coordinator.run();
+  }
+
+  const std::string dir = scratchDir("noshard_cut");
+  {
+    ThreadFleet fleet;
+    FleetOptions options = ridgeFleetOptions(31, 32, 2, dir);
+    options.launcher = fleet.launcher(ridgeWorkerFactory());
+    FleetCoordinator coordinator(std::move(options), ridgeFactory());
+    coordinator.run();
+  }
+  const std::string journal = readAll(journalPath(dir));
+  writeAll(journalPath(dir), journal.substr(0, cutOffset(journal, 12, 0)));
+  removeShards(dir);  // the whole recovery channel is gone
+
+  ThreadFleet fleet;
+  FleetOptions options;
+  options.campaign.outDir = dir;
+  options.launcher = fleet.launcher(ridgeWorkerFactory());
+  FleetCoordinator coordinator(std::move(options), ridgeFactory());
+  const CampaignResult resumed = coordinator.resume();
+  EXPECT_EQ(resumed.executed, 32u);
+  EXPECT_EQ(readAll(journalPath(dir)), readAll(journalPath(full)));
+}
+
+TEST(FleetResume, SingleProcessDirectoryIsRejected) {
+  const std::string dir = scratchDir("wrong_mode");
+  CampaignOptions options;
+  options.totalTests = 8;
+  options.outDir = dir;
+  CampaignRunner(ridgeFactory(), options).run();  // writes mode="process"
+
+  ThreadFleet fleet;
+  FleetOptions fleetOptions;
+  fleetOptions.campaign.outDir = dir;
+  fleetOptions.launcher = fleet.launcher(ridgeWorkerFactory());
+  FleetCoordinator coordinator(std::move(fleetOptions), ridgeFactory());
+  EXPECT_THROW(coordinator.resume(), std::runtime_error);
+}
+
+// --- wedge containment -------------------------------------------------------
+
+TEST(FleetWedge, WedgedScenarioIsKilledAndFoldedAsTimedOut) {
+  // Discover the deterministic first point for this seed, then wedge every
+  // executor on exactly that point. wedgeKillLimit=1 folds it as timed out
+  // after the first kill instead of re-wedging another worker.
+  core::Point wedgePoint;
+  {
+    RidgeExecutor probe;
+    core::Controller controller(probe, core::defaultPlugins(probe.space()),
+                                core::ControllerOptions{}, 41);
+    wedgePoint = controller.acquireScenario().point;
+  }
+  const WorkerExecutorFactory sleepyOnPoint =
+      [wedgePoint](const std::string&, std::uint64_t) {
+        class Sleepy final : public core::ScenarioExecutor {
+         public:
+          explicit Sleepy(core::Point wedge) : wedge_(std::move(wedge)) {}
+          core::Outcome execute(const core::Point& point) override {
+            if (point == wedge_) {
+              std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+            }
+            return inner_.execute(point);
+          }
+          const core::Hyperspace& space() const noexcept override {
+            return inner_.space();
+          }
+
+         private:
+          RidgeExecutor inner_;
+          core::Point wedge_;
+        };
+        return std::make_unique<Sleepy>(wedgePoint);
+      };
+
+  ThreadFleet fleet;
+  FleetOptions options = ridgeFleetOptions(41, 24, 2, "");
+  options.campaign.scenarioTimeoutMs = 150;
+  options.wedgeKillLimit = 1;
+  options.launcher = fleet.launcher(sleepyOnPoint);
+  FleetCoordinator coordinator(std::move(options), ridgeFactory());
+  const CampaignResult result = coordinator.run();
+
+  EXPECT_EQ(result.executed, 24u);
+  EXPECT_FALSE(result.aborted);
+  EXPECT_EQ(result.timedOut, 1u) << "the wedged scenario folds as timed out";
+  EXPECT_GE(result.workerCrashes, 1u) << "the wedged worker was killed";
+  // No respawn assertion: the healthy worker usually drains the remaining
+  // budget before the killed slot's backoff expires.
+}
+
+// --- graceful drain ----------------------------------------------------------
+
+TEST(FleetDrain, DrainStopsEarlyWithAPrefixJournalThatResumesToTheFullRun) {
+  const std::string full = scratchDir("drain_full");
+  {
+    ThreadFleet fleet;
+    FleetOptions options = ridgeFleetOptions(53, 48, 2, full);
+    options.launcher = fleet.launcher(ridgeWorkerFactory());
+    FleetCoordinator coordinator(std::move(options), ridgeFactory());
+    coordinator.run();
+  }
+
+  // Thread workers share the address space, so the executor itself can
+  // pull the drain cord (standing in for the SIGTERM handler) mid-run.
+  const std::string dir = scratchDir("drain_cut");
+  std::atomic<bool> drain{false};
+  auto seen = std::make_shared<std::atomic<std::size_t>>(0);
+  const WorkerExecutorFactory draining =
+      [&drain, seen](const std::string&, std::uint64_t) {
+        class Draining final : public core::ScenarioExecutor {
+         public:
+          Draining(std::atomic<bool>* flag,
+                   std::shared_ptr<std::atomic<std::size_t>> seen)
+              : flag_(flag), seen_(std::move(seen)) {}
+          core::Outcome execute(const core::Point& point) override {
+            if (seen_->fetch_add(1) + 1 >= 10) flag_->store(true);
+            return inner_.execute(point);
+          }
+          const core::Hyperspace& space() const noexcept override {
+            return inner_.space();
+          }
+
+         private:
+          RidgeExecutor inner_;
+          std::atomic<bool>* flag_;
+          std::shared_ptr<std::atomic<std::size_t>> seen_;
+        };
+        return std::make_unique<Draining>(&drain, seen);
+      };
+  {
+    ThreadFleet fleet;
+    FleetOptions options = ridgeFleetOptions(53, 48, 2, dir);
+    options.drainFlag = &drain;
+    options.launcher = fleet.launcher(draining);
+    FleetCoordinator coordinator(std::move(options), ridgeFactory());
+    const CampaignResult result = coordinator.run();
+    EXPECT_GE(result.executed, 10u);
+    EXPECT_LT(result.executed, 48u) << "drained well before the budget";
+    EXPECT_FALSE(result.aborted);
+  }
+  const std::string fullJournal = readAll(journalPath(full));
+  const std::string drained = readAll(journalPath(dir));
+  ASSERT_LT(drained.size(), fullJournal.size());
+  EXPECT_EQ(drained, fullJournal.substr(0, drained.size()))
+      << "a drained journal is a canonical prefix of the full run's";
+
+  // And the drained directory resumes to the byte-identical full journal.
+  ThreadFleet fleet;
+  FleetOptions options;
+  options.campaign.outDir = dir;
+  options.launcher = fleet.launcher(ridgeWorkerFactory());
+  FleetCoordinator coordinator(std::move(options), ridgeFactory());
+  const CampaignResult resumed = coordinator.resume();
+  EXPECT_EQ(resumed.executed, 48u);
+  EXPECT_EQ(readAll(journalPath(dir)), fullJournal);
+}
+
+// --- remote TCP workers ------------------------------------------------------
+
+TEST(FleetTcp, RemoteWorkerConnectsOverLoopbackAndCompletesTheCampaign) {
+  FleetOptions options = ridgeFleetOptions(61, 16, 0, "");
+  options.remoteSlots = 1;
+  options.batch = 4;
+  FleetCoordinator coordinator(std::move(options), ridgeFactory());
+  const std::uint16_t port = coordinator.listenPort();
+  ASSERT_NE(port, 0);
+
+  std::thread worker([port] {
+    const auto fd = util::connectTcp("127.0.0.1", port);
+    ASSERT_TRUE(fd.has_value());
+    EXPECT_EQ(runWorker(*fd, ridgeWorkerFactory()), kWorkerExitClean)
+        << "the coordinator shuts remote workers down with a frame";
+  });
+  const CampaignResult result = coordinator.run();
+  worker.join();
+  EXPECT_EQ(result.executed, 16u);
+  EXPECT_FALSE(result.aborted);
+}
+
+}  // namespace
+}  // namespace avd::campaign::fleet

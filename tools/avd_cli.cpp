@@ -22,6 +22,23 @@
 //       deduplicated vulnerability-class report at the end. `--resume DIR`
 //       continues a killed campaign exactly where its journal stops.
 //
+//   avd_cli fleet [--system ...] [--tests N] [--seed S]
+//                 [--spawn W] [--remote R] [--batch B] [--out DIR]
+//                 [--resume DIR] [--checkpoint-every N] [--timeout-ms MS]
+//                 [--min-impact X] [--heartbeat-ms MS] [--max-respawns N]
+//       Multi-process campaign: this process becomes the coordinator, owns
+//       the controller and journal, and spawns W fleet-worker child
+//       processes (plus accepts R remote workers over loopback TCP). A
+//       crashed or wedged worker is killed, respawned with capped backoff,
+//       and its in-flight scenarios are re-executed elsewhere. SIGTERM
+//       drains gracefully. `avd_cli campaign --resume DIR` also recognizes
+//       fleet campaign directories and resumes them here.
+//
+//   avd_cli fleet-worker [--connect HOST:PORT]
+//       Worker mode: executes scenarios for a coordinator. Spawned workers
+//       inherit their socket on fd 3; remote workers pass --connect with
+//       the coordinator's listen port.
+//
 //   avd_cli power [--budget N] [--threshold T] [--seeds a,b,c]
 //       The §4 attacker-power ladder.
 //
@@ -30,6 +47,8 @@
 //
 // Unknown flags are errors (exit status 2), not silently ignored.
 #include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -48,8 +67,11 @@
 #include "avd/quorum_executor.h"
 #include "avd/report.h"
 #include "campaign/dedup.h"
+#include "campaign/fleet/coordinator.h"
+#include "campaign/fleet/worker.h"
 #include "campaign/journal.h"
 #include "campaign/runner.h"
+#include "common/proc.h"
 #include "faultinject/behaviors.h"
 #include "faultinject/churn.h"
 #include "faultinject/flood.h"
@@ -109,17 +131,28 @@ class Args {
 int usage() {
   std::fprintf(
       stderr,
-      "usage: avd_cli explore|campaign|attack|power|list [--flag value ...]\n"
-      "  explore   --system pbft|pbft-churn|pbft-flood|quorum\n"
-      "            --strategy avd|random|genetic\n"
-      "            --tests N  --seed S  --threshold T  --csv FILE --json FILE\n"
-      "  campaign  --system pbft|pbft-churn|pbft-flood|quorum\n"
-      "            --tests N  --seed S  --workers W\n"
-      "            --out DIR  --resume DIR  --checkpoint-every N\n"
-      "            --timeout-ms MS  --min-impact X\n"
-      "  attack    --name NAME  --clients N  --seed S\n"
-      "            --rate R  --bytes B  --kind K  --target T  (flood only)\n"
-      "  power     --budget N  --threshold T  --seeds a,b,c\n"
+      "usage: avd_cli explore|campaign|fleet|attack|power|list "
+      "[--flag value ...]\n"
+      "  explore      --system pbft|pbft-churn|pbft-flood|quorum\n"
+      "               --strategy avd|random|genetic\n"
+      "               --tests N  --seed S  --threshold T  --csv FILE "
+      "--json FILE\n"
+      "  campaign     --system pbft|pbft-churn|pbft-flood|quorum\n"
+      "               --tests N  --seed S  --workers W\n"
+      "               --out DIR  --resume DIR  --checkpoint-every N\n"
+      "               --timeout-ms MS  --min-impact X\n"
+      "  fleet        --system ...  --tests N  --seed S\n"
+      "               --spawn W  --remote R  --batch B\n"
+      "               --out DIR  --resume DIR  --checkpoint-every N\n"
+      "               --timeout-ms MS  --min-impact X  --heartbeat-ms MS\n"
+      "               --max-respawns N   (multi-process campaign; SIGTERM\n"
+      "               drains gracefully, workers are respawned on crash)\n"
+      "  fleet-worker --connect HOST:PORT   (worker mode; spawned workers\n"
+      "               inherit their socket on fd 3)\n"
+      "  attack       --name NAME  --clients N  --seed S\n"
+      "               --rate R  --bytes B  --kind K  --target T  "
+      "(flood only)\n"
+      "  power        --budget N  --threshold T  --seeds a,b,c\n"
       "unknown flags are errors; run 'avd_cli list' for systems, strategies\n"
       "and attacks\n");
   return 2;
@@ -232,6 +265,176 @@ int cmdExplore(const Args& args) {
   return 0;
 }
 
+/// Shared tail of `campaign` and `fleet`: summary lines, the deduplicated
+/// class report, and classes.json. Returns the process exit status.
+int reportCampaignResult(const campaign::CampaignResult& result,
+                         const std::string& system, std::uint64_t seed,
+                         const std::string& outDir) {
+  std::printf("executed %zu scenarios (%zu failed, %zu timed out)%s\n",
+              result.executed, result.failed, result.timedOut,
+              result.aborted ? " — ABORTED: every worker wedged" : "");
+  if (result.workerCrashes + result.respawns + result.reassigned > 0) {
+    std::printf(
+        "fleet: %zu worker crash(es), %zu respawn(s), %zu scenario(s) "
+        "reassigned\n",
+        result.workerCrashes, result.respawns, result.reassigned);
+  }
+  std::printf("max impact %.3f\n", result.maxImpact);
+  std::printf("%zu distinct vulnerability class(es):\n",
+              result.classes.size());
+
+  const auto executor = makeExecutor(system, seed);
+  for (const campaign::VulnClass& cls : result.classes) {
+    std::printf("  [%4zu hits, best %.3f at test %zu] %s\n", cls.count,
+                cls.exemplar.outcome.impact, cls.exemplarTest,
+                campaign::signatureLabel(executor->space(), cls.signature)
+                    .c_str());
+  }
+  if (!outDir.empty()) {
+    const std::string classesPath = outDir + "/classes.json";
+    if (core::writeFile(classesPath, campaign::vulnClassesJson(
+                                         executor->space(), result.classes))) {
+      std::printf("journal/checkpoint/classes written to %s\n",
+                  outDir.c_str());
+    }
+  }
+  return result.aborted ? 1 : 0;
+}
+
+/// Set by the SIGTERM/SIGINT handler while a fleet coordinator runs; the
+/// coordinator polls it and drains gracefully.
+std::atomic<bool> gFleetDrain{false};
+
+/// Runs (or resumes) a fleet campaign. `campaign --resume` delegates here
+/// when the manifest says mode="fleet", so either spelling resumes a fleet
+/// directory. On resume the manifest overrides every flag-derived option.
+int runFleetCampaign(const std::string& resumeDir,
+                     campaign::fleet::FleetOptions options, std::string system,
+                     std::uint64_t seed) {
+  if (!resumeDir.empty()) {
+    const auto manifest = campaign::loadManifest(resumeDir);
+    if (!manifest) {
+      std::fprintf(stderr, "no campaign manifest in '%s'\n",
+                   resumeDir.c_str());
+      return 1;
+    }
+    if (manifest->mode != "fleet") {
+      std::fprintf(stderr,
+                   "'%s' is a single-process campaign; use 'avd_cli campaign "
+                   "--resume %s'\n",
+                   resumeDir.c_str(), resumeDir.c_str());
+      return 2;
+    }
+    system = manifest->system;
+    seed = manifest->seed;
+    options.campaign.outDir = resumeDir;
+    // resume() re-reads the manifest for the full option set; spawn and
+    // remoteSlots matter here because the constructor binds the TCP
+    // listener before resume() runs.
+    options.spawn = static_cast<std::size_t>(manifest->spawn);
+    options.remoteSlots =
+        manifest->workers > manifest->spawn
+            ? static_cast<std::size_t>(manifest->workers - manifest->spawn)
+            : 0;
+    options.campaign.totalTests =
+        static_cast<std::size_t>(manifest->totalTests);
+    options.batch = static_cast<std::size_t>(manifest->batch);
+  }
+  if (system != "pbft" && system != "pbft-churn" && system != "pbft-flood" &&
+      system != "pbft-flood-defended" && system != "quorum") {
+    std::fprintf(stderr,
+                 "unknown system '%s' (pbft|pbft-churn|pbft-flood|quorum)\n",
+                 system.c_str());
+    return 2;
+  }
+  options.campaign.seed = seed;
+  options.campaign.system = system;
+
+  options.launcher = [](std::size_t) {
+    return util::spawnWithSocket({util::selfExePath(), "fleet-worker"});
+  };
+  gFleetDrain.store(false);
+  options.drainFlag = &gFleetDrain;
+  std::signal(SIGTERM, [](int) { gFleetDrain.store(true); });
+  std::signal(SIGINT, [](int) { gFleetDrain.store(true); });
+
+  const std::size_t spawn = options.spawn;
+  const std::size_t remote = options.remoteSlots;
+  const std::size_t tests = options.campaign.totalTests;
+  const std::string outDir = options.campaign.outDir;
+  const std::string where = outDir.empty() ? "" : ", dir " + outDir;
+
+  campaign::CampaignResult result;
+  try {
+    campaign::fleet::FleetCoordinator coordinator(
+        std::move(options), [system, seed] { return makeExecutor(system, seed); });
+    std::printf(
+        "%s fleet campaign on %s: %zu tests, %zu spawned + %zu remote "
+        "worker(s), seed %llu%s\n",
+        resumeDir.empty() ? "starting" : "resuming", system.c_str(), tests,
+        spawn, remote, static_cast<unsigned long long>(seed), where.c_str());
+    if (coordinator.listenPort() != 0) {
+      std::printf(
+          "remote workers: avd_cli fleet-worker --connect 127.0.0.1:%u\n",
+          coordinator.listenPort());
+    }
+    result = resumeDir.empty() ? coordinator.run() : coordinator.resume();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fleet campaign failed: %s\n", e.what());
+    return 1;
+  }
+  return reportCampaignResult(result, system, seed, outDir);
+}
+
+int cmdFleet(const Args& args) {
+  campaign::fleet::FleetOptions options;
+  options.campaign.totalTests =
+      static_cast<std::size_t>(args.getInt("tests", 200));
+  options.campaign.outDir = args.get("out", "");
+  options.campaign.checkpointEvery =
+      static_cast<std::size_t>(args.getInt("checkpoint-every", 16));
+  options.campaign.scenarioTimeoutMs =
+      static_cast<std::uint64_t>(args.getInt("timeout-ms", 0));
+  options.campaign.dedupMinImpact = args.getDouble("min-impact", 0.5);
+  options.spawn = static_cast<std::size_t>(args.getInt("spawn", 2));
+  options.remoteSlots = static_cast<std::size_t>(args.getInt("remote", 0));
+  options.batch = static_cast<std::size_t>(args.getInt("batch", 4));
+  options.heartbeatMs =
+      static_cast<std::uint64_t>(args.getInt("heartbeat-ms", 200));
+  options.maxWorkerRespawns =
+      static_cast<std::size_t>(args.getInt("max-respawns", 8));
+  return runFleetCampaign(
+      args.get("resume", ""), std::move(options), args.get("system", "quorum"),
+      static_cast<std::uint64_t>(args.getInt("seed", 2011)));
+}
+
+int cmdFleetWorker(const Args& args) {
+  int fd = util::kChildSocketFd;
+  const std::string connect = args.get("connect", "");
+  if (!connect.empty()) {
+    const std::size_t colon = connect.rfind(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "--connect expects HOST:PORT, got '%s'\n",
+                   connect.c_str());
+      return campaign::fleet::kWorkerExitBadConfig;
+    }
+    const std::string host = connect.substr(0, colon);
+    const auto port = static_cast<std::uint16_t>(
+        std::atoll(connect.c_str() + colon + 1));
+    const auto sock = util::connectTcp(host, port);
+    if (!sock) {
+      std::fprintf(stderr, "cannot connect to coordinator at %s\n",
+                   connect.c_str());
+      return campaign::fleet::kWorkerExitBadConfig;
+    }
+    fd = *sock;
+  }
+  return campaign::fleet::runWorker(
+      fd, [](const std::string& system, std::uint64_t seed) {
+        return makeExecutor(system, seed);
+      });
+}
+
 int cmdCampaign(const Args& args) {
   const std::string resumeDir = args.get("resume", "");
   std::string system = args.get("system", "quorum");
@@ -254,6 +457,12 @@ int cmdCampaign(const Args& args) {
       std::fprintf(stderr, "no campaign manifest in '%s'\n",
                    resumeDir.c_str());
       return 1;
+    }
+    if (manifest->mode == "fleet") {
+      // A fleet directory resumes under the fleet coordinator, whichever
+      // command the user typed; the manifest supplies every option.
+      return runFleetCampaign(resumeDir, campaign::fleet::FleetOptions{},
+                              manifest->system, manifest->seed);
     }
     system = manifest->system;
     seed = manifest->seed;
@@ -288,30 +497,7 @@ int cmdCampaign(const Args& args) {
     std::fprintf(stderr, "campaign failed: %s\n", e.what());
     return 1;
   }
-
-  std::printf("executed %zu scenarios (%zu failed, %zu timed out)%s\n",
-              result.executed, result.failed, result.timedOut,
-              result.aborted ? " — ABORTED: every worker wedged" : "");
-  std::printf("max impact %.3f\n", result.maxImpact);
-  std::printf("%zu distinct vulnerability class(es):\n",
-              result.classes.size());
-
-  const auto executor = makeExecutor(system, seed);
-  for (const campaign::VulnClass& cls : result.classes) {
-    std::printf("  [%4zu hits, best %.3f at test %zu] %s\n", cls.count,
-                cls.exemplar.outcome.impact, cls.exemplarTest,
-                campaign::signatureLabel(executor->space(), cls.signature)
-                    .c_str());
-  }
-  if (!options.outDir.empty()) {
-    const std::string classesPath = options.outDir + "/classes.json";
-    if (core::writeFile(classesPath, campaign::vulnClassesJson(
-                                         executor->space(), result.classes))) {
-      std::printf("journal/checkpoint/classes written to %s\n",
-                  options.outDir.c_str());
-    }
-  }
-  return result.aborted ? 1 : 0;
+  return reportCampaignResult(result, system, seed, options.outDir);
 }
 
 int cmdAttack(const Args& args) {
@@ -520,6 +706,16 @@ int main(int argc, char** argv) {
                             {"system", "tests", "seed", "workers", "out",
                              "resume", "checkpoint-every", "timeout-ms",
                              "min-impact"}));
+  }
+  if (command == "fleet") {
+    return cmdFleet(Args(argc, argv, 2,
+                         {"system", "tests", "seed", "spawn", "remote",
+                          "batch", "out", "resume", "checkpoint-every",
+                          "timeout-ms", "min-impact", "heartbeat-ms",
+                          "max-respawns"}));
+  }
+  if (command == "fleet-worker") {
+    return cmdFleetWorker(Args(argc, argv, 2, {"connect"}));
   }
   if (command == "attack") {
     return cmdAttack(Args(argc, argv, 2,

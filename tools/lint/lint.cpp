@@ -234,6 +234,9 @@ bool unorderedIterScope(const std::string& path) {
          pathEndsWith(path, "avd/controller.cpp") ||
          pathEndsWith(path, "campaign/runner.cpp") ||
          pathEndsWith(path, "campaign/dedup.cpp") ||
+         pathEndsWith(path, "campaign/fleet/coordinator.cpp") ||
+         pathEndsWith(path, "campaign/fleet/shard.cpp") ||
+         pathEndsWith(path, "campaign/fleet/worker.cpp") ||
          pathEndsWith(path, "faultinject/churn.cpp") ||
          pathEndsWith(path, "faultinject/flood.cpp") ||
          pathEndsWith(path, "sim/network.cpp");
@@ -245,6 +248,8 @@ bool unorderedDeclScope(const std::string& path) {
          pathEndsWith(path, "avd/controller.h") ||
          pathEndsWith(path, "campaign/runner.h") ||
          pathEndsWith(path, "campaign/dedup.h") ||
+         pathEndsWith(path, "campaign/fleet/coordinator.h") ||
+         pathEndsWith(path, "campaign/fleet/shard.h") ||
          pathEndsWith(path, "faultinject/churn.h") ||
          pathEndsWith(path, "faultinject/flood.h") ||
          pathEndsWith(path, "sim/network.h");
@@ -1025,8 +1030,8 @@ const std::vector<RuleInfo>& ruleRegistry() {
       {"unordered-iter",
        "R5: no hash-container iteration in the ordering-sensitive loops of "
        "pbft/replica.cpp, avd/controller.cpp, campaign/runner.cpp, "
-       "campaign/dedup.cpp, faultinject/churn.cpp, faultinject/flood.cpp, "
-       "or sim/network.cpp"},
+       "campaign/dedup.cpp, campaign/fleet/{coordinator,shard,worker}.cpp, "
+       "faultinject/churn.cpp, faultinject/flood.cpp, or sim/network.cpp"},
       {"detached-thread",
        "R6: no std::thread::detach(); every thread must have an owner "
        "that joins it"},
