@@ -1,9 +1,9 @@
-// avd_lint end-to-end analysis throughput over the real tree. The v2
-// engine re-indexes every translation unit on every run (no incremental
-// cache), so the whole-tree wall clock IS the developer-facing latency of
-// the lint.src gate. Budget: a full src/ + tools/ + bench/ pass must stay
-// under 5 seconds; the JSON (BENCH_lint.json) records the breakdown so CI
-// can trend it.
+// avd_lint end-to-end analysis throughput over the real tree. The engine
+// re-indexes every translation unit on every run (no incremental cache),
+// so the whole-tree wall clock IS the developer-facing latency of the
+// lint.src gate. Budget: a full src/ + tools/ + bench/ pass through all
+// five phases must stay under 5 seconds; the JSON (BENCH_lint.json)
+// records the per-phase breakdown so CI can trend it.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "effects.h"
 #include "index.h"
 #include "lexer.h"
 #include "lint.h"
@@ -96,6 +97,17 @@ int main(int argc, char** argv) {
   const std::size_t modelKinds = model.kinds.size();
   const std::size_t modelTransitions = model.transitions.size();
 
+  // Phase 4 (effect-inference fixpoint), timed directly: the v4 call-graph
+  // pass is quadratic in the worst case, so its share of the budget gets
+  // its own trend line.
+  const auto effectsStart = now();
+  const avd::lint::EffectIndex effects = avd::lint::inferEffects(index);
+  const double effectsSeconds = now() - effectsStart;
+  std::size_t effectfulFunctions = 0;
+  for (const auto& fn : effects.fn) {
+    if (fn.total != 0) ++effectfulFunctions;
+  }
+
   // Full pipeline, best of three (first run warms the page cache).
   constexpr int kRuns = 3;
   double bestSeconds = 0.0;
@@ -113,7 +125,8 @@ int main(int argc, char** argv) {
   // The rules' share is the pipeline remainder after the phases measured
   // in isolation (clamped: the isolated runs are not the same wall clock).
   const double rulesSeconds =
-      std::max(0.0, bestSeconds - lexSeconds - indexSeconds - modelSeconds);
+      std::max(0.0, bestSeconds - lexSeconds - indexSeconds - modelSeconds -
+                        effectsSeconds);
 
   std::printf("=== avd_lint full-tree analysis ===\n");
   std::printf("files:            %zu\n", files.size());
@@ -123,6 +136,8 @@ int main(int argc, char** argv) {
   std::printf("index only:       %.3f s\n", indexSeconds);
   std::printf("model only:       %.3f s (%zu kinds, %zu transitions)\n",
               modelSeconds, modelKinds, modelTransitions);
+  std::printf("effects only:     %.3f s (%zu/%zu effectful functions)\n",
+              effectsSeconds, effectfulFunctions, effects.fn.size());
   std::printf("rules (residual): %.3f s\n", rulesSeconds);
   std::printf("full pipeline:    %.3f s (best of %d)\n", bestSeconds, kRuns);
   std::printf("throughput:       %.0f lines/s\n",
@@ -131,20 +146,21 @@ int main(int argc, char** argv) {
   std::printf("budget:           %s (< %.1f s)\n",
               withinBudget ? "PASS" : "FAIL", kBudgetSeconds);
 
-  char buffer[768];
+  char buffer[1024];
   std::snprintf(buffer, sizeof(buffer),
                 "{\n  \"bench\": \"lint_runtime\",\n"
                 "  \"files\": %zu,\n  \"lines\": %zu,\n  \"tokens\": %zu,\n"
                 "  \"bytes\": %zu,\n  \"lex_seconds\": %.6f,\n"
                 "  \"index_seconds\": %.6f,\n  \"model_seconds\": %.6f,\n"
-                "  \"rules_seconds\": %.6f,\n"
+                "  \"effects_seconds\": %.6f,\n  \"rules_seconds\": %.6f,\n"
                 "  \"model_kinds\": %zu,\n  \"model_transitions\": %zu,\n"
+                "  \"effectful_functions\": %zu,\n"
                 "  \"pipeline_seconds\": %.6f,\n  \"lines_per_sec\": %.1f,\n"
                 "  \"unsuppressed_findings\": %zu,\n"
                 "  \"budget_seconds\": %.1f,\n  \"within_budget\": %s\n}\n",
                 files.size(), totalLines, tokens, totalBytes, lexSeconds,
-                indexSeconds, modelSeconds, rulesSeconds, modelKinds,
-                modelTransitions, bestSeconds,
+                indexSeconds, modelSeconds, effectsSeconds, rulesSeconds,
+                modelKinds, modelTransitions, effectfulFunctions, bestSeconds,
                 bestSeconds > 0.0 ? totalLines / bestSeconds : 0.0, findings,
                 kBudgetSeconds, withinBudget ? "true" : "false");
   std::ofstream out("BENCH_lint.json", std::ios::trunc);

@@ -1,10 +1,8 @@
 #include "campaign/fleet/coordinator.h"
 
 #include <poll.h>
-#include <unistd.h>
 
 #include <algorithm>
-#include <cerrno>
 #include <chrono>
 #include <deque>
 #include <filesystem>
@@ -72,7 +70,7 @@ FleetCoordinator::FleetCoordinator(FleetOptions options,
 }
 
 FleetCoordinator::~FleetCoordinator() {
-  if (listener_ && listener_->fd >= 0) ::close(listener_->fd);
+  if (listener_ && listener_->fd >= 0) util::closeFd(listener_->fd);
 }
 
 std::uint16_t FleetCoordinator::listenPort() const {
@@ -250,7 +248,7 @@ CampaignResult FleetCoordinator::drive(
     std::vector<Slot>* slots;
     ~Teardown() {
       for (Slot& slot : *slots) {
-        if (slot.fd >= 0) ::close(slot.fd);
+        if (slot.fd >= 0) util::closeFd(slot.fd);
         if (slot.pid > 0) {
           util::killProcess(slot.pid);
           (void)util::reapProcess(slot.pid);
@@ -336,7 +334,7 @@ CampaignResult FleetCoordinator::drive(
 
   const auto closeSlotConn = [&](Slot& slot) {
     if (slot.fd >= 0) {
-      ::close(slot.fd);
+      util::closeFd(slot.fd);
       slot.fd = -1;
     }
     slot.reader = util::FrameReader{};
@@ -595,9 +593,8 @@ CampaignResult FleetCoordinator::drive(
                             .count();
     const int timeoutMs =
         static_cast<int>(std::clamp<long long>(waitMs, 1, 1000));
-    const int ready = ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
-                             timeoutMs);
-    if (ready < 0 && errno != EINTR) {
+    const int ready = util::pollSockets(fds.data(), fds.size(), timeoutMs);
+    if (ready < 0) {
       throw std::runtime_error("fleet: poll failed");
     }
 
@@ -615,7 +612,7 @@ CampaignResult FleetCoordinator::drive(
           }
         }
         if (vacancy == SIZE_MAX) {
-          ::close(*accepted);  // no room: refuse politely
+          util::closeFd(*accepted);  // no room: refuse politely
           continue;
         }
         Slot& slot = slots[vacancy];
@@ -683,7 +680,7 @@ CampaignResult FleetCoordinator::drive(
   for (Slot& slot : slots) {
     if (slot.fd >= 0) {
       (void)util::writeFrame(slot.fd, encodeShutdown());
-      ::close(slot.fd);
+      util::closeFd(slot.fd);
       slot.fd = -1;
     }
     if (slot.pid > 0) {

@@ -1,7 +1,5 @@
 #include "campaign/fleet/worker.h"
 
-#include <unistd.h>
-
 #include <atomic>
 #include <chrono>
 #include <exception>
@@ -12,6 +10,7 @@
 #include "campaign/fleet/shard.h"
 #include "common/framing.h"
 #include "common/lockdep.h"
+#include "common/proc.h"
 
 namespace avd::campaign::fleet {
 
@@ -37,17 +36,17 @@ int runWorker(int fd, const WorkerExecutorFactory& makeExecutor,
   // Hello / welcome handshake, blocking: nothing useful can happen before
   // the coordinator tells this worker who it is.
   if (!util::writeFrame(fd, encodeHello(Hello{}))) {
-    ::close(fd);
+    util::closeFd(fd);
     return kWorkerExitLostPeer;
   }
   const auto welcomeFrame = util::readFrame(fd);
   if (!welcomeFrame || kindOf(*welcomeFrame) != MessageKind::kWelcome) {
-    ::close(fd);
+    util::closeFd(fd);
     return kWorkerExitLostPeer;
   }
   const auto welcome = decodeWelcome(*welcomeFrame);
   if (!welcome) {
-    ::close(fd);
+    util::closeFd(fd);
     return kWorkerExitBadConfig;
   }
 
@@ -58,7 +57,7 @@ int runWorker(int fd, const WorkerExecutorFactory& makeExecutor,
     executor = nullptr;
   }
   if (!executor) {
-    ::close(fd);
+    util::closeFd(fd);
     return kWorkerExitBadConfig;
   }
 
@@ -66,7 +65,7 @@ int runWorker(int fd, const WorkerExecutorFactory& makeExecutor,
   if (!welcome->outDir.empty() &&
       !shard.openFresh(
           shardPath(welcome->outDir, welcome->slot, welcome->incarnation))) {
-    ::close(fd);
+    util::closeFd(fd);
     return kWorkerExitBadConfig;
   }
 
@@ -103,7 +102,7 @@ int runWorker(int fd, const WorkerExecutorFactory& makeExecutor,
     stop.store(true, std::memory_order_relaxed);
     beater.join();
     shard.close();
-    ::close(fd);
+    util::closeFd(fd);
     return code;
   };
 

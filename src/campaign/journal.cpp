@@ -17,10 +17,27 @@ namespace {
 
 using namespace jsonl;
 
-/// Writes contents to `path` durably: temp file, fsync, atomic rename. A
-/// crash at any instant leaves either the old file or the new file — never
-/// a torn mix — and a rename that was observed implies the bytes are on
-/// disk (the fsync precedes it).
+/// fsyncs the directory that contains `path`, making a completed rename
+/// inside it durable. Until the directory's entry array is on disk the
+/// rename exists only in the page cache: the file's bytes are durable but
+/// the name pointing at them is not, and a power loss can roll the
+/// directory back to the old entry — or to neither.
+bool fsyncParentDir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? std::string(".") : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return false;
+  const bool synced = ::fsync(fd) == 0;
+  const bool closed = ::close(fd) == 0;
+  return synced && closed;
+}
+
+/// Writes contents to `path` durably: temp file, fsync, atomic rename,
+/// parent-directory fsync. A crash at any instant leaves either the old
+/// file or the new file — never a torn mix — and a true return means the
+/// new name and its bytes both survive power loss. Every failure path
+/// unlinks the temp file so a retry never inherits a stale `.tmp`.
 bool writeFileAtomicDurable(const std::string& path,
                             const std::string& contents) {
   const std::string tmp = path + ".tmp";
@@ -29,22 +46,32 @@ bool writeFileAtomicDurable(const std::string& path,
   if (fd < 0) return false;
   const char* at = contents.data();
   std::size_t left = contents.size();
+  bool wroteAll = true;
   while (left > 0) {
     const ssize_t wrote = ::write(fd, at, left);
     if (wrote < 0) {
       if (errno == EINTR) continue;
-      ::close(fd);
-      return false;
+      wroteAll = false;
+      break;
     }
     at += wrote;
     left -= static_cast<std::size_t>(wrote);
   }
-  const bool synced = ::fsync(fd) == 0;
-  ::close(fd);
-  if (!synced) return false;
+  const bool synced = wroteAll && ::fsync(fd) == 0;
+  // close() can surface a deferred write error; on the durable path an
+  // unclean close means the bytes' fate is unknown, which is a failure.
+  const bool closed = ::close(fd) == 0;
+  if (!synced || !closed) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);
-  return !ec;
+  if (ec) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  return fsyncParentDir(path);
 }
 
 [[nodiscard]] std::optional<std::string> readFile(const std::string& path) {
@@ -238,11 +265,13 @@ std::string encodeDone(const DoneEvent& event) {
 
 JournalWriter::~JournalWriter() { close(); }
 
-void JournalWriter::close() {
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
-  }
+bool JournalWriter::close() {
+  if (fd_ < 0) return !writeFailed_;
+  const bool closed = ::close(fd_) == 0;
+  fd_ = -1;
+  const bool clean = closed && !writeFailed_;
+  writeFailed_ = false;
+  return clean;
 }
 
 bool JournalWriter::openFresh(const std::string& path) {
@@ -280,6 +309,7 @@ bool JournalWriter::append(const std::string& line) {
     const ssize_t wrote = ::write(fd_, at, left);
     if (wrote < 0) {
       if (errno == EINTR) continue;
+      writeFailed_ = true;
       return false;
     }
     at += wrote;
@@ -290,7 +320,11 @@ bool JournalWriter::append(const std::string& line) {
 
 bool JournalWriter::sync() {
   if (fd_ < 0) return false;
-  return ::fsync(fd_) == 0;
+  if (::fsync(fd_) != 0) {
+    writeFailed_ = true;
+    return false;
+  }
+  return true;
 }
 
 // --- manifest / checkpoint --------------------------------------------------

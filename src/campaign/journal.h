@@ -98,11 +98,17 @@ class JournalWriter {
   [[nodiscard]] bool append(const std::string& line);
   /// fsync. Called at checkpoint cadence by the runner/coordinator.
   bool sync();
-  void close();
+  /// Closes the descriptor. Returns false for a close-on-write-error — a
+  /// prior append()/sync() failure was latched, or the close itself
+  /// reports one — meaning the journal tail may not have reached the
+  /// kernel; true is a normal close. Callers that already reacted to the
+  /// append failure can ignore the result.
+  bool close();
   bool isOpen() const { return fd_ >= 0; }
 
  private:
   int fd_ = -1;
+  bool writeFailed_ = false;  // latched by a failed append()/sync()
 };
 
 /// Immutable campaign configuration, written once at campaign start.

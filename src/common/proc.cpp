@@ -3,12 +3,14 @@
 #include <arpa/inet.h>
 #include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <signal.h>
 #include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <csignal>
 #include <cstring>
 
 namespace avd::util {
@@ -140,6 +142,21 @@ std::string selfExePath() {
     ::close(fd);
     return std::nullopt;
   }
+}
+
+bool closeFd(int fd) {
+  if (fd < 0) return true;
+  return ::close(fd) == 0;
+}
+
+int pollSockets(pollfd* fds, std::size_t count, int timeoutMs) {
+  const int ready = ::poll(fds, static_cast<nfds_t>(count), timeoutMs);
+  if (ready < 0 && errno == EINTR) return 0;
+  return ready;
+}
+
+void installSignalHandler(int signum, void (*handler)(int)) {
+  std::signal(signum, handler);
 }
 
 }  // namespace avd::util

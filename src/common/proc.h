@@ -10,10 +10,13 @@
 
 #include <sys/types.h>
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
+
+struct pollfd;  // <poll.h>, included only by the implementation
 
 namespace avd::util {
 
@@ -66,5 +69,22 @@ struct TcpListener {
 /// Blocking connect to host:port. nullopt on failure.
 [[nodiscard]] std::optional<int> connectTcp(const std::string& host,
                                             std::uint16_t port);
+
+/// Closes a descriptor and reports whether the kernel accepted the close.
+/// Deliberately no EINTR retry: on Linux the descriptor is gone either
+/// way, and retrying can close a descriptor another thread just opened.
+/// Harmless on fd < 0 (returns true), so cleanup paths can call it
+/// unconditionally.
+bool closeFd(int fd);
+
+/// poll(2) with the fleet's interruption convention: EINTR reads as "no
+/// descriptor ready" (returns 0) so callers treat a delivered signal like
+/// a timeout tick and re-enter their loop. Returns poll's count otherwise
+/// (negative on real errors).
+[[nodiscard]] int pollSockets(pollfd* fds, std::size_t count, int timeoutMs);
+
+/// Installs a process-wide signal handler (std::signal). The handler must
+/// be async-signal-safe; the fleet's handlers only set atomic flags.
+void installSignalHandler(int signum, void (*handler)(int));
 
 }  // namespace avd::util

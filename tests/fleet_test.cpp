@@ -9,6 +9,7 @@
 // release leg kills real processes.
 #include <gtest/gtest.h>
 
+#include <signal.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -20,6 +21,7 @@
 #include <fstream>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -220,6 +222,173 @@ TEST(FleetFraming, OversizedDeclaredLengthMarksTheStreamCorrupt) {
       << "a byzantine peer must not make the coordinator allocate 2 GiB";
   ::close(fds[0]);
   ::close(fds[1]);
+}
+
+// --- fault injection: EINTR storms and short transfers -----------------------
+
+// No-op SIGUSR1 handler installed WITHOUT SA_RESTART, so every in-flight
+// read/write/send/recv in a thread that receives the signal returns
+// EINTR. The framing and shard-append loops must absorb that.
+void onInterrupt(int) {}
+
+void installInterruptingHandler() {
+  struct sigaction sa {};
+  sa.sa_handler = onInterrupt;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // deliberately no SA_RESTART
+  ASSERT_EQ(sigaction(SIGUSR1, &sa, nullptr), 0);
+}
+
+void unblockUsr1InThisThread() {
+  sigset_t set;
+  sigemptyset(&set);
+  sigaddset(&set, SIGUSR1);
+  pthread_sigmask(SIG_UNBLOCK, &set, nullptr);
+}
+
+/// Blocks SIGUSR1 on the constructing (main) thread, then rains
+/// process-directed SIGUSR1 until destruction. Worker threads opt in with
+/// unblockUsr1InThisThread(), which steers delivery — and the EINTRs — at
+/// them. Process-directed kill() is used instead of pthread_kill so there
+/// is no race against a worker thread exiting mid-storm.
+class SignalStorm {
+ public:
+  SignalStorm() {
+    installInterruptingHandler();
+    sigset_t set;
+    sigemptyset(&set);
+    sigaddset(&set, SIGUSR1);
+    pthread_sigmask(SIG_BLOCK, &set, nullptr);
+    storm_ = std::thread([this] {
+      while (!stop_.load()) {
+        ::kill(::getpid(), SIGUSR1);
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    });
+  }
+
+  ~SignalStorm() {
+    stop_.store(true);
+    storm_.join();
+    // The handler stays installed (it is a no-op); unblocking here lets a
+    // still-pending signal drain into it harmlessly.
+    sigset_t set;
+    sigemptyset(&set);
+    sigaddset(&set, SIGUSR1);
+    pthread_sigmask(SIG_UNBLOCK, &set, nullptr);
+  }
+
+ private:
+  std::atomic<bool> stop_{false};
+  std::thread storm_;
+};
+
+TEST(FleetFaultInjection, LargeFrameSurvivesEintrStormAndShortTransfers) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  // Shrink both socket buffers so the half-megabyte frame needs many
+  // partial send()/recv() rounds, each of which the storm can interrupt.
+  const int tiny = 4096;
+  ASSERT_EQ(::setsockopt(fds[0], SOL_SOCKET, SO_SNDBUF, &tiny, sizeof tiny), 0);
+  ASSERT_EQ(::setsockopt(fds[1], SOL_SOCKET, SO_RCVBUF, &tiny, sizeof tiny), 0);
+
+  std::string payload(512 * 1024, '\0');
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<char>('a' + (i * 131) % 26);
+  }
+
+  SignalStorm storm;
+  bool wrote = false;
+  std::optional<std::string> frame;
+  std::thread writer([&] {
+    unblockUsr1InThisThread();
+    wrote = util::writeFrame(fds[0], payload);
+  });
+  std::thread reader([&] {
+    unblockUsr1InThisThread();
+    frame = util::readFrame(fds[1]);
+  });
+  writer.join();
+  reader.join();
+  ASSERT_TRUE(wrote);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(*frame, payload)
+      << "byte-identical reassembly through interrupted partial transfers";
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(FleetFaultInjection, FrameStreamUnderStormReassemblesEveryFrame) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  constexpr std::size_t kFrames = 300;
+  std::vector<std::string> sent(kFrames);
+  for (std::size_t i = 0; i < kFrames; ++i) {
+    sent[i].assign(1 + (i * 37) % 1500, static_cast<char>('A' + i % 26));
+  }
+
+  SignalStorm storm;
+  std::thread writer([&] {
+    unblockUsr1InThisThread();
+    for (const std::string& p : sent) {
+      if (!util::writeFrame(fds[0], p)) return;
+    }
+    ::close(fds[0]);  // EOF ends the reader's pump loop
+  });
+  std::vector<std::string> got;
+  std::thread reader([&] {
+    unblockUsr1InThisThread();
+    util::FrameReader r;
+    for (;;) {
+      const bool alive = r.pump(fds[1]);
+      while (auto f = r.next()) got.push_back(std::move(*f));
+      if (!alive) break;
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    EXPECT_FALSE(r.corrupt());
+  });
+  writer.join();
+  reader.join();
+  ASSERT_EQ(got.size(), kFrames);
+  for (std::size_t i = 0; i < kFrames; ++i) {
+    EXPECT_EQ(got[i], sent[i]) << "frame " << i;
+  }
+  ::close(fds[1]);
+}
+
+TEST(FleetFaultInjection, ShardAppendsUnderStormMergeByteIdentically) {
+  const std::string dir = scratchDir("eintr_shard");
+  SignalStorm storm;
+  std::string expected;
+  std::atomic<bool> ok{true};
+  std::thread workerThread([&] {
+    unblockUsr1InThisThread();
+    JournalWriter shard;
+    if (!shard.openFresh(shardPath(dir, 0, 0))) {
+      ok = false;
+      return;
+    }
+    for (std::uint64_t test = 1; test <= 512; ++test) {
+      DoneEvent done;
+      done.test = test;
+      done.outcome.impact = 0.001 * static_cast<double>(test);
+      const std::string line = encodeDone(done);
+      if (!shard.append(line) || (test % 64 == 0 && !shard.sync())) {
+        ok = false;
+        return;
+      }
+      expected += line + "\n";
+    }
+    if (!shard.close()) ok = false;
+  });
+  workerThread.join();
+  ASSERT_TRUE(ok.load());
+  EXPECT_EQ(readAll(shardPath(dir, 0, 0)), expected)
+      << "every appended line reached the file byte-identically";
+  const MergedShards merged = mergeShards(dir);
+  EXPECT_EQ(merged.outcomes.size(), 512u);
+  EXPECT_EQ(merged.tornShards, 0u);
+  EXPECT_EQ(merged.corruptShards, 0u);
 }
 
 // --- protocol ----------------------------------------------------------------

@@ -1,0 +1,25 @@
+// Seeded R18 violations: a sleep and a thread join while the pool mutex
+// is held — a blocked holder stalls every contender. NOT compiled —
+// linted by lint_test.cpp.
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+namespace fixture_pool {
+
+struct Pool {
+  std::mutex mu;
+  std::thread worker;
+
+  void throttle() {
+    std::lock_guard<std::mutex> hold(mu);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  void drain() {
+    std::lock_guard<std::mutex> hold(mu);
+    worker.join();
+  }
+};
+
+}  // namespace fixture_pool

@@ -1,0 +1,31 @@
+// Clean under R18: the condition-variable wait releases the lock while
+// parked (the sanctioned exception), and the thread join happens after
+// the guard scope ends. NOT compiled — linted by lint_test.cpp.
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace fixture_pool {
+
+struct Pool {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::thread worker;
+  bool ready = false;
+
+  void park() {
+    std::unique_lock<std::mutex> hold(mu);
+    while (!ready) cv.wait(hold);
+  }
+
+  void drain() {
+    {
+      std::lock_guard<std::mutex> hold(mu);
+      ready = true;
+    }
+    cv.notify_one();
+    worker.join();
+  }
+};
+
+}  // namespace fixture_pool

@@ -1,0 +1,19 @@
+// Seeded R15 violations: the simulator reads the wall clock and ambient
+// entropy directly, so a run is no longer a pure function of the seed.
+// R1 flags the same leaves as spelled nondeterminism; R15 flags them as
+// effects inside the determinism-critical scope. NOT compiled — linted by
+// lint_test.cpp under a src/sim/ pretend path.
+#include <chrono>
+#include <cstdlib>
+
+namespace fixture_sim {
+
+// Direct wall-clock leaf in determinism-critical scope.
+long long tickDeadlineNs() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+// Direct ambient-rng leaf in determinism-critical scope.
+int jitter() { return std::rand() % 7; }
+
+}  // namespace fixture_sim

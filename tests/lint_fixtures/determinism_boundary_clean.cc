@@ -1,0 +1,23 @@
+// Clean under R15: all randomness flows from a seeded generator handed in
+// by the caller, so every run replays exactly from the seed. NOT compiled —
+// linted by lint_test.cpp under a src/sim/ pretend path.
+#include <cstdint>
+
+namespace fixture_sim {
+
+// Deterministic xorshift; state comes from the campaign seed.
+struct SeededRng {
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  std::uint64_t next() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  }
+};
+
+std::uint64_t pickLane(SeededRng& rng, std::uint64_t lanes) {
+  return lanes == 0 ? 0 : rng.next() % lanes;
+}
+
+}  // namespace fixture_sim

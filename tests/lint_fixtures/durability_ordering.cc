@@ -1,0 +1,31 @@
+// Seeded R17 violations, linted as a fleet shard writer:
+//   publish()       — atomic-publish rename with no durability barrier on
+//                     either side (needs fsync-before and parent-dir
+//                     fsync-after);
+//   reportOutcome() — the outcome frame is sent before the shard append
+//                     (ack-before-persist: a coordinator crash after the
+//                     send cannot re-fold the outcome on --resume).
+// NOT compiled — linted by lint_test.cpp under a fleet/shard pretend path.
+#include <cstdio>
+#include <string>
+
+namespace fixture_shard {
+
+struct Shard {
+  bool append(const std::string& line);
+  bool sync();
+};
+
+bool writeFrame(int fd, const std::string& payload);
+std::string encodeDone(unsigned long test);
+
+bool publish(const std::string& tmp, const std::string& path) {
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+bool reportOutcome(int fd, Shard& shard, unsigned long test) {
+  if (!writeFrame(fd, encodeDone(test))) return false;
+  return shard.append(encodeDone(test));
+}
+
+}  // namespace fixture_shard

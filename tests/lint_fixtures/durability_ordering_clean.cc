@@ -1,0 +1,31 @@
+// Clean under R17: the rename is bracketed by a file fsync before and a
+// parent-directory fsync after, and the outcome reaches the shard before
+// the ack frame goes out. NOT compiled — linted by lint_test.cpp under a
+// fleet/shard pretend path.
+#include <cstdio>
+#include <string>
+
+namespace fixture_shard {
+
+struct Shard {
+  bool append(const std::string& line);
+  bool sync();
+};
+
+bool writeFrame(int fd, const std::string& payload);
+std::string encodeDone(unsigned long test);
+bool fsyncFile(const std::string& path);
+bool fsyncParentDir(const std::string& path);
+
+bool publish(const std::string& tmp, const std::string& path) {
+  if (!fsyncFile(tmp)) return false;
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) return false;
+  return fsyncParentDir(path);
+}
+
+bool reportOutcome(int fd, Shard& shard, unsigned long test) {
+  if (!shard.append(encodeDone(test))) return false;
+  return writeFrame(fd, encodeDone(test));
+}
+
+}  // namespace fixture_shard

@@ -1,0 +1,16 @@
+// Cross-TU effect-propagation caller: no nondeterministic leaf is spelled
+// here, but the call imports the wall-clock effect of wallNowMs()
+// (defined in effect_propagation_util.cc) into the determinism-critical
+// scope — the R15 finding lands on the call site with the leaf as root.
+// NOT compiled — linted by lint_test.cpp under a src/sim/ pretend path.
+namespace fixture_util {
+long long wallNowMs();
+}
+
+namespace fixture_sim {
+
+long long deadline(long long horizonMs) {
+  return fixture_util::wallNowMs() + horizonMs;
+}
+
+}  // namespace fixture_sim

@@ -1,0 +1,16 @@
+// Cross-TU effect-propagation helper: a wall-clock read outside the
+// determinism-critical scope. On its own this file draws only an R1
+// finding at the leaf; the R15 finding appears in the *caller's* TU
+// (effect_propagation_sim.cc), with this leaf as the witness root. NOT
+// compiled — linted by lint_test.cpp together with its sim counterpart.
+#include <chrono>
+
+namespace fixture_util {
+
+long long wallNowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace fixture_util

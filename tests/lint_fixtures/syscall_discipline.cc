@@ -1,0 +1,16 @@
+// Seeded R16 violations: raw POSIX outside the designated effect modules
+// (four boundary findings), an interruptible read whose result is
+// discarded, and an interruptible read with no EINTR handling. NOT
+// compiled — linted by lint_test.cpp under a non-designated pretend path.
+namespace fixture_io {
+
+int readHeader(const char* path, char* buf, unsigned long cap) {
+  const int fd = ::open(path, 0);
+  if (fd < 0) return -1;
+  ::read(fd, buf, cap);
+  const long got = ::read(fd, buf, cap);
+  ::close(fd);
+  return static_cast<int>(got);
+}
+
+}  // namespace fixture_io

@@ -1,0 +1,16 @@
+// Clean under R16: raw POSIX confined to a designated effect module, with
+// the result bound, checked, and retried on EINTR. NOT compiled — linted
+// by lint_test.cpp under a common/framing pretend path.
+#include <cerrno>
+
+namespace fixture_io {
+
+long readRetry(int fd, char* buf, unsigned long cap) {
+  for (;;) {
+    const long got = ::read(fd, buf, cap);
+    if (got < 0 && errno == EINTR) continue;
+    return got;
+  }
+}
+
+}  // namespace fixture_io

@@ -44,9 +44,13 @@ std::size_t countRule(const std::vector<Finding>& findings,
 
 // --- Registry ---------------------------------------------------------------
 
-TEST(LintRegistry, ContainsTheFourteenRulesPlusMeta) {
+TEST(LintRegistry, ContainsTheEighteenRulesPlusMeta) {
   const auto& rules = ruleRegistry();
-  ASSERT_EQ(rules.size(), 15u);
+  ASSERT_EQ(rules.size(), 19u);
+  EXPECT_TRUE(isKnownRule("determinism-boundary"));
+  EXPECT_TRUE(isKnownRule("syscall-discipline"));
+  EXPECT_TRUE(isKnownRule("durability-ordering"));
+  EXPECT_TRUE(isKnownRule("blocking-under-lock"));
   EXPECT_TRUE(isKnownRule("wire-symmetry"));
   EXPECT_TRUE(isKnownRule("handler-exhaustive"));
   EXPECT_TRUE(isKnownRule("quorum-consistency"));
@@ -72,7 +76,11 @@ TEST(LintR1, FixtureSeedsThreeViolationsAndNoFalsePositives) {
       lintFixture("nondeterminism.cc", "src/avd/fixture.cpp");
   EXPECT_EQ(countRule(findings, "nondeterminism"), 4u)
       << "rand, srand, time, random_device";
-  EXPECT_EQ(findings.size(), countRule(findings, "nondeterminism"))
+  // Inside the determinism-critical scope, R15 independently reports the
+  // same leaves as direct nondeterministic effects.
+  EXPECT_EQ(countRule(findings, "determinism-boundary"), 4u);
+  EXPECT_EQ(findings.size(), countRule(findings, "nondeterminism") +
+                                 countRule(findings, "determinism-boundary"))
       << "no other rule fires on this fixture";
 }
 
@@ -628,6 +636,188 @@ TEST(LintR14, PlainFlagAssignmentIsNotAnEmission) {
       "  viewChangeInFlight_ = true;\n"
       "}\n");
   EXPECT_EQ(countRule(findings, "event-coverage"), 1u);
+}
+
+// --- R15 determinism-boundary ------------------------------------------------
+
+TEST(LintR15, FixtureSeedsClockAndRngLeavesInProtectedScope) {
+  const auto findings =
+      lintFixture("determinism_boundary.cc", "src/sim/sched_fixture.cpp");
+  EXPECT_EQ(countRule(findings, "determinism-boundary"), 2u)
+      << "steady_clock leaf and rand leaf, one finding each";
+  EXPECT_EQ(countRule(findings, "nondeterminism"), 2u)
+      << "R1 flags the same leaves as spelled nondeterminism";
+  EXPECT_EQ(findings.size(),
+            countRule(findings, "determinism-boundary") +
+                countRule(findings, "nondeterminism"));
+}
+
+TEST(LintR15, SeededGeneratorInProtectedScopeIsClean) {
+  const auto findings =
+      lintFixture("determinism_boundary_clean.cc", "src/sim/sched_fixture.cpp");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintR15, SameLeavesOutsideProtectedScopeDrawNoBoundaryFinding) {
+  // The leaves still violate R1 everywhere, but R15 is scoped to the
+  // deterministic replay core (sim/pbft/avd).
+  const auto findings =
+      lintFixture("determinism_boundary.cc", "src/campaign/stats_fixture.cpp");
+  EXPECT_EQ(countRule(findings, "determinism-boundary"), 0u);
+  EXPECT_EQ(countRule(findings, "nondeterminism"), 2u);
+}
+
+TEST(LintR15, EffectPropagatesAcrossTranslationUnits) {
+  // The sim TU spells no nondeterministic leaf; the effect is imported
+  // through a call into a helper TU, and the finding lands on the call
+  // site with the true leaf as witness root.
+  const std::vector<SourceFile> files = {
+      {"src/campaign/stats_fixture.cpp",
+       readFixture("effect_propagation_util.cc")},
+      {"src/sim/sched_fixture.cpp", readFixture("effect_propagation_sim.cc")},
+  };
+  const auto findings = lintFiles(files);
+  ASSERT_EQ(countRule(findings, "determinism-boundary"), 1u);
+  for (const Finding& f : findings) {
+    if (f.rule != "determinism-boundary") continue;
+    EXPECT_EQ(f.file, "src/sim/sched_fixture.cpp");
+    EXPECT_NE(f.message.find("wallNowMs"), std::string::npos);
+    EXPECT_NE(f.message.find("system_clock"), std::string::npos)
+        << "the witness chain names the leaf, not just the callee";
+  }
+  EXPECT_EQ(countRule(findings, "nondeterminism"), 1u)
+      << "R1 still flags the leaf itself, in the helper TU";
+}
+
+TEST(LintR15, EffectsDeferToCommonRngAcrossTranslationUnits) {
+  // common/rng is the sanctioned randomness source: its functions are
+  // masked to pure, so calling into it from the protected scope is legal.
+  const std::vector<SourceFile> files = {
+      {"src/common/rng/ambient_fixture.cpp",
+       "unsigned ambientSeed() { return std::random_device{}(); }\n"},
+      {"src/sim/sched_fixture.cpp",
+       "unsigned ambientSeed();\n"
+       "unsigned seedLane() { return ambientSeed() % 64; }\n"},
+  };
+  const auto findings = lintFiles(files);
+  EXPECT_EQ(countRule(findings, "determinism-boundary"), 0u);
+  EXPECT_EQ(countRule(findings, "nondeterminism"), 0u);
+}
+
+TEST(LintR15, AllowNondeterminismCommentAlsoQuietsTheEffectLeaf) {
+  const auto findings = lintSource(
+      "src/sim/sched_fixture.cpp",
+      "long long seedStamp() {\n"
+      "  return time(nullptr);  // avd-lint: allow(nondeterminism)\n"
+      "}\n");
+  EXPECT_EQ(countRule(findings, "determinism-boundary"), 0u);
+  EXPECT_EQ(countRule(findings, "nondeterminism"), 0u);
+}
+
+// --- R16 syscall-discipline --------------------------------------------------
+
+TEST(LintR16, FixtureSeedsModuleAndInterruptibleViolations) {
+  const auto findings =
+      lintFixture("syscall_discipline.cc", "src/campaign/report_fixture.cpp");
+  EXPECT_EQ(countRule(findings, "syscall-discipline"), 6u)
+      << "4 module-boundary findings (open, read, read, close) + discarded "
+         "read + read with no EINTR handling";
+  EXPECT_EQ(findings.size(), countRule(findings, "syscall-discipline"))
+      << "no other rule fires on this fixture";
+}
+
+TEST(LintR16, DesignatedModuleWithEintrRetryIsClean) {
+  const auto findings = lintFixture("syscall_discipline_clean.cc",
+                                    "src/common/framing_fixture.cpp");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintR16, DesignatedModuleKeepsOnlyTheInterruptibleFindings) {
+  // Inside campaign/journal the module-boundary findings vanish; the two
+  // interruptible-call findings are location-independent and stay.
+  const auto findings =
+      lintFixture("syscall_discipline.cc", "src/campaign/journal_fixture.cpp");
+  EXPECT_EQ(countRule(findings, "syscall-discipline"), 2u);
+}
+
+// --- R17 durability-ordering -------------------------------------------------
+
+TEST(LintR17, FixtureSeedsBareRenameAndAckBeforePersist) {
+  const auto findings = lintFixture("durability_ordering.cc",
+                                    "src/campaign/fleet/shard_fixture.cpp");
+  EXPECT_EQ(countRule(findings, "durability-ordering"), 3u)
+      << "missing fsync-before, missing parent-dir fsync-after, "
+         "ack-before-persist";
+  EXPECT_EQ(findings.size(), countRule(findings, "durability-ordering"))
+      << "no other rule fires on this fixture";
+}
+
+TEST(LintR17, BarrieredRenameAndPersistFirstAreClean) {
+  const auto findings = lintFixture("durability_ordering_clean.cc",
+                                    "src/campaign/fleet/shard_fixture.cpp");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintR17, DroppingTheParentDirFsyncBreaksTheCleanFixture) {
+  // The acceptance property: removing the post-rename directory barrier
+  // from a clean writer must fail R17.
+  std::string source = readFixture("durability_ordering_clean.cc");
+  const std::string barrier = "return fsyncParentDir(path);";
+  const std::size_t at = source.find(barrier);
+  ASSERT_NE(at, std::string::npos);
+  source.replace(at, barrier.size(), "return true;");
+  const auto findings =
+      lintSource("src/campaign/fleet/shard_fixture.cpp", source);
+  EXPECT_EQ(countRule(findings, "durability-ordering"), 1u);
+}
+
+TEST(LintR17, RenameOutsideWriterScopeIsNotDurabilityCritical) {
+  const auto findings =
+      lintFixture("durability_ordering.cc", "src/campaign/report_fixture.cpp");
+  EXPECT_EQ(countRule(findings, "durability-ordering"), 0u);
+}
+
+// --- R18 blocking-under-lock -------------------------------------------------
+
+TEST(LintR18, FixtureSeedsSleepAndJoinUnderLock) {
+  const auto findings = lintFixture("blocking_under_lock.cc",
+                                    "src/campaign/fleet/pool_fixture.cpp");
+  EXPECT_EQ(countRule(findings, "blocking-under-lock"), 2u)
+      << "sleep_for under lock, thread join under lock";
+  EXPECT_EQ(findings.size(), countRule(findings, "blocking-under-lock"))
+      << "no other rule fires on this fixture";
+}
+
+TEST(LintR18, CondvarWaitAndPostGuardJoinAreClean) {
+  const auto findings = lintFixture("blocking_under_lock_clean.cc",
+                                    "src/campaign/fleet/pool_fixture.cpp");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintR18, BlockingCalleeResolvedAcrossTranslationUnits) {
+  const std::vector<SourceFile> files = {
+      {"src/campaign/fleet/wait_fixture.cpp",
+       "#include <thread>\n"
+       "void settle() {\n"
+       "  std::this_thread::sleep_for(std::chrono::milliseconds(1));\n"
+       "}\n"},
+      {"src/campaign/fleet/pool_fixture.cpp",
+       "#include <mutex>\n"
+       "void settle();\n"
+       "std::mutex gate;\n"
+       "void tick() {\n"
+       "  std::lock_guard<std::mutex> hold(gate);\n"
+       "  settle();\n"
+       "}\n"},
+  };
+  const auto findings = lintFiles(files);
+  ASSERT_EQ(countRule(findings, "blocking-under-lock"), 1u);
+  for (const Finding& f : findings) {
+    if (f.rule != "blocking-under-lock") continue;
+    EXPECT_EQ(f.file, "src/campaign/fleet/pool_fixture.cpp");
+    EXPECT_NE(f.message.find("sleep_for"), std::string::npos)
+        << "the witness chain reaches the true blocking leaf";
+  }
 }
 
 // --- Lexer hardening ---------------------------------------------------------

@@ -355,8 +355,8 @@ int runFleetCampaign(const std::string& resumeDir,
   };
   gFleetDrain.store(false);
   options.drainFlag = &gFleetDrain;
-  std::signal(SIGTERM, [](int) { gFleetDrain.store(true); });
-  std::signal(SIGINT, [](int) { gFleetDrain.store(true); });
+  util::installSignalHandler(SIGTERM, [](int) { gFleetDrain.store(true); });
+  util::installSignalHandler(SIGINT, [](int) { gFleetDrain.store(true); });
 
   const std::size_t spawn = options.spawn;
   const std::size_t remote = options.remoteSlots;

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdint>
 #include <map>
 #include <set>
 
+#include "effects.h"
 #include "index.h"
 #include "lexer.h"
 #include "model.h"
@@ -1009,6 +1011,305 @@ void ruleStaleSuppression(const FileIndex& file,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Phase 4 rules (R15-R18) — consumers of the whole-program effect inference
+// in effects.cpp. Each reports into the file that owns the witness token, so
+// every finding stays suppressible at its own line.
+
+// R15 `determinism-boundary` — the interprocedural generalization of R1:
+// no wall-clock or ambient-rng effect may be *reachable* from the
+// simulator/replica/controller scope, not merely spelled there. Direct
+// leaves are reported at the leaf; effects imported through a callee
+// outside the protected scope are reported at the call site with the
+// witness chain (a protected callee reports at its own definition instead,
+// so a deep chain yields one finding per function, not a cascade).
+
+void ruleDeterminismBoundary(
+    const RepoIndex& index, const EffectIndex& eff,
+    std::map<std::string, std::vector<Finding>>& byFile) {
+  for (std::size_t i = 0; i < eff.flat.size(); ++i) {
+    const FileIndex& file = index.files[eff.flat[i].first];
+    if (!determinismCriticalPath(file.path)) continue;
+    if ((eff.fn[i].total & kEffectNondet) == 0) continue;
+    const FunctionInfo& fn = file.functions[eff.flat[i].second];
+
+    for (const LeafSite& leaf : harvestLeafSites(file, fn)) {
+      const unsigned bits = leaf.effects & kEffectNondet;
+      if (bits == 0) continue;
+      byFile[file.path].push_back(
+          {file.path, leaf.line, "determinism-boundary",
+           "'" + leaf.name + "' is a nondeterministic effect (" +
+               effectSetNames(bits) +
+               ") in determinism-critical code; every run must be a pure "
+               "function of the seed — draw time and randomness from "
+               "common/rng",
+           false});
+    }
+
+    std::set<std::pair<std::string, std::size_t>> reported;
+    for (const CallSite& call : fn.calls) {
+      if (globalCallForm(file.tokens, call.tokenIndex)) continue;
+      auto [lo, hi] = index.functionsByName.equal_range(call.callee);
+      for (auto it = lo; it != hi; ++it) {
+        const std::size_t j = eff.flatIndex.at(it->second);
+        const unsigned bits = eff.fn[j].total & kEffectNondet;
+        if (bits == 0) continue;
+        if (determinismCriticalPath(index.files[eff.flat[j].first].path)) {
+          continue;  // the callee is in scope and reports itself
+        }
+        for (std::size_t b = 0; b < kEffectCount; ++b) {
+          if ((bits & (1u << b)) == 0) continue;
+          if (!reported.insert({call.callee, b}).second) continue;
+          byFile[file.path].push_back(
+              {file.path, call.line, "determinism-boundary",
+               "call to '" + call.callee +
+                   "' reaches the nondeterministic effect '" +
+                   std::string(effectName(b)) + "' (root: " +
+                   eff.fn[j].witness[b].root +
+                   "); determinism-critical code must not observe wall "
+                   "clocks or ambient rng — route through common/rng",
+               false});
+        }
+      }
+    }
+  }
+}
+
+// R16 `syscall-discipline` — raw POSIX is an effect-module privilege, and
+// interruptible syscalls must be written for the signal-rich world the
+// fleet actually runs in: (a) a `::`-spelled POSIX call outside the
+// designated modules is a boundary violation; (b) an interruptible call
+// whose result is dropped, or whose enclosing body never mentions EINTR,
+// turns every mid-call signal into silent corruption or a spurious
+// failure.
+
+void ruleSyscallDiscipline(const RepoIndex& index,
+                           std::map<std::string, std::vector<Finding>>& byFile) {
+  for (const FileIndex& file : index.files) {
+    const bool designated = designatedEffectModule(file.path);
+    for (const FunctionInfo& fn : file.functions) {
+      const std::vector<LeafSite> leaves = harvestLeafSites(file, fn);
+      bool bodyMentionsEintr = false;
+      for (std::size_t i = fn.bodyBegin;
+           i < fn.bodyEnd && i < file.tokens.size(); ++i) {
+        if (isIdent(file.tokens, i) && file.tokens[i].text == "EINTR") {
+          bodyMentionsEintr = true;
+          break;
+        }
+      }
+      for (const LeafSite& leaf : leaves) {
+        if (!leaf.posix) continue;
+        if (!designated) {
+          byFile[file.path].push_back(
+              {file.path, leaf.line, "syscall-discipline",
+               "raw POSIX call '" + leaf.name +
+                   "' outside the designated effect modules; route it "
+                   "through common/framing, common/proc, common/logging, "
+                   "campaign/journal, or campaign/fleet/shard",
+               false});
+        }
+        if (!leaf.interruptible) continue;
+        if (leaf.discarded) {
+          byFile[file.path].push_back(
+              {file.path, leaf.line, "syscall-discipline",
+               "result of interruptible '" + leaf.name +
+                   "' is discarded; bind it, check for failure, and retry "
+                   "on EINTR",
+               false});
+        } else if (!bodyMentionsEintr) {
+          byFile[file.path].push_back(
+              {file.path, leaf.line, "syscall-discipline",
+               "interruptible '" + leaf.name + "' in '" + fn.qualified +
+                   "' has no EINTR handling; a signal mid-call surfaces as "
+                   "a spurious failure — loop while errno == EINTR",
+               false});
+        }
+      }
+    }
+  }
+}
+
+// R17 `durability-ordering` — crash consistency is an ordering contract:
+//   (a) in journal/shard/checkpoint writers, an atomic-publish rename needs
+//       a durability barrier on both sides — fsync the file *before* the
+//       rename (or the new name can expose un-durable bytes) and fsync the
+//       parent directory *after* it (or the rename itself is not durable
+//       and the "committed" file vanishes on power loss);
+//   (b) in the fleet, an outcome frame must not be sent before the same
+//       outcome is appended to the worker's shard — ack-before-persist
+//       means a coordinator crash after the ack cannot re-fold the outcome
+//       from the shard on --resume.
+
+bool durabilityWriterPath(const std::string& path) {
+  return path.find("journal") != std::string::npos ||
+         path.find("shard") != std::string::npos ||
+         path.find("checkpoint") != std::string::npos;
+}
+
+/// True when any identifier inside the call's argument list is `ident`.
+bool callArgsContainIdent(const std::vector<Token>& toks, std::size_t i,
+                          const std::string& ident) {
+  if (text(toks, i + 1) != "(") return false;
+  const std::size_t end = skipBalanced(toks, i + 1, "(", ")");
+  for (std::size_t j = i + 2; j + 1 < end; ++j) {
+    if (isIdent(toks, j) && toks[j].text == ident) return true;
+  }
+  return false;
+}
+
+void ruleDurabilityOrdering(
+    const RepoIndex& index,
+    std::map<std::string, std::vector<Finding>>& byFile) {
+  for (const FileIndex& file : index.files) {
+    const bool writer = durabilityWriterPath(file.path);
+    const bool fleet = file.path.find("fleet") != std::string::npos;
+    if (!writer && !fleet) continue;
+    const std::vector<Token>& toks = file.tokens;
+    for (const FunctionInfo& fn : file.functions) {
+      if (writer) {
+        std::vector<std::size_t> barriers;
+        std::vector<std::size_t> renames;
+        for (std::size_t i = fn.bodyBegin;
+             i < fn.bodyEnd && i < toks.size(); ++i) {
+          if (!isIdent(toks, i) || text(toks, i + 1) != "(") continue;
+          const std::string& name = toks[i].text;
+          const std::string& prev = i > 0 ? toks[i - 1].text : kEmptyTokenText;
+          const bool member = prev == "." || prev == "->";
+          if (member ? name == "sync"
+                     : (lowered(name).find("fsync") != std::string::npos ||
+                        name == "fdatasync")) {
+            barriers.push_back(i);
+          } else if (!member && (name == "rename" || name == "renameat")) {
+            renames.push_back(i);
+          }
+        }
+        for (std::size_t r : renames) {
+          bool before = false;
+          bool after = false;
+          for (std::size_t b : barriers) {
+            if (b < r) before = true;
+            if (b > r) after = true;
+          }
+          if (!before) {
+            byFile[file.path].push_back(
+                {file.path, toks[r].line, "durability-ordering",
+                 "rename without a preceding fsync: a crash can publish "
+                 "the destination name with un-durable bytes — fsync the "
+                 "file before renaming over the target",
+                 false});
+          }
+          if (!after) {
+            byFile[file.path].push_back(
+                {file.path, toks[r].line, "durability-ordering",
+                 "rename without a following parent-directory fsync: the "
+                 "rename is not durable until the directory entry is "
+                 "synced, so the published file can vanish after power "
+                 "loss",
+                 false});
+          }
+        }
+      }
+      if (fleet) {
+        std::size_t firstPersist = SIZE_MAX;
+        std::vector<std::size_t> sends;
+        for (std::size_t i = fn.bodyBegin;
+             i < fn.bodyEnd && i < toks.size(); ++i) {
+          if (!isIdent(toks, i)) continue;
+          const std::string& name = toks[i].text;
+          if (name != "append" && name != "writeFrame") continue;
+          if (!callArgsContainIdent(toks, i, "encodeDone")) continue;
+          if (name == "append") {
+            firstPersist = std::min(firstPersist, i);
+          } else {
+            sends.push_back(i);
+          }
+        }
+        for (std::size_t s : sends) {
+          if (firstPersist < s) continue;
+          byFile[file.path].push_back(
+              {file.path, toks[s].line, "durability-ordering",
+               "outcome frame is sent before the shard append "
+               "(ack-before-persist): a coordinator crash after this send "
+               "cannot re-fold the outcome from the shard on --resume — "
+               "append to the shard first",
+               false});
+        }
+      }
+    }
+  }
+}
+
+// R18 `blocking-under-lock` — joins the phase-1 held-lock sets with the
+// effect inference: a call made while a mutex is held must not reach a
+// blocking effect (sleep, join, blocking syscall), because a blocked
+// holder stalls every contender — and under the fleet's signal/kill
+// schedule, possibly forever. Condition-variable waits are the sanctioned
+// exception (they release the lock while parked).
+
+void ruleBlockingUnderLock(
+    const RepoIndex& index, const EffectIndex& eff,
+    std::map<std::string, std::vector<Finding>>& byFile) {
+  static const std::set<std::string> kCondvarOps = {
+      "wait", "wait_for", "wait_until", "notify_one", "notify_all"};
+  for (std::size_t i = 0; i < eff.flat.size(); ++i) {
+    const FileIndex& file = index.files[eff.flat[i].first];
+    const FunctionInfo& fn = file.functions[eff.flat[i].second];
+    bool anyHeld = false;
+    for (const CallSite& call : fn.calls) {
+      if (!call.heldLocks.empty()) {
+        anyHeld = true;
+        break;
+      }
+    }
+    if (!anyHeld) continue;
+
+    const std::vector<LeafSite> leaves = harvestLeafSites(file, fn);
+    std::map<std::size_t, const LeafSite*> leafAt;
+    for (const LeafSite& leaf : leaves) leafAt[leaf.tokenIndex] = &leaf;
+
+    for (const CallSite& call : fn.calls) {
+      if (call.heldLocks.empty()) continue;
+
+      // A blocking leaf at the call token itself (::waitpid, sleep_for,
+      // thread.join) is conclusive, even for names the condvar exception
+      // would otherwise cover.
+      std::string how;
+      if (const auto it = leafAt.find(call.tokenIndex);
+          it != leafAt.end() && (it->second->effects & kEffectBlock) != 0) {
+        how = "'" + it->second->name + "'";
+      } else if (!kCondvarOps.contains(call.callee) &&
+                 !globalCallForm(file.tokens, call.tokenIndex)) {
+        auto [lo, hi] = index.functionsByName.equal_range(call.callee);
+        for (auto jt = lo; jt != hi; ++jt) {
+          const std::size_t j = eff.flatIndex.at(jt->second);
+          if ((eff.fn[j].total & kEffectBlock) == 0) continue;
+          const std::size_t blockBit = 5;  // log2(kEffectBlock)
+          how = "'" + call.callee + "' which reaches " +
+                eff.fn[j].witness[blockBit].root;
+          break;
+        }
+      }
+      if (how.empty()) continue;
+
+      std::string held;
+      std::set<std::string> seen;
+      for (std::size_t lockIdx : call.heldLocks) {
+        const std::string& id = fn.locks[lockIdx].mutexId;
+        if (!seen.insert(id).second) continue;
+        if (!held.empty()) held += ", ";
+        held += "'" + id + "'";
+      }
+      byFile[file.path].push_back(
+          {file.path, call.line, "blocking-under-lock",
+           "'" + fn.qualified + "' blocks in " + how + " while holding " +
+               held +
+               "; a blocked holder stalls every contender — release the "
+               "lock before waiting",
+           false});
+    }
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -1062,6 +1363,22 @@ const std::vector<RuleInfo>& ruleRegistry() {
        "R14: every model-extracted protocol transition (view change, "
        "checkpoint, state transfer, park/unpark, quota drop, ingress "
        "overflow, crash/rejoin) has a runtime counter emission site"},
+      {"determinism-boundary",
+       "R15: no wall-clock or ambient-rng effect is reachable through the "
+       "call graph from sim/pbft/avd code, except via common/rng (the "
+       "whole-program generalization of R1)"},
+      {"syscall-discipline",
+       "R16: raw POSIX calls are confined to common/framing, common/proc, "
+       "common/logging, campaign/journal, and campaign/fleet/shard; every "
+       "interruptible call checks its result and retries on EINTR"},
+      {"durability-ordering",
+       "R17: journal/shard/checkpoint writers order write -> fsync -> "
+       "rename -> parent-dir fsync, and fleet workers append an outcome "
+       "to their shard before sending the frame (no ack-before-persist)"},
+      {"blocking-under-lock",
+       "R18: no blocking effect (sleep, join, blocking syscall) is "
+       "reachable from a call made while a mutex is held; condvar waits "
+       "are the sanctioned exception"},
       {"stale-suppression",
        "R10: an avd-lint allow() directive that no longer suppresses a "
        "finding is itself an error"},
@@ -1117,6 +1434,14 @@ std::vector<Finding> lintFiles(const std::vector<SourceFile>& files,
   ruleHandlerExhaustive(model, byFile);
   ruleQuorumConsistency(model, byFile);
   ruleEventCoverage(model, byFile);
+
+  // Phase 4: whole-program effect inference (leaf harvest + call-graph
+  // fixpoint) and its consumers (R15-R18).
+  const EffectIndex effects = inferEffects(index);
+  ruleDeterminismBoundary(index, effects, byFile);
+  ruleSyscallDiscipline(index, byFile);
+  ruleDurabilityOrdering(index, byFile);
+  ruleBlockingUnderLock(index, effects, byFile);
 
   // Phase 2c: suppression audit (R10) over the pre-suppression findings,
   // then suppression application and directive errors.

@@ -1,15 +1,21 @@
 // avd_lint — repo-specific static analysis for the AVD codebase.
 //
-// A deliberately small, dependency-free C++ analyzer. v2 is a two-phase
+// A deliberately small, dependency-free C++ analyzer. v4 is a five-phase
 // engine: phase 0/1 (lexer.h / index.h) tokenizes every translation unit
 // and builds a repo-wide semantic index (functions, mutexes, lock sites,
 // call graph, setTimer lambdas, ByteReader reads); phase 2 (this module)
-// runs the rule families over the index:
+// runs the token/index rule families; phase 3 (model.h) extracts the
+// protocol model and checks wire/handler conformance; phase 4 (effects.h)
+// runs a call-graph effect-inference fixpoint and checks the effect rules:
 //
-//   R1  nondeterminism     R2  unchecked-parse   R3  uncapped-reserve
-//   R4  naked-lock         R5  unordered-iter    R6  detached-thread
-//   R7  lock-order         R8  timer-capture     R9  tainted-size
-//   R10 stale-suppression  (+ the bad-suppression meta rule)
+//   R1  nondeterminism        R2  unchecked-parse     R3  uncapped-reserve
+//   R4  naked-lock            R5  unordered-iter      R6  detached-thread
+//   R7  lock-order            R8  timer-capture       R9  tainted-size
+//   R11 wire-symmetry         R12 handler-exhaustive  R13 quorum-consistency
+//   R14 event-coverage        R15 determinism-boundary
+//   R16 syscall-discipline    R17 durability-ordering
+//   R18 blocking-under-lock   R10 stale-suppression
+//   (+ the bad-suppression meta rule)
 //
 // The rule set is documented in docs/STATIC_ANALYSIS.md; each rule can be
 // suppressed per line with an `avd-lint allow(naked-lock)` style comment
@@ -43,7 +49,7 @@ struct RuleInfo {
   std::string_view summary;
 };
 
-/// All rules this build knows about, in diagnostic order R1..R10 + meta.
+/// All rules this build knows about, in diagnostic order R1..R18 + meta.
 const std::vector<RuleInfo>& ruleRegistry();
 
 /// True iff `rule` names a registered rule (used to reject typos in
