@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "avd/hyperspace.h"
 
@@ -21,6 +22,9 @@ struct Outcome {
   double avgLatencySec = 0.0;
   std::uint64_t viewChanges = 0;
   bool safetyViolated = false;
+  /// Compact rendering of the conflicting commit certificates when
+  /// safetyViolated (see pbft::formatSafetyWitness); empty otherwise.
+  std::string safetyWitness;
   /// Replica crash–restart cycles injected during the run (churn tool).
   std::uint64_t restarts = 0;
   /// Seconds from the last restart to the first correct-client completion

@@ -12,6 +12,7 @@
 #include "faultinject/network_faults.h"
 #include "faultinject/reorder.h"
 #include "faultinject/tamper.h"
+#include "faultinject/twins.h"
 
 namespace avd::core {
 
@@ -156,6 +157,33 @@ pbft::RunResult PbftAttackExecutor::runConfigured(
       churnFaults.back()->install();
     }
   }
+  // Twins: mint two physical replicas per twinned identity behind a
+  // deterministic partition schedule. Index 0 of twin_pairs disables the
+  // tool, anchoring the dedup baseline; the fault objects own the twin
+  // replicas, so they must outlive the run.
+  std::vector<std::shared_ptr<fi::TwinFault>> twinFaults;
+  if (point != nullptr) {
+    const auto twinPairs = space_.valueOf(*point, "twin_pairs", 0);
+    if (twinPairs > 0) {
+      const auto n = static_cast<std::int64_t>(config.pbft.replicaCount());
+      fi::TwinFault::Options twins;
+      const std::int64_t first =
+          std::clamp<std::int64_t>(space_.valueOf(*point, "twin_first", 0), 0,
+                                   n - 1);
+      for (std::int64_t i = 0; i < std::min(twinPairs, n); ++i) {
+        twins.targets.push_back(static_cast<util::NodeId>((first + i) % n));
+      }
+      twins.activation =
+          sim::msec(space_.valueOf(*point, "twin_start_ms", 0));
+      twins.period = sim::msec(space_.valueOf(*point, "twin_period_ms", 0));
+      twins.shape = space_.valueOf(*point, "twin_shape", 0) == 1
+                        ? fi::TwinFault::Shape::kSplitHalf
+                        : fi::TwinFault::Shape::kSplitParity;
+      twinFaults.push_back(
+          std::make_shared<fi::TwinFault>(&deployment, twins));
+      twinFaults.back()->install();
+    }
+  }
   // Flood: an open-loop attack client pumping traffic at flood_rate.
   // Kind 0 (index 0 of the choice) disables the tool, so the dedup
   // baseline treats flood scenarios as active dimensions.
@@ -222,6 +250,9 @@ Outcome PbftAttackExecutor::execute(const Point& point) {
   outcome.avgLatencySec = result.avgLatencySec;
   outcome.viewChanges = result.viewChangesInitiated;
   outcome.safetyViolated = result.safetyViolated;
+  if (result.safetyWitness) {
+    outcome.safetyWitness = pbft::formatSafetyWitness(*result.safetyWitness);
+  }
   outcome.restarts = result.restarts;
   outcome.recoveryLatencySec = result.recoveryLatencySec;
   outcome.queueDrops = result.queueDrops;
@@ -278,6 +309,24 @@ Hyperspace makeFloodHyperspace() {
   space.add(Dimension::choice("flood_rate", {500, 2000, 8000, 16000}));
   space.add(Dimension::choice("flood_bytes", {1, 256, 1024, 4096}));
   space.add(Dimension::choice("flood_target", {-1, 0, 1, 3}));
+  space.add(Dimension::range("correct_clients", 10, 30, 10));
+  return space;
+}
+
+Hyperspace makeTwinsHyperspace() {
+  // Safety-hunting exploration: how many identities are twinned, where the
+  // pairs sit relative to the view-0 primary, when the twins come online
+  // (before warmup = divergence from sequence 1; later = divergence after
+  // shared prefix + checkpoints), and the partition schedule. Index 0 of
+  // twin_pairs is "twins off" so non-twin points anchor the dedup
+  // baseline. One pair stays within f=1 — those points probe robustness;
+  // two pairs exceed the bound and hunt conflicting commit certificates.
+  Hyperspace space;
+  space.add(Dimension::choice("twin_pairs", {0, 1, 2}));
+  space.add(Dimension::choice("twin_first", {0, 1, 2, 3}));
+  space.add(Dimension::choice("twin_start_ms", {0, 250, 500, 1000}));
+  space.add(Dimension::choice("twin_period_ms", {0, 400, 900}));
+  space.add(Dimension::choice("twin_shape", {0, 1}));
   space.add(Dimension::range("correct_clients", 10, 30, 10));
   return space;
 }

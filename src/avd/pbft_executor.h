@@ -33,6 +33,14 @@
 //                       replay tools)
 //   "flood_target"      choice      — victim replica (-1 = broadcast to
 //                       all replicas)
+//   "twin_pairs"        choice      — twinned identities (0 = twins off;
+//                       beyond f the safety oracle becomes reachable)
+//   "twin_first"        choice      — first replica twinned (pairs take
+//                       consecutive ids)
+//   "twin_start_ms"     choice      — virtual time the twins come online
+//   "twin_period_ms"    choice      — partition-side flip period (0 =
+//                       static sides)
+//   "twin_shape"        choice      — side assignment (0 parity, 1 halves)
 //
 // The impact metric is normalized damage: 1 − throughput / baseline, where
 // the baseline is the same deployment with every tool disabled (cached per
@@ -121,6 +129,14 @@ Hyperspace makeChurnHyperspace();
 /// Pair it with a bounded-ingress LinkModel (makeFloodExecutorOptions) or
 /// the floods vanish into the unbounded event queue.
 Hyperspace makeFloodHyperspace();
+
+/// Twins exploration space (the safety-hunting hyperspace): how many
+/// identities run twinned (index 0 = off, anchoring the dedup baseline),
+/// which replica the pairs start at, when the twins come online, and the
+/// partition schedule's flip period and shape. At f=1 a single pair must
+/// never trip the oracle; two pairs exceed the fault bound and make
+/// conflicting commit certificates reachable.
+Hyperspace makeTwinsHyperspace();
 
 /// Executor options for the `pbft-flood` system: bounded per-node ingress
 /// (64 messages / 32 KiB / 100 us service per message ≈ 10k msgs/s per

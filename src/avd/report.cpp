@@ -35,7 +35,9 @@ std::string historyCsv(const Hyperspace& space,
   out += gen::kJournalKeyQueueDrops;
   out += ',';
   out += gen::kJournalKeyQuotaDrops;
-  out += ",safetyViolated\n";
+  out += ",safetyViolated,";
+  out += gen::kJournalKeySafetyWitness;
+  out += '\n';
 
   for (std::size_t i = 0; i < history.size(); ++i) {
     const TestRecord& record = history[i];
@@ -66,6 +68,10 @@ std::string historyCsv(const Hyperspace& space,
     out += std::to_string(record.outcome.quotaDrops);
     out += ',';
     out += record.outcome.safetyViolated ? '1' : '0';
+    out += ',';
+    // formatSafetyWitness never emits commas or quotes, so the cell needs
+    // no CSV escaping.
+    out += record.outcome.safetyWitness;
     out += '\n';
   }
   return out;
@@ -77,6 +83,7 @@ std::string summaryJson(const Hyperspace& space,
   const TestRecord* best = nullptr;
   std::size_t firstStrong = 0;
   std::size_t strong = 0;
+  std::size_t safetyViolations = 0;
   double maxImpact = 0;
   for (std::size_t i = 0; i < history.size(); ++i) {
     const TestRecord& record = history[i];
@@ -84,6 +91,7 @@ std::string summaryJson(const Hyperspace& space,
       best = &record;
     }
     maxImpact = std::max(maxImpact, record.outcome.impact);
+    if (record.outcome.safetyViolated) ++safetyViolations;
     if (record.outcome.impact >= strongThreshold) {
       ++strong;
       if (firstStrong == 0) firstStrong = i + 1;
@@ -94,6 +102,7 @@ std::string summaryJson(const Hyperspace& space,
   out += "  \"tests\": " + std::to_string(history.size()) + ",\n";
   out += "  \"maxImpact\": ";
   appendDouble(out, maxImpact);
+  out += ",\n  \"safetyViolations\": " + std::to_string(safetyViolations);
   out += ",\n  \"strongThreshold\": ";
   appendDouble(out, strongThreshold);
   out += ",\n  \"strongTests\": " + std::to_string(strong);

@@ -52,7 +52,13 @@ VulnSignature signatureOf(const core::Hyperspace& space,
 
 std::string signatureLabel(const core::Hyperspace& space,
                            const VulnSignature& signature) {
-  std::string out = "impact ";
+  std::string out;
+  // Safety leads: a correctness break outranks any liveness/perf band.
+  if (signature.safetyViolated) {
+    out += gen::kSafetyLabel;
+    out += ", ";
+  }
+  out += "impact ";
   if (signature.impactBand >= 10) {
     out += "1.0";
   } else {
@@ -67,10 +73,6 @@ std::string signatureLabel(const core::Hyperspace& space,
   }
   if (signature.resourceBand > 0) {
     appendBand(out, gen::kResourceBand, signature.resourceBand);
-  }
-  if (signature.safetyViolated) {
-    out += ", ";
-    out += gen::kSafetyLabel;
   }
   out += ", dims {";
   bool first = true;
@@ -110,6 +112,11 @@ std::vector<VulnClass> dedupVulnerabilities(
   out.reserve(classes.size());
   for (auto& [signature, cls] : classes) out.push_back(std::move(cls));
   std::sort(out.begin(), out.end(), [](const VulnClass& a, const VulnClass& b) {
+    // Safety-violation classes lead the report regardless of impact: a
+    // correctness break is the headline finding of any campaign.
+    if (a.signature.safetyViolated != b.signature.safetyViolated) {
+      return a.signature.safetyViolated;
+    }
     if (a.exemplar.outcome.impact != b.exemplar.outcome.impact) {
       return a.exemplar.outcome.impact > b.exemplar.outcome.impact;
     }
@@ -141,6 +148,13 @@ std::string vulnClassesJson(const core::Hyperspace& space,
            "\": " + std::to_string(cls.exemplar.outcome.queueDrops) + ", \"" +
            quotaDropsKey +
            "\": " + std::to_string(cls.exemplar.outcome.quotaDrops);
+    // Witness only for safety classes, so non-safety reports keep the
+    // pre-twins byte format. The format (pbft::formatSafetyWitness) uses
+    // no quotes or backslashes, so plain quoting is JSON-safe.
+    if (!cls.exemplar.outcome.safetyWitness.empty()) {
+      out += ", \"" + std::string(gen::kJournalKeySafetyWitness) + "\": \"" +
+             cls.exemplar.outcome.safetyWitness + "\"";
+    }
     out += ", \"point\": {";
     for (std::size_t d = 0; d < space.dimensionCount(); ++d) {
       if (d != 0) out += ", ";

@@ -62,9 +62,10 @@ FleetCoordinator::FleetCoordinator(FleetOptions options,
     options_.campaign.checkpointEvery = 16;
   }
   if (options_.remoteSlots > 0) {
-    listener_ = util::listenTcp(0);
+    listener_ = util::listenTcp(options_.bindPort, options_.bindAddr);
     if (!listener_) {
-      throw std::runtime_error("fleet: cannot bind loopback TCP listener");
+      throw std::runtime_error("fleet: cannot bind TCP listener on " +
+                               options_.bindAddr);
     }
   }
 }
@@ -150,7 +151,7 @@ CampaignResult FleetCoordinator::resume() {
   options_.remoteSlots =
       static_cast<std::size_t>(manifest->workers) - options_.spawn;
   if (options_.remoteSlots > 0 && !listener_) {
-    listener_ = util::listenTcp(0);
+    listener_ = util::listenTcp(options_.bindPort, options_.bindAddr);
   }
 
   const auto loaded = loadJournal(journalPath(dir));

@@ -55,8 +55,15 @@ struct FleetOptions {
   CampaignOptions campaign;
   /// Locally spawned workers (via `launcher`).
   std::size_t spawn = 2;
-  /// Additional slots filled by workers connecting over loopback TCP.
+  /// Additional slots filled by workers connecting over TCP.
   std::size_t remoteSlots = 0;
+  /// IPv4 address (and optional fixed port; 0 = ephemeral) the
+  /// remote-worker listener binds. The loopback default is a deliberate
+  /// safety posture — the worker protocol is unauthenticated, so exposing
+  /// it on a routable interface is an explicit, caller-audited decision
+  /// (avd_cli requires --allow-any-bind before it accepts 0.0.0.0).
+  std::string bindAddr = "127.0.0.1";
+  std::uint16_t bindPort = 0;
   /// Scenarios assigned to one worker at a time; the generation window is
   /// L = batch * (spawn + remoteSlots).
   std::size_t batch = 4;

@@ -145,6 +145,14 @@ std::string encodeDone(const DoneEvent& event) {
   appendKey(out, "safetyViolated");
   appendBool(out, event.outcome.safetyViolated);
   out += ',';
+  // Only emitted when set: every line without a witness keeps the exact
+  // pre-twins byte format, so resumed pre-twins journals re-encode
+  // byte-identically.
+  if (!event.outcome.safetyWitness.empty()) {
+    appendKey(out, gen::kJournalKeySafetyWitness);
+    appendEscaped(out, event.outcome.safetyWitness);
+    out += ',';
+  }
   appendKey(out, "failed");
   appendBool(out, event.failed);
   out += ',';
@@ -216,6 +224,9 @@ std::string encodeDone(const DoneEvent& event) {
     done.outcome.queueDrops = queueDrops.value_or(0);
     done.outcome.quotaDrops = quotaDrops.value_or(0);
     done.outcome.safetyViolated = *safetyViolated;
+    // Absent on non-violating lines and in pre-twins journals.
+    done.outcome.safetyWitness =
+        getString(line, gen::kJournalKeySafetyWitness).value_or("");
     done.bestImpact = *bestImpact;
     done.failed = *failed;
     done.timedOut = *timedOut;

@@ -88,17 +88,20 @@ std::string selfExePath() {
   return std::string(buffer);
 }
 
-[[nodiscard]] std::optional<TcpListener> listenTcp(std::uint16_t port) {
+[[nodiscard]] std::optional<TcpListener> listenTcp(
+    std::uint16_t port, const std::string& bindAddr) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, bindAddr.c_str(), &addr.sin_addr) != 1) {
+    return std::nullopt;
+  }
+
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return std::nullopt;
   ::fcntl(fd, F_SETFD, FD_CLOEXEC);
   const int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
       ::listen(fd, 16) != 0) {
     ::close(fd);

@@ -54,13 +54,17 @@ void killProcess(pid_t pid);
 /// can respawn itself in worker mode without knowing its install path.
 [[nodiscard]] std::string selfExePath();
 
-/// Listening TCP socket on 127.0.0.1:`port` (0 = ephemeral). Returns the
-/// fd and the actually bound port. nullopt on failure.
+/// Listening TCP socket on `bindAddr`:`port` (0 = ephemeral). `bindAddr`
+/// must be a dotted-quad IPv4 address; the default keeps remote workers on
+/// loopback, which is the safe posture for a tool that spawns arbitrary
+/// scenario executors. Returns the fd and the actually bound port. nullopt
+/// on failure (including an unparsable address).
 struct TcpListener {
   int fd = -1;
   std::uint16_t port = 0;
 };
-[[nodiscard]] std::optional<TcpListener> listenTcp(std::uint16_t port);
+[[nodiscard]] std::optional<TcpListener> listenTcp(
+    std::uint16_t port, const std::string& bindAddr = "127.0.0.1");
 
 /// Accepts one pending connection (nonblocking); nullopt when none is
 /// waiting or on error.

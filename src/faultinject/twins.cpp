@@ -1,0 +1,48 @@
+#include "faultinject/twins.h"
+
+namespace avd::fi {
+
+void TwinFault::install() {
+  deployment_->simulator().scheduleAt(options_.activation,
+                                      [this] { activate(); });
+}
+
+void TwinFault::activate() {
+  if (!twins_.empty()) return;
+  sim::Network& network = deployment_->network();
+  for (const util::NodeId id : options_.targets) {
+    if (id >= deployment_->replicaCount() || network.isTwinned(id)) continue;
+    twins_.push_back(deployment_->makeTwinReplica(id));
+    network.registerTwin(twins_.back().get());
+    twins_.back()->start();
+  }
+  if (twins_.empty()) return;
+  network.setTwinRouter(
+      [this](util::NodeId node, sim::Time now) { return sideOf(node, now); });
+}
+
+int TwinFault::sideOf(util::NodeId node, sim::Time now) const {
+  int side = 0;
+  switch (options_.shape) {
+    case Shape::kSplitParity:
+      side = static_cast<int>(node & 1U);
+      break;
+    case Shape::kSplitHalf: {
+      // Replicas and clients are halved independently, so "half" does not
+      // collapse into "replicas left, clients right".
+      const util::NodeId n = deployment_->replicaCount();
+      side = node < n ? (node * 2 < n ? 0 : 1)
+                      : ((node - n) * 2 < deployment_->config().totalClients()
+                             ? 0
+                             : 1);
+      break;
+    }
+  }
+  if (options_.period > 0 && now > options_.activation) {
+    const sim::Time rounds = (now - options_.activation) / options_.period;
+    side ^= static_cast<int>(rounds & 1);
+  }
+  return side;
+}
+
+}  // namespace avd::fi

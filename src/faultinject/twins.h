@@ -1,0 +1,82 @@
+// Twins fault tool: two physical replicas behind one logical identity.
+//
+// The Twins methodology ("BFT Systems Made Robust", PAPERS.md) observes
+// that most Byzantine misbehaviours worth testing — equivocation, double
+// voting, losing internal state — emerge for free from running two correct,
+// unmodified replicas that share an id, keys, and client-visible address.
+// Neither instance lies; the pair equivocates because each honestly signs
+// and votes from its own divergent state.
+//
+// Like churn this is a scheduler tool, not a NetworkFault: at the
+// activation time it mints the twin instances through
+// Deployment::makeTwinReplica (same identity, genesis state — the amnesia
+// shape), registers them via Network::registerTwin, and installs the
+// deterministic partition-side schedule (sim::TwinRouter) that decides
+// which instance each peer reaches per interval. Runs stay
+// seed-deterministic: the schedule is a pure function of (node id, virtual
+// time).
+//
+// Safety semantics: each twinned identity is worth one Byzantine fault.
+// With at most f identities twinned the deployment's oracle must stay
+// silent; beyond f (e.g. 2 pairs at f=1) conflicting commit certificates
+// become reachable — the safety violations the AVD controller hunts.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "pbft/deployment.h"
+#include "sim/time.h"
+
+namespace avd::fi {
+
+class TwinFault {
+ public:
+  /// How the schedule assigns partition sides to non-twin nodes. Twin
+  /// instances are always pinned: the original on side 0, the twin on
+  /// side 1.
+  enum class Shape {
+    /// Even ids side 0, odd ids side 1 — both sides get replicas and
+    /// clients, so with enough twins each side can assemble a quorum.
+    kSplitParity = 0,
+    /// Low-id half of the replicas (and of the clients) side 0, rest
+    /// side 1 — lopsided splits that mostly starve one side.
+    kSplitHalf = 1,
+  };
+
+  struct Options {
+    /// Replica ids to twin. Ids out of range or already twinned are
+    /// skipped.
+    std::vector<util::NodeId> targets;
+    /// Virtual time the twins come online and the schedule starts.
+    sim::Time activation = 0;
+    /// Side-flip period: every full period after activation the two
+    /// partition sides swap membership (0 = static assignment).
+    sim::Time period = 0;
+    Shape shape = Shape::kSplitParity;
+  };
+
+  TwinFault(pbft::Deployment* deployment, Options options) noexcept
+      : deployment_(deployment), options_(std::move(options)) {}
+
+  /// Books the activation event. The TwinFault must outlive the simulation
+  /// run: it owns the twin replicas and the installed router calls back
+  /// into it.
+  void install();
+
+  /// The partition-side schedule handed to Network::setTwinRouter.
+  int sideOf(util::NodeId node, sim::Time now) const;
+
+  std::uint64_t twinsActivated() const noexcept { return twins_.size(); }
+  const Options& options() const noexcept { return options_; }
+
+ private:
+  void activate();
+
+  pbft::Deployment* deployment_;
+  Options options_;
+  std::vector<std::unique_ptr<pbft::Replica>> twins_;
+};
+
+}  // namespace avd::fi

@@ -1,6 +1,8 @@
 #include "pbft/deployment.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <stdexcept>
 
 #include "common/hash.h"
 #include "common/stats.h"
@@ -15,6 +17,32 @@ std::unique_ptr<Service> Deployment::makeService(ServiceKind kind) {
       return std::make_unique<KvService>();
   }
   return std::make_unique<CounterService>();
+}
+
+std::string formatSafetyWitness(const SafetyWitness& witness) {
+  const auto appendCert = [](std::string& out, util::NodeId replica,
+                             std::uint64_t digest,
+                             const std::vector<util::NodeId>& voters) {
+    char buffer[24];
+    std::snprintf(buffer, sizeof(buffer), "%016llx",
+                  static_cast<unsigned long long>(digest));
+    out += "r" + std::to_string(replica) + "=" + buffer + "[";
+    if (voters.empty()) {
+      out += "synced";
+    } else {
+      out += "votes ";
+      for (std::size_t i = 0; i < voters.size(); ++i) {
+        if (i != 0) out += '.';
+        out += std::to_string(voters[i]);
+      }
+    }
+    out += "]";
+  };
+  std::string out = "seq=" + std::to_string(witness.seq) + " ";
+  appendCert(out, witness.replicaA, witness.digestA, witness.votersA);
+  out += ' ';
+  appendCert(out, witness.replicaB, witness.digestB, witness.votersB);
+  return out;
 }
 
 sim::LinkModel Deployment::effectiveLink(const DeploymentConfig& config) {
@@ -62,6 +90,19 @@ Deployment::Deployment(DeploymentConfig config)
         config_.correctClientBehavior, config_.clientRetx));
     network_.registerNode(clients_.back().get());
   }
+}
+
+std::unique_ptr<Replica> Deployment::makeTwinReplica(util::NodeId id) const {
+  if (id >= replicas_.size()) {
+    throw std::out_of_range("makeTwinReplica: unknown replica id");
+  }
+  ReplicaBehavior behavior;
+  if (const auto it = config_.replicaBehaviors.find(id);
+      it != config_.replicaBehaviors.end()) {
+    behavior = it->second;
+  }
+  return std::make_unique<Replica>(id, config_.pbft, &keychain_,
+                                   makeService(config_.service), behavior);
 }
 
 void Deployment::runFor(sim::Time duration) {
@@ -149,23 +190,42 @@ RunResult Deployment::collect() const {
     result.recoveryLatencySec = sim::toSeconds(recoveredAt - lastRestart);
   }
 
-  // Safety oracle: every pair of replicas must agree on the digest executed
-  // at every sequence number both executed.
+  // Safety oracle: every pair of non-twin replicas must agree on the commit
+  // certificate executed at every sequence number both executed. Twinned
+  // identities are excluded — their two physical instances ARE the injected
+  // fault (equivocation by construction, worth at most one Byzantine
+  // identity each); what must still hold, as long as at most f identities
+  // are twinned, is agreement among the remaining replicas. On a conflict
+  // the witness snapshots both certificates: the voter-set intersection is
+  // exactly the set of identities that double-voted.
   for (std::size_t a = 0; a + 1 < replicas_.size() && !result.safetyViolated;
        ++a) {
-    const auto& traceA = replicas_[a]->executionTrace();
-    for (std::size_t b = a + 1; b < replicas_.size(); ++b) {
-      const auto& traceB = replicas_[b]->executionTrace();
-      const auto& shorter = traceA.size() <= traceB.size() ? traceA : traceB;
-      const auto& longer = traceA.size() <= traceB.size() ? traceB : traceA;
-      for (const auto& [seq, digest] : shorter) {
+    if (network_.isTwinned(static_cast<util::NodeId>(a))) continue;
+    const auto& certsA = replicas_[a]->commitCerts();
+    for (std::size_t b = a + 1; b < replicas_.size() && !result.safetyViolated;
+         ++b) {
+      if (network_.isTwinned(static_cast<util::NodeId>(b))) continue;
+      const auto& certsB = replicas_[b]->commitCerts();
+      const bool aIsShorter = certsA.size() <= certsB.size();
+      const auto& shorter = aIsShorter ? certsA : certsB;
+      const auto& longer = aIsShorter ? certsB : certsA;
+      for (const auto& [seq, cert] : shorter) {
         const auto it = longer.find(seq);
-        if (it != longer.end() && it->second != digest) {
-          result.safetyViolated = true;
-          break;
-        }
+        if (it == longer.end() || it->second.digest == cert.digest) continue;
+        result.safetyViolated = true;
+        SafetyWitness witness;
+        witness.seq = seq;
+        witness.replicaA = static_cast<util::NodeId>(a);
+        witness.replicaB = static_cast<util::NodeId>(b);
+        const Replica::CommitCert& certA = aIsShorter ? cert : it->second;
+        const Replica::CommitCert& certB = aIsShorter ? it->second : cert;
+        witness.digestA = certA.digest;
+        witness.digestB = certB.digest;
+        witness.votersA = certA.voters;
+        witness.votersB = certB.voters;
+        result.safetyWitness = std::move(witness);
+        break;
       }
-      if (result.safetyViolated) break;
     }
   }
 

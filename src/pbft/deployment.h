@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "crypto/keychain.h"
@@ -45,6 +47,25 @@ struct DeploymentConfig {
   }
 };
 
+/// Witness of a safety violation: the two conflicting commit certificates
+/// the oracle found at one sequence number. Voter-set intersection shows
+/// who double-voted (the twinned identities); an empty voter set means the
+/// replica executed the sequence via f+1 sync attestations, not commits.
+struct SafetyWitness {
+  util::SeqNum seq = 0;
+  util::NodeId replicaA = 0;
+  util::NodeId replicaB = 0;
+  std::uint64_t digestA = 0;
+  std::uint64_t digestB = 0;
+  std::vector<util::NodeId> votersA;
+  std::vector<util::NodeId> votersB;
+};
+
+/// Compact one-token-per-field rendering with no commas or quotes, safe to
+/// embed in CSV cells and JSON strings, e.g.
+/// "seq=5 r2=00000000deadbeef[votes 0.1.2] r3=00000000cafef00d[synced]".
+std::string formatSafetyWitness(const SafetyWitness& witness);
+
 /// Outcome of one test run.
 struct RunResult {
   /// Requests completed by correct clients per second of measured time.
@@ -58,9 +79,13 @@ struct RunResult {
   std::uint64_t maliciousCompleted = 0;
   std::uint64_t viewChangesInitiated = 0;
   util::ViewId maxView = 0;
-  /// True if two replicas executed different batches at the same sequence
-  /// number — a PBFT safety violation (should never happen).
+  /// True if two non-twin replicas committed different digests at the same
+  /// sequence number — a PBFT safety violation. Within the f bound
+  /// (including up to f twinned identities) this must never fire; the
+  /// twins tool hunts for it beyond the bound.
   bool safetyViolated = false;
+  /// The first conflicting certificate pair found (set iff safetyViolated).
+  std::optional<SafetyWitness> safetyWitness;
   sim::NetworkCounters network;
   std::uint64_t eventsExecuted = 0;
   /// Resource-exhaustion observability (flood tools / defenses).
@@ -111,6 +136,13 @@ class Deployment {
     return config_.pbft.replicaCount();
   }
   Replica& replica(std::uint32_t index) { return *replicas_.at(index); }
+
+  /// Mints a second physical replica behind replica `id`'s logical identity
+  /// — same id, keys, service kind and behavior, but genesis state (the
+  /// Twins "amnesia" shape). The caller owns it, registers it via
+  /// Network::registerTwin, start()s it, and keeps it alive for the run;
+  /// fi::TwinFault wraps all of that.
+  std::unique_ptr<Replica> makeTwinReplica(util::NodeId id) const;
 
   /// Clients are laid out as: malicious [0, m), then correct [m, m+c).
   Client& maliciousClient(std::uint32_t index) {

@@ -840,6 +840,12 @@ void Replica::executeEntry(util::SeqNum seq, LogEntry& entry) {
   }
   entry.executed = true;
   executedDigests_[seq] = entry.digest;
+  CommitCert& cert = commitCerts_[seq];
+  cert.digest = entry.digest;
+  cert.voters.clear();
+  for (const auto& [replica, digest] : entry.commits) {
+    if (digest == entry.digest) cert.voters.push_back(replica);
+  }
   ++lastExecuted_;
   // A recovered primary catching up through sync must not re-propose
   // sequence numbers the executed prefix already consumed.

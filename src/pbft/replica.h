@@ -162,6 +162,20 @@ class Replica final : public sim::Node {
     return executedDigests_;
   }
 
+  /// Commit certificate snapshotted at execution time: the executed digest
+  /// plus the commit voters that endorsed it. Recorded per sequence because
+  /// checkpoint GC destroys log entries — the oracle needs the voter sets
+  /// afterwards to show WHO double-voted when two replicas execute
+  /// conflicting digests. Sequences executed through f+1 sync attestations
+  /// carry no commit votes and record an empty voter set.
+  struct CommitCert {
+    std::uint64_t digest = 0;
+    std::vector<util::NodeId> voters;
+  };
+  const std::map<util::SeqNum, CommitCert>& commitCerts() const noexcept {
+    return commitCerts_;
+  }
+
  private:
   struct ClientRecord {
     util::RequestId lastExecutedTs = 0;
@@ -381,6 +395,9 @@ class Replica final : public sim::Node {
   std::map<util::NodeId, util::RequestId> replyCacheFrozen_;
 
   std::map<util::SeqNum, std::uint64_t> executedDigests_;
+  /// Like executedDigests_, survives restarts: the oracle must span
+  /// incarnations.
+  std::map<util::SeqNum, CommitCert> commitCerts_;
   ReplicaStats stats_;
 };
 

@@ -13,16 +13,51 @@ void Network::registerNode(Node* node) {
   node->attach(simulator_, this);
 }
 
+void Network::registerTwin(Node* twin) {
+  assert(twin != nullptr);
+  const util::NodeId id = twin->id();
+  assert(node(id) != nullptr && "twin requires a registered original");
+  assert(twins_.find(id) == twins_.end() && "node already twinned");
+  twins_[id] = twin;
+  twin->attach(simulator_, this);
+}
+
 void Network::send(util::NodeId from, util::NodeId to, MessagePtr message) {
+  sendFrom(node(from), to, std::move(message));
+}
+
+void Network::sendFrom(Node* sender, util::NodeId to, MessagePtr message) {
   assert(message != nullptr);
   ++counters_.sent;
   counters_.bytesSent += message->wireSize();
 
-  Node* const sender = node(from);
   Node* const target = node(to);
   if (sender == nullptr || !sender->alive() || target == nullptr) {
     ++counters_.droppedDeadNode;
     return;
+  }
+  const util::NodeId from = sender->id();
+
+  // Twin routing: resolve the sender's partition side, then (a) suppress
+  // sends toward non-twin peers on the other side — that link does not
+  // physically exist this interval — and (b) pick which physical instance
+  // of a twinned receiver this side is connected to. Both decisions are
+  // made at send time so in-flight messages keep them, mirroring
+  // removeFault semantics.
+  Node* receiver = target;
+  if (!twins_.empty()) {
+    int senderSide = 0;
+    if (const auto it = twins_.find(from); it != twins_.end()) {
+      senderSide = sender == it->second ? 1 : 0;
+    } else {
+      senderSide = sideOf(from);
+    }
+    if (const auto it = twins_.find(to); it != twins_.end()) {
+      if (senderSide == 1) receiver = it->second;
+    } else if (sideOf(to) != senderSide) {
+      ++counters_.droppedTwinRouting;
+      return;
+    }
   }
 
   Time extraDelay = 0;
@@ -46,14 +81,16 @@ void Network::send(util::NodeId from, util::NodeId to, MessagePtr message) {
         static_cast<std::uint64_t>(model_.jitter) + 1));
   }
 
-  simulator_->schedule(delay,
-                       [this, from, to, message = std::move(message)]() mutable {
-    if (model_.ingressEnabled() && from >= model_.ingressPriorityNodes) {
+  simulator_->schedule(
+      delay, [this, from, to, receiver, message = std::move(message)]() mutable {
+    // Twin instances bypass the bounded ingress path (lanes are keyed by
+    // logical id, which would always resolve to the side-0 instance).
+    if (model_.ingressEnabled() && from >= model_.ingressPriorityNodes &&
+        receiver == node(to)) {
       enqueueIngress(from, to, std::move(message));
       return;
     }
-    Node* const receiver = node(to);
-    if (receiver == nullptr || !receiver->alive()) {
+    if (!receiver->alive()) {
       ++counters_.droppedDeadNode;
       return;
     }

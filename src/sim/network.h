@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <utility>
@@ -87,6 +88,10 @@ struct NetworkCounters {
   std::uint64_t droppedDeadNode = 0;
   std::uint64_t tamperedByFaults = 0;
   std::uint64_t bytesSent = 0;
+  /// Messages suppressed by the twin routing schedule: the sender's
+  /// partition side differs from the receiver's, so physically the link
+  /// does not exist this interval.
+  std::uint64_t droppedTwinRouting = 0;
   /// Messages dropped on arrival because the receiver's bounded ingress
   /// queue was full (message capacity or byte budget).
   std::uint64_t droppedQueueOverflow = 0;
@@ -106,6 +111,16 @@ struct IngressStats {
   std::uint64_t peakBytes = 0;
 };
 
+/// Deterministic twin routing schedule (the Twins methodology, "BFT Systems
+/// Made Robust"): assigns every node id to partition side 0 or 1 at virtual
+/// time `now`. Instance 0 of a twinned identity (the originally registered
+/// node) always lives on side 0 and its twin on side 1, regardless of what
+/// the router returns for that id; for every other node the router's value
+/// decides which twin it hears from — and whether it can reach a peer on
+/// the other side at all. Returning 0 for everything reduces to a normal
+/// network with the twins isolated.
+using TwinRouter = std::function<int(util::NodeId node, Time now)>;
+
 class Network {
  public:
   Network(Simulator* simulator, LinkModel model) noexcept
@@ -115,13 +130,41 @@ class Network {
   /// unique. Nodes are attached to this network and simulator.
   void registerNode(Node* node);
 
+  /// Registers a second physical node behind an already-registered id: both
+  /// instances share the logical identity (id, keys, client-visible
+  /// address) and the twin is attached to this network and simulator. The
+  /// TwinRouter decides which instance each peer reaches; without one the
+  /// twin is fully isolated (side 1 has no members). The caller owns the
+  /// twin and must keep it alive for the run; twins cannot be unregistered.
+  void registerTwin(Node* twin);
+
+  /// Installs / clears the partition-side schedule consulted on every send.
+  void setTwinRouter(TwinRouter router) { twinRouter_ = std::move(router); }
+  void clearTwinRouter() noexcept { twinRouter_ = nullptr; }
+
+  bool isTwinned(util::NodeId id) const noexcept {
+    return twins_.find(id) != twins_.end();
+  }
+  /// The side-1 instance of a twinned id (nullptr when not twinned).
+  Node* twinInstance(util::NodeId id) const noexcept {
+    const auto it = twins_.find(id);
+    return it != twins_.end() ? it->second : nullptr;
+  }
+  std::size_t twinCount() const noexcept { return twins_.size(); }
+
   Node* node(util::NodeId id) const noexcept {
     return id < nodes_.size() ? nodes_[id] : nullptr;
   }
   std::size_t nodeCount() const noexcept { return nodes_.size(); }
 
   /// Sends `message` from `from` to `to`; applies fault hooks and latency.
+  /// Attributed to the side-0 instance when `from` is twinned — twin
+  /// instances must send through sendFrom (Node::send does).
   void send(util::NodeId from, util::NodeId to, MessagePtr message);
+
+  /// Send with an explicit physical sender, so a twin instance's traffic is
+  /// routed from its own partition side. This is the path Node::send takes.
+  void sendFrom(Node* sender, util::NodeId to, MessagePtr message);
 
   void addFault(std::shared_ptr<NetworkFault> fault) {
     faults_.push_back(std::move(fault));
@@ -165,9 +208,19 @@ class Network {
   void enqueueIngress(util::NodeId from, util::NodeId to, MessagePtr message);
   void serviceIngress(util::NodeId to);
 
+  /// Partition side of a non-twin node under the current schedule (0 when
+  /// no router is installed).
+  int sideOf(util::NodeId id) const {
+    return twinRouter_ ? (twinRouter_(id, simulator_->now()) & 1) : 0;
+  }
+
   Simulator* simulator_;
   LinkModel model_;
   std::vector<Node*> nodes_;
+  /// Side-1 instances by logical id. Ordered so any iteration (oracle
+  /// queries, teardown) is deterministic.
+  std::map<util::NodeId, Node*> twins_;
+  TwinRouter twinRouter_;
   std::vector<std::shared_ptr<NetworkFault>> faults_;
   NetworkCounters counters_;
   std::vector<IngressQueue> ingress_;

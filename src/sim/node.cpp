@@ -6,7 +6,9 @@ namespace avd::sim {
 
 void Node::send(util::NodeId to, MessagePtr message) {
   assert(network_ != nullptr);
-  network_->send(id_, to, std::move(message));
+  // Route with the physical sender: a twin instance's traffic must leave
+  // from its own partition side, not its logical id's side-0 instance.
+  network_->sendFrom(this, to, std::move(message));
 }
 
 }  // namespace avd::sim

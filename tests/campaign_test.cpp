@@ -467,6 +467,73 @@ TEST(CampaignResume, EmptyJournalResumesFromScratch) {
   killResumeRoundTrip(0, 0, "empty");
 }
 
+// --- pre-twins journal compatibility -----------------------------------------
+//
+// The committed fixtures under tests/fixtures/ were generated by the
+// pre-twins binary (`avd_cli campaign --system quorum --tests 24
+// --workers 1 --seed 11`). The safetyWitness journal key is emitted only
+// on safety-violating lines, so journals from before the twins tool must
+// decode, resume, and re-cluster to byte-identical artifacts forever.
+
+std::string fixturePath(const std::string& name) {
+  return std::string(AVD_CAMPAIGN_FIXTURE_DIR) + "/" + name;
+}
+
+ExecutorFactory pretwinsQuorumFactory() {
+  return [] {
+    // Mirrors avd_cli's `--system quorum --seed 11` executor exactly.
+    core::QuorumExecutorOptions options;
+    options.baseSeed = 11;
+    return std::make_unique<core::QuorumApiExecutor>(
+        core::makeQuorumApiHyperspace(), options);
+  };
+}
+
+TEST(CampaignCompat, PreTwinsJournalLinesReEncodeByteIdentically) {
+  std::istringstream journal(readAll(fixturePath("pretwins_journal.jsonl")));
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(journal, line)) {
+    ++lines;
+    const auto decoded = decodeLine(line);
+    ASSERT_TRUE(decoded.has_value()) << line;
+    if (decoded->kind == JournalEvent::Kind::kDone) {
+      EXPECT_TRUE(decoded->done.outcome.safetyWitness.empty());
+      EXPECT_EQ(encodeDone(decoded->done), line)
+          << "pre-twins done lines must survive a decode/encode round trip";
+    } else {
+      ASSERT_EQ(decoded->kind, JournalEvent::Kind::kGen);
+      EXPECT_EQ(encodeGen(decoded->gen), line);
+    }
+  }
+  EXPECT_EQ(lines, 48u) << "24 tests = 24 gen + 24 done lines";
+}
+
+TEST(CampaignCompat, PreTwinsDirectoryKillResumesToIdenticalArtifacts) {
+  // Simulate a campaign killed mid-run on the old binary: the fixture
+  // journal truncated mid-line, resumed by today's code.
+  const std::string dir = scratchDir("pretwins");
+  const std::string fullJournal = readAll(fixturePath("pretwins_journal.jsonl"));
+  writeAll(dir + "/manifest.json", readAll(fixturePath("pretwins_manifest.json")));
+  writeAll(journalPath(dir), fullJournal.substr(0, cutOffset(fullJournal, 29, 11)));
+
+  CampaignOptions options;
+  options.outDir = dir;
+  CampaignRunner runner(pretwinsQuorumFactory(), options);
+  const CampaignResult result = runner.resume();
+
+  EXPECT_EQ(result.executed, 24u);
+  EXPECT_EQ(readAll(journalPath(dir)), fullJournal)
+      << "resumed journal must be byte-identical to the pre-twins run's";
+
+  // Re-clustering the resumed history reproduces the pre-twins class
+  // report bit for bit: signature shape and JSON are versioned such that
+  // twins-free campaigns never see the new fields.
+  const auto executor = pretwinsQuorumFactory()();
+  EXPECT_EQ(vulnClassesJson(executor->space(), result.classes),
+            readAll(fixturePath("pretwins_classes.json")));
+}
+
 TEST(CampaignResume, CrashDuringCheckpointRecovers) {
   // A kill -9 inside writeCheckpoint leaves a stale checkpoint .tmp file
   // (the atomic-rename never happened) alongside a torn journal. Resume

@@ -889,5 +889,56 @@ TEST(FleetTcp, RemoteWorkerConnectsOverLoopbackAndCompletesTheCampaign) {
   EXPECT_FALSE(result.aborted);
 }
 
+TEST(FleetTcp, ListenTcpHonorsExplicitBindAddressAndRejectsGarbage) {
+  const auto listener = util::listenTcp(0, "127.0.0.1");
+  ASSERT_TRUE(listener.has_value());
+  ASSERT_NE(listener->port, 0);
+  const auto client = util::connectTcp("127.0.0.1", listener->port);
+  ASSERT_TRUE(client.has_value());
+  const auto accepted = util::acceptTcp(listener->fd);
+  EXPECT_TRUE(accepted.has_value());
+  util::closeFd(*client);
+  if (accepted) util::closeFd(*accepted);
+  util::closeFd(listener->fd);
+
+  EXPECT_FALSE(util::listenTcp(0, "not-an-address").has_value());
+  EXPECT_FALSE(util::listenTcp(0, "256.1.1.1").has_value());
+  EXPECT_FALSE(util::listenTcp(0, "").has_value());
+}
+
+TEST(FleetTcp, CoordinatorBindsTheConfiguredAddressAndPort) {
+  // Reserve a free port, release it, then ask the coordinator for exactly
+  // that 127.0.0.1:PORT (SO_REUSEADDR makes the immediate rebind safe).
+  const auto probe = util::listenTcp(0, "127.0.0.1");
+  ASSERT_TRUE(probe.has_value());
+  const std::uint16_t port = probe->port;
+  util::closeFd(probe->fd);
+
+  FleetOptions options = ridgeFleetOptions(62, 8, 0, "");
+  options.remoteSlots = 1;
+  options.bindAddr = "127.0.0.1";
+  options.bindPort = port;
+  FleetCoordinator coordinator(std::move(options), ridgeFactory());
+  ASSERT_EQ(coordinator.listenPort(), port);
+
+  std::thread worker([port] {
+    const auto fd = util::connectTcp("127.0.0.1", port);
+    ASSERT_TRUE(fd.has_value());
+    EXPECT_EQ(runWorker(*fd, ridgeWorkerFactory()), kWorkerExitClean);
+  });
+  const CampaignResult result = coordinator.run();
+  worker.join();
+  EXPECT_EQ(result.executed, 8u);
+  EXPECT_FALSE(result.aborted);
+}
+
+TEST(FleetTcp, UnbindableAddressFailsConstructionLoudly) {
+  FleetOptions options = ridgeFleetOptions(63, 8, 0, "");
+  options.remoteSlots = 1;
+  options.bindAddr = "203.0.113.1";  // TEST-NET-3: never a local interface
+  EXPECT_THROW(FleetCoordinator(std::move(options), ridgeFactory()),
+               std::runtime_error);
+}
+
 }  // namespace
 }  // namespace avd::campaign::fleet

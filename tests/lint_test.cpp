@@ -234,6 +234,27 @@ TEST(LintR5, FloodAndNetworkSchedulerSourcesAreInScope) {
   }
 }
 
+TEST(LintR5, TwinsSourcesAreInScope) {
+  // The twins tool mints replicas and installs the partition-side router:
+  // hash iteration there would make the equivocation schedule — and hence
+  // which safety violations a seed finds — replay-dependent.
+  const auto findings =
+      lintFixture("unordered_iter.cc", "src/faultinject/twins.cpp");
+  EXPECT_EQ(countRule(findings, "unordered-iter"), 2u);
+}
+
+TEST(LintR5, TwinsHeaderDeclarationsAreTrackedAcrossFiles) {
+  const std::vector<SourceFile> files = {
+      {"src/faultinject/twins.h",
+       "class T { std::unordered_map<int, int> sides_; };"},
+      {"src/faultinject/twins.cpp",
+       "int T::f() { int s = 0; for (auto& [k, v] : sides_) s += v; "
+       "return s; }"},
+  };
+  const auto findings = lintFiles(files);
+  EXPECT_EQ(countRule(findings, "unordered-iter"), 1u);
+}
+
 TEST(LintR5, FloodHeaderDeclarationsAreTrackedAcrossFiles) {
   const std::vector<SourceFile> files = {
       {"src/faultinject/flood.h",
@@ -665,6 +686,15 @@ TEST(LintR15, SameLeavesOutsideProtectedScopeDrawNoBoundaryFinding) {
       lintFixture("determinism_boundary.cc", "src/campaign/stats_fixture.cpp");
   EXPECT_EQ(countRule(findings, "determinism-boundary"), 0u);
   EXPECT_EQ(countRule(findings, "nondeterminism"), 2u);
+}
+
+TEST(LintR15, TwinsToolIsInsideTheProtectedScope) {
+  // The twin schedule must be a pure function of (node id, virtual time):
+  // a wall-clock or ambient-rng leaf there changes which instance peers
+  // reach run to run, desynchronizing same-seed campaigns.
+  const auto findings =
+      lintFixture("determinism_boundary.cc", "src/faultinject/twins.cpp");
+  EXPECT_EQ(countRule(findings, "determinism-boundary"), 2u);
 }
 
 TEST(LintR15, EffectPropagatesAcrossTranslationUnits) {

@@ -51,11 +51,11 @@ TEST(Report, CsvHasHeaderAndOneRowPerTest) {
   EXPECT_EQ(line,
             "test,generatedBy,mask,clients,impact,bestImpact,throughputRps,"
             "avgLatencySec,viewChanges,restarts,recoveryLatencySec,"
-            "queueDrops,quotaDrops,safetyViolated");
+            "queueDrops,quotaDrops,safetyViolated,safetyWitness");
   ASSERT_TRUE(std::getline(stream, line));
-  EXPECT_EQ(line, "1,random,2,20,0.25,0.25,1500,0.01,0,0,0,0,0,0");
+  EXPECT_EQ(line, "1,random,2,20,0.25,0.25,1500,0.01,0,0,0,0,0,0,");
   ASSERT_TRUE(std::getline(stream, line));
-  EXPECT_EQ(line, "2,step:mask,0,30,0.95,0.95,50,0,4,2,0.4,0,0,0");
+  EXPECT_EQ(line, "2,step:mask,0,30,0.95,0.95,50,0,4,2,0.4,0,0,0,");
   EXPECT_FALSE(std::getline(stream, line));
 }
 

@@ -1,6 +1,6 @@
 // avd_cli — command-line front end to the AVD platform.
 //
-//   avd_cli explore --system pbft|pbft-churn|pbft-flood|quorum
+//   avd_cli explore --system pbft|pbft-churn|pbft-flood|pbft-twins|quorum
 //                   --strategy avd|random|genetic
 //                   [--tests N] [--seed S] [--csv FILE] [--json FILE]
 //                   [--threshold T]
@@ -13,7 +13,7 @@
 //       measured damage. `avd_cli list` shows the names. The flood
 //       attacks take --rate/--bytes/--kind/--target overrides.
 //
-//   avd_cli campaign [--system pbft|pbft-churn|pbft-flood|quorum]
+//   avd_cli campaign [--system pbft|pbft-churn|pbft-flood|pbft-twins|quorum]
 //                    [--tests N] [--seed S]
 //                    [--workers W] [--out DIR] [--resume DIR]
 //                    [--checkpoint-every N] [--timeout-ms MS] [--min-impact X]
@@ -26,6 +26,7 @@
 //                 [--spawn W] [--remote R] [--batch B] [--out DIR]
 //                 [--resume DIR] [--checkpoint-every N] [--timeout-ms MS]
 //                 [--min-impact X] [--heartbeat-ms MS] [--max-respawns N]
+//                 [--bind ADDR[:PORT]] [--allow-any-bind 1]
 //       Multi-process campaign: this process becomes the coordinator, owns
 //       the controller and journal, and spawns W fleet-worker child
 //       processes (plus accepts R remote workers over loopback TCP). A
@@ -133,11 +134,13 @@ int usage() {
       stderr,
       "usage: avd_cli explore|campaign|fleet|attack|power|list "
       "[--flag value ...]\n"
-      "  explore      --system pbft|pbft-churn|pbft-flood|quorum\n"
+      "  explore      --system pbft|pbft-churn|pbft-flood|pbft-twins|"
+      "quorum\n"
       "               --strategy avd|random|genetic\n"
       "               --tests N  --seed S  --threshold T  --csv FILE "
       "--json FILE\n"
-      "  campaign     --system pbft|pbft-churn|pbft-flood|quorum\n"
+      "  campaign     --system pbft|pbft-churn|pbft-flood|pbft-twins|"
+      "quorum\n"
       "               --tests N  --seed S  --workers W\n"
       "               --out DIR  --resume DIR  --checkpoint-every N\n"
       "               --timeout-ms MS  --min-impact X\n"
@@ -145,8 +148,12 @@ int usage() {
       "               --spawn W  --remote R  --batch B\n"
       "               --out DIR  --resume DIR  --checkpoint-every N\n"
       "               --timeout-ms MS  --min-impact X  --heartbeat-ms MS\n"
-      "               --max-respawns N   (multi-process campaign; SIGTERM\n"
-      "               drains gracefully, workers are respawned on crash)\n"
+      "               --max-respawns N  --bind ADDR[:PORT]\n"
+      "               --allow-any-bind 1   (multi-process campaign; SIGTERM\n"
+      "               drains gracefully, workers are respawned on crash;\n"
+      "               the remote-worker listener stays on 127.0.0.1 unless\n"
+      "               --bind names another interface — 0.0.0.0 additionally\n"
+      "               needs --allow-any-bind 1)\n"
       "  fleet-worker --connect HOST:PORT   (worker mode; spawned workers\n"
       "               inherit their socket on fd 3)\n"
       "  attack       --name NAME  --clients N  --seed S\n"
@@ -197,15 +204,32 @@ std::unique_ptr<core::ScenarioExecutor> makeExecutor(
     return std::make_unique<core::PbftAttackExecutor>(
         core::makeFloodHyperspace(), options);
   }
+  if (system == "pbft-twins") {
+    // Safety-hunting hyperspace: twinned identities behind a deterministic
+    // partition schedule. A shorter measure window than the liveness
+    // systems — divergence shows up within the first virtual second — and
+    // a small client population keep each scenario cheap.
+    core::PbftExecutorOptions options;
+    options.pbft.requestTimeout = sim::msec(400);
+    options.pbft.viewChangeTimeout = sim::msec(400);
+    options.clientRetx = sim::msec(100);
+    options.link = sim::LinkModel{sim::msec(5), sim::usec(500)};
+    options.warmup = sim::msec(400);
+    options.measure = sim::msec(2000);
+    options.baseSeed = seed;
+    return std::make_unique<core::PbftAttackExecutor>(
+        core::makeTwinsHyperspace(), options);
+  }
   if (system == "quorum") {
     core::QuorumExecutorOptions options;
     options.baseSeed = seed;
     return std::make_unique<core::QuorumApiExecutor>(
         core::makeQuorumApiHyperspace(), options);
   }
-  std::fprintf(stderr,
-               "unknown system '%s' (pbft|pbft-churn|pbft-flood|quorum)\n",
-               system.c_str());
+  std::fprintf(
+      stderr,
+      "unknown system '%s' (pbft|pbft-churn|pbft-flood|pbft-twins|quorum)\n",
+      system.c_str());
   std::exit(2);
 }
 
@@ -341,10 +365,12 @@ int runFleetCampaign(const std::string& resumeDir,
     options.batch = static_cast<std::size_t>(manifest->batch);
   }
   if (system != "pbft" && system != "pbft-churn" && system != "pbft-flood" &&
-      system != "pbft-flood-defended" && system != "quorum") {
-    std::fprintf(stderr,
-                 "unknown system '%s' (pbft|pbft-churn|pbft-flood|quorum)\n",
-                 system.c_str());
+      system != "pbft-flood-defended" && system != "pbft-twins" &&
+      system != "quorum") {
+    std::fprintf(
+        stderr,
+        "unknown system '%s' (pbft|pbft-churn|pbft-flood|pbft-twins|quorum)\n",
+        system.c_str());
     return 2;
   }
   options.campaign.seed = seed;
@@ -360,6 +386,7 @@ int runFleetCampaign(const std::string& resumeDir,
 
   const std::size_t spawn = options.spawn;
   const std::size_t remote = options.remoteSlots;
+  const std::string bindAddr = options.bindAddr;
   const std::size_t tests = options.campaign.totalTests;
   const std::string outDir = options.campaign.outDir;
   const std::string where = outDir.empty() ? "" : ", dir " + outDir;
@@ -375,8 +402,8 @@ int runFleetCampaign(const std::string& resumeDir,
         spawn, remote, static_cast<unsigned long long>(seed), where.c_str());
     if (coordinator.listenPort() != 0) {
       std::printf(
-          "remote workers: avd_cli fleet-worker --connect 127.0.0.1:%u\n",
-          coordinator.listenPort());
+          "remote workers: avd_cli fleet-worker --connect %s:%u\n",
+          bindAddr.c_str(), coordinator.listenPort());
     }
     result = resumeDir.empty() ? coordinator.run() : coordinator.resume();
   } catch (const std::exception& e) {
@@ -403,6 +430,25 @@ int cmdFleet(const Args& args) {
       static_cast<std::uint64_t>(args.getInt("heartbeat-ms", 200));
   options.maxWorkerRespawns =
       static_cast<std::size_t>(args.getInt("max-respawns", 8));
+  const std::string bind = args.get("bind", "");
+  if (!bind.empty()) {
+    // ADDR or ADDR:PORT; PORT 0 (or absent) keeps the ephemeral default.
+    const std::size_t colon = bind.rfind(':');
+    if (colon == std::string::npos) {
+      options.bindAddr = bind;
+    } else {
+      options.bindAddr = bind.substr(0, colon);
+      options.bindPort =
+          static_cast<std::uint16_t>(std::atoll(bind.c_str() + colon + 1));
+    }
+    if (options.bindAddr == "0.0.0.0" &&
+        args.getInt("allow-any-bind", 0) == 0) {
+      std::fprintf(stderr,
+                   "refusing to bind 0.0.0.0: the worker protocol is "
+                   "unauthenticated; pass --allow-any-bind 1 to expose it\n");
+      return 2;
+    }
+  }
   return runFleetCampaign(
       args.get("resume", ""), std::move(options), args.get("system", "quorum"),
       static_cast<std::uint64_t>(args.getInt("seed", 2011)));
@@ -471,10 +517,12 @@ int cmdCampaign(const Args& args) {
     options.workers = manifest->workers;
   }
   if (system != "pbft" && system != "pbft-churn" && system != "pbft-flood" &&
-      system != "pbft-flood-defended" && system != "quorum") {
-    std::fprintf(stderr,
-                 "unknown system '%s' (pbft|pbft-churn|pbft-flood|quorum)\n",
-                 system.c_str());
+      system != "pbft-flood-defended" && system != "pbft-twins" &&
+      system != "quorum") {
+    std::fprintf(
+        stderr,
+        "unknown system '%s' (pbft|pbft-churn|pbft-flood|pbft-twins|quorum)\n",
+        system.c_str());
     return 2;
   }
   options.seed = seed;
@@ -672,6 +720,8 @@ int cmdList() {
       "            pbft-flood (resource-exhaustion hyperspace over a\n"
       "                        bounded-ingress deployment; -defended runs\n"
       "                        the same space with the Aardvark profile)\n"
+      "            pbft-twins (twinned-identity equivocation hyperspace;\n"
+      "                        hunts safety violations, not liveness)\n"
       "            quorum (timestamp/victims/replica-behaviour space)\n"
       "strategies: avd (Algorithm 1), random, genetic\n"
       "attacks:    baseline        no attack, for reference numbers\n"
@@ -712,7 +762,7 @@ int main(int argc, char** argv) {
                          {"system", "tests", "seed", "spawn", "remote",
                           "batch", "out", "resume", "checkpoint-every",
                           "timeout-ms", "min-impact", "heartbeat-ms",
-                          "max-respawns"}));
+                          "max-respawns", "bind", "allow-any-bind"}));
   }
   if (command == "fleet-worker") {
     return cmdFleetWorker(Args(argc, argv, 2, {"connect"}));

@@ -236,7 +236,8 @@ bool designatedEffectModule(const std::string& path) {
 bool determinismCriticalPath(const std::string& path) {
   return path.find("sim/") != std::string::npos ||
          path.find("pbft/") != std::string::npos ||
-         path.find("avd/") != std::string::npos;
+         path.find("avd/") != std::string::npos ||
+         path.find("faultinject/twins") != std::string::npos;
 }
 
 std::vector<LeafSite> harvestLeafSites(const FileIndex& file,

@@ -241,6 +241,7 @@ bool unorderedIterScope(const std::string& path) {
          pathEndsWith(path, "campaign/fleet/worker.cpp") ||
          pathEndsWith(path, "faultinject/churn.cpp") ||
          pathEndsWith(path, "faultinject/flood.cpp") ||
+         pathEndsWith(path, "faultinject/twins.cpp") ||
          pathEndsWith(path, "sim/network.cpp");
 }
 
@@ -254,6 +255,7 @@ bool unorderedDeclScope(const std::string& path) {
          pathEndsWith(path, "campaign/fleet/shard.h") ||
          pathEndsWith(path, "faultinject/churn.h") ||
          pathEndsWith(path, "faultinject/flood.h") ||
+         pathEndsWith(path, "faultinject/twins.h") ||
          pathEndsWith(path, "sim/network.h");
 }
 

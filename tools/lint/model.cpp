@@ -879,6 +879,11 @@ std::string generateEventsHeader(const ProtocolModel& model) {
       "\"queueDrops\";\n"
       "inline constexpr std::string_view kJournalKeyQuotaDrops = "
       "\"quotaDrops\";\n"
+      "/// Optional: only present on journal lines whose scenario violated\n"
+      "/// safety (pre-twins journals never carry it and must keep "
+      "decoding).\n"
+      "inline constexpr std::string_view kJournalKeySafetyWitness =\n"
+      "    \"safetyWitness\";\n"
       "\n"
       "}  // namespace avd::gen\n";
   return out;
